@@ -1,0 +1,242 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section. Each Benchmark* maps to one experiment id from
+// DESIGN.md §4; cmd/benchtab runs the same experiments at full scale and
+// prints the tables.
+//
+// The benchmarks run the experiments at a reduced scale so that
+// `go test -bench=. -benchmem` finishes in minutes; pass
+// -benchtime=1x (the default behaviour here is already one iteration per
+// run) and see EXPERIMENTS.md for full-scale numbers.
+package cloudwalker
+
+import (
+	"io"
+	"testing"
+
+	"cloudwalker/internal/bench"
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/linsys"
+	"cloudwalker/internal/sparse"
+)
+
+// mustSystem wraps the indexing matrix in a linear system with b = 1.
+func mustSystem(b *testing.B, a *sparse.Matrix) *linsys.System {
+	b.Helper()
+	sys, err := linsys.NewSystem(a, linsys.Ones(a.Rows()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// benchConfig returns a harness config scaled for benchmark time.
+func benchConfig(scale float64, profiles ...string) bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Profiles = profiles
+	cfg.Queries = 3
+	return cfg
+}
+
+// runExperiment executes one experiment id once per benchmark iteration.
+func runExperiment(b *testing.B, id string, cfg bench.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(id, cfg, io.Discard, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableDatasets regenerates the dataset table (paper Table 1).
+func BenchmarkTableDatasets(b *testing.B) {
+	runExperiment(b, "datasets", benchConfig(0.05))
+}
+
+// BenchmarkTableParams regenerates the parameter table (paper Table 2).
+func BenchmarkTableParams(b *testing.B) {
+	runExperiment(b, "params", benchConfig(1))
+}
+
+// BenchmarkTableBroadcast regenerates the broadcasting-model table (paper
+// Table 3: D / MCSP / MCSS per dataset).
+func BenchmarkTableBroadcast(b *testing.B) {
+	runExperiment(b, "table-broadcast", benchConfig(0.02))
+}
+
+// BenchmarkTableRDD regenerates the RDD-model table (paper Table 4).
+func BenchmarkTableRDD(b *testing.B) {
+	cfg := benchConfig(0.02)
+	cfg.Opts.RPrime = 2000 // RDD queries shuffle every step; keep bench tractable
+	runExperiment(b, "table-rdd", cfg)
+}
+
+// BenchmarkTableCompare regenerates the FMT / LIN / CloudWalker comparison
+// (paper Table 5).
+func BenchmarkTableCompare(b *testing.B) {
+	cfg := benchConfig(0.02, "wiki-vote", "wiki-talk", "twitter-2010")
+	cfg.FMTBudget = 1 << 20
+	runExperiment(b, "table-compare", cfg)
+}
+
+// BenchmarkFigConvergence regenerates the effectiveness figure
+// ("CloudWalker converges quickly").
+func BenchmarkFigConvergence(b *testing.B) {
+	cfg := benchConfig(0.05)
+	cfg.Opts.R = 50
+	cfg.Opts.RPrime = 500
+	runExperiment(b, "fig-convergence", cfg)
+}
+
+// BenchmarkFigModels regenerates the systems figure ("Broadcasting is more
+// efficient, but RDD is more scalable").
+func BenchmarkFigModels(b *testing.B) {
+	cfg := benchConfig(0.02)
+	cfg.Opts.R = 20
+	runExperiment(b, "fig-models", cfg)
+}
+
+// ---- Micro-benchmarks of the core pipeline pieces ----
+
+func benchGraphAndIndex(b *testing.B, n, m int) (*Graph, *Index) {
+	b.Helper()
+	g, err := GenerateRMAT(n, m, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.RPrime = 1000
+	idx, _, err := BuildIndex(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, idx
+}
+
+// BenchmarkBuildIndexWikiVote measures the offline D estimation at the
+// wiki-vote scale with the paper's parameters.
+func BenchmarkBuildIndexWikiVote(b *testing.B) {
+	g, err := GenerateRMAT(7100, 103000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildIndex(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCSP measures single-pair query latency (paper: milliseconds,
+// independent of graph size).
+func BenchmarkMCSP(b *testing.B) {
+	g, idx := benchGraphAndIndex(b, 7100, 103000)
+	q, err := NewQuerier(g, idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.SinglePair(i%g.NumNodes(), (i*7+1)%g.NumNodes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCSSWalk measures single-source latency with the paper's pure
+// Monte Carlo estimator.
+func BenchmarkMCSSWalk(b *testing.B) {
+	g, idx := benchGraphAndIndex(b, 7100, 103000)
+	q, err := NewQuerier(g, idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.SingleSource(i%g.NumNodes(), WalkSS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCSSPull measures the exact-pull single-source variant.
+func BenchmarkMCSSPull(b *testing.B) {
+	g, idx := benchGraphAndIndex(b, 7100, 103000)
+	q, err := NewQuerier(g, idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.SingleSource(i%g.NumNodes(), PullSS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryScaleInvariance demonstrates the paper's headline query
+// property: MCSP latency stays flat as the graph grows 16x.
+func BenchmarkQueryScaleInvariance(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n, m int
+	}{
+		{"n=8k", 8_000, 100_000},
+		{"n=32k", 32_000, 400_000},
+		{"n=128k", 128_000, 1_600_000},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			g, idx := benchGraphAndIndex(b, size.n, size.m)
+			q, err := NewQuerier(g, idx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.SinglePair(i%g.NumNodes(), (i*13+5)%g.NumNodes()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJacobiAblation compares the paper's parallel Jacobi choice with
+// sequential Gauss–Seidel on the same indexing system (DESIGN.md ablation).
+func BenchmarkJacobiAblation(b *testing.B) {
+	g, err := GenerateRMAT(5000, 60000, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	a, err := core.BuildSystem(g, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("jacobi-parallel", func(b *testing.B) {
+		sys := mustSystem(b, a)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.Jacobi(opts.L, 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gauss-seidel-sequential", func(b *testing.B) {
+		sys := mustSystem(b, a)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sys.GaussSeidel(opts.L, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

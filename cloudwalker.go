@@ -1,0 +1,198 @@
+// Package cloudwalker is a Go implementation of CloudWalker, the parallel
+// SimRank system of "Walking in the Cloud: Parallel SimRank at Scale"
+// (Li, Fang, Liu, Cheng, Cheng, Lui; SoCC'15 / PVLDB'16).
+//
+// SimRank scores two graph nodes as similar when they are referenced by
+// similar nodes. CloudWalker makes SimRank practical at scale by
+// decomposing the similarity matrix as S = c·PᵀSP + D, estimating the
+// diagonal correction D offline with embarrassingly parallel Monte Carlo
+// random walks plus a parallel Jacobi solve, and answering online queries
+// in time independent of graph size.
+//
+// Quick start:
+//
+//	g, _ := cloudwalker.GenerateRMAT(10000, 120000, 1)
+//	idx, _, _ := cloudwalker.BuildIndex(g, cloudwalker.DefaultOptions())
+//	q, _ := cloudwalker.NewQuerier(g, idx)
+//	s, _ := q.SinglePair(12, 97)                       // one similarity
+//	top, _ := q.SingleSource(12, cloudwalker.WalkSS)   // all similarities to 12
+//
+// The package also ships the paper's two cluster execution models on a
+// simulated cluster (NewBroadcastEngine, NewRDDEngine), the FMT and LIN
+// baselines it compares against (subpackages internal/baseline/...), and a
+// benchmark harness that regenerates every table and figure of the
+// evaluation (cmd/benchtab).
+package cloudwalker
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/exact"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/simstore"
+	"cloudwalker/internal/sparse"
+)
+
+// Graph is an immutable directed graph in CSR form (both directions).
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges for a Graph.
+type GraphBuilder = graph.Builder
+
+// GraphStats summarizes a graph's degree structure.
+type GraphStats = graph.Stats
+
+// Options carries CloudWalker's parameters (c, T, L, R, R').
+type Options = core.Options
+
+// Index is the offline artifact: the estimated SimRank correction diagonal.
+type Index = core.Index
+
+// IndexReport describes an offline build (system sparsity, Jacobi
+// residuals).
+type IndexReport = core.IndexReport
+
+// Querier answers online SimRank queries against an Index.
+type Querier = core.Querier
+
+// Neighbor is one entry of a top-k similarity list.
+type Neighbor = core.Neighbor
+
+// SingleSourceMode selects the MCSS phase-two estimator.
+type SingleSourceMode = core.SingleSourceMode
+
+// Vector is a sparse vector of per-node scores returned by single-source
+// queries.
+type Vector = sparse.Vector
+
+const (
+	// WalkSS is the paper's pure Monte Carlo single-source estimator.
+	WalkSS = core.WalkSS
+	// PullSS replaces phase two with exact sparse pulls (deterministic
+	// given phase one; good for validation).
+	PullSS = core.PullSS
+)
+
+// DefaultOptions returns the paper's parameter table:
+// c=0.6, T=10, L=3, R=100, R'=10000.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewGraph builds a graph with n nodes from an edge list.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	return graph.FromEdges(n, edges)
+}
+
+// NewGraphBuilder returns a builder for incremental graph construction.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// LoadEdgeList reads a SNAP-style text edge list ("src dst" per line,
+// '#'/'%' comments).
+func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r, 0) }
+
+// LoadEdgeListFile reads a text edge list from a file.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cloudwalker: %w", err)
+	}
+	defer f.Close()
+	return LoadEdgeList(f)
+}
+
+// SaveEdgeList writes the graph as a text edge list.
+func SaveEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// LoadBinaryGraph reads the compact binary graph format.
+func LoadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// SaveBinaryGraph writes the compact binary graph format.
+func SaveBinaryGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// GenerateER samples a directed Erdős–Rényi G(n, m) graph.
+func GenerateER(n, m int, seed uint64) (*Graph, error) { return gen.ErdosRenyi(n, m, seed) }
+
+// GenerateRMAT samples a power-law R-MAT graph with n nodes and ~m edges,
+// the degree structure of the paper's web and social datasets.
+func GenerateRMAT(n, m int, seed uint64) (*Graph, error) {
+	return gen.RMAT(n, m, gen.DefaultRMAT, seed)
+}
+
+// GenerateBA grows a Barabási–Albert preferential-attachment graph.
+func GenerateBA(n, k int, seed uint64) (*Graph, error) { return gen.BarabasiAlbert(n, k, seed) }
+
+// GenerateCopying grows a copying-model citation/recommendation graph.
+func GenerateCopying(n, k int, beta float64, seed uint64) (*Graph, error) {
+	return gen.Copying(n, k, beta, seed)
+}
+
+// BuildIndex runs CloudWalker's offline stage: Monte Carlo estimation of
+// the indexing system's rows in parallel, then L parallel Jacobi sweeps.
+func BuildIndex(g *Graph, opts Options) (*Index, *IndexReport, error) {
+	return core.BuildIndex(g, opts)
+}
+
+// NewQuerier binds an index to its graph for online queries.
+func NewQuerier(g *Graph, idx *Index) (*Querier, error) { return core.NewQuerier(g, idx) }
+
+// SaveIndex serializes an index.
+func SaveIndex(w io.Writer, idx *Index) error { return idx.Save(w) }
+
+// LoadIndex deserializes an index written by SaveIndex.
+func LoadIndex(r io.Reader) (*Index, error) { return core.ReadIndex(r) }
+
+// IndexingSystem is the Monte Carlo linear system A (one sparse row per
+// node) whose solution is the index diagonal. At the paper's scale the
+// Monte Carlo stage costs hours while the Jacobi solve costs seconds, so
+// the system can be persisted and re-solved (e.g. with more sweeps)
+// without re-walking.
+type IndexingSystem = sparse.Matrix
+
+// BuildSystem runs only the Monte Carlo stage and returns the system A.
+func BuildSystem(g *Graph, opts Options) (*IndexingSystem, error) {
+	return core.BuildSystem(g, opts)
+}
+
+// SolveIndex runs only the Jacobi stage on a prebuilt system.
+func SolveIndex(g *Graph, a *IndexingSystem, opts Options) (*Index, *IndexReport, error) {
+	return core.SolveIndex(g, a, opts)
+}
+
+// SaveSystem serializes an indexing system.
+func SaveSystem(w io.Writer, a *IndexingSystem) error { return sparse.WriteMatrix(w, a) }
+
+// LoadSystem deserializes a system written by SaveSystem.
+func LoadSystem(r io.Reader) (*IndexingSystem, error) { return sparse.ReadMatrix(r) }
+
+// SimilarityStore persists all-pair (MCAP) top-k results.
+type SimilarityStore = simstore.Store
+
+// NewSimilarityStore creates an empty top-k store for n nodes.
+func NewSimilarityStore(n, k int) (*SimilarityStore, error) { return simstore.New(n, k) }
+
+// StoreFromResults wraps the output of Querier.AllPairsTopK in a store.
+func StoreFromResults(results [][]Neighbor, k int) (*SimilarityStore, error) {
+	return simstore.FromResults(results, k)
+}
+
+// LoadSimilarityStore reads a store written by SimilarityStore.Save.
+func LoadSimilarityStore(r io.Reader) (*SimilarityStore, error) { return simstore.Load(r) }
+
+// DirectSinglePair estimates s(i,j) with the classic index-free
+// first-meeting Monte Carlo method (no offline stage; single pairs only).
+func DirectSinglePair(g *Graph, i, j int, c float64, T, R int, seed uint64) (float64, error) {
+	return core.DirectSinglePair(g, i, j, c, T, R, seed)
+}
+
+// ExactSimRank computes ground-truth Jeh–Widom SimRank by power iteration.
+// Dense O(n²) memory: validation and small graphs only.
+func ExactSimRank(g *Graph, c float64, iterations int) (*exact.Dense, error) {
+	return exact.Naive(g, c, iterations)
+}
+
+// TopK returns the indices of the k largest scores, excluding `exclude`
+// (-1 keeps all).
+func TopK(scores []float64, k, exclude int) []int { return exact.TopK(scores, k, exclude) }

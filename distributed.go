@@ -1,0 +1,41 @@
+package cloudwalker
+
+import (
+	"cloudwalker/internal/cluster"
+	"cloudwalker/internal/dist"
+)
+
+// ClusterConfig describes the simulated cluster (machines, cores, memory,
+// network). DefaultClusterConfig mirrors the paper's 10×16-core testbed.
+type ClusterConfig = cluster.Config
+
+// Cluster is a simulated cluster with task scheduling, network cost
+// accounting, and per-machine memory budgets.
+type Cluster = cluster.Cluster
+
+// StageMetrics records one simulated stage's cost.
+type StageMetrics = cluster.StageMetrics
+
+// Engine is a CloudWalker execution model running on a simulated cluster.
+type Engine = dist.Engine
+
+// DefaultClusterConfig returns the paper's cluster shape: 10 machines ×
+// 16 cores, with memory scaled to this repository's synthetic datasets.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// NewCluster creates a simulated cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// NewBroadcastEngine runs CloudWalker with the graph broadcast to every
+// machine — the paper's faster model, limited to graphs that fit in one
+// machine's memory.
+func NewBroadcastEngine(g *Graph, opts Options, cl *Cluster) (*dist.BroadcastEngine, error) {
+	return dist.NewBroadcast(g, opts, cl)
+}
+
+// NewRDDEngine runs CloudWalker with the graph partitioned across machines
+// and walkers shuffled every step — the paper's slower but
+// memory-scalable model.
+func NewRDDEngine(g *Graph, opts Options, cl *Cluster) (*dist.RDDEngine, error) {
+	return dist.NewRDD(g, opts, cl)
+}

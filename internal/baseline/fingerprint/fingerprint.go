@@ -1,0 +1,225 @@
+// Package fingerprint implements the FMT baseline (Fogaras & Rácz,
+// "Scaling link-based similarity search", WWW'05) that the paper compares
+// CloudWalker against.
+//
+// FMT precomputes coupled reverse random walks for every node: for each
+// sample r and step t a random function f_{r,t} maps every node to one of
+// its in-neighbors. Walks from any two nodes through the same sample are
+// distributed like independent SimRank walks until they first meet, and
+// coalesce afterwards, so
+//
+//	s(i,j) ≈ (1/R) Σ_r c^{τ_r(i,j)}
+//
+// where τ_r is the first step at which the coupled walks from i and j
+// land on the same node (contribution 0 if they never meet within T).
+//
+// The index stores all R·T functions — Θ(R·T·n) memory. That footprint is
+// exactly why the paper's comparison table reports N/A for FMT beyond
+// wiki-vote: the index exceeds cluster memory. Build enforces a
+// MemoryBudget and fails with ErrMemoryBudget the same way.
+//
+// Query costs mirror the paper's table: single-pair chases two pointers
+// through R samples (fast, O(R·T)); single-source must scan every node's
+// fingerprint against the query's (slow, O(n·R·T)) — which is why FMT's
+// SS column is ~1000× its SP column.
+package fingerprint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/xrand"
+)
+
+// ErrMemoryBudget is returned when the index would exceed Options.MemoryBudget.
+var ErrMemoryBudget = errors.New("fingerprint: index exceeds memory budget")
+
+// Options configures the FMT index.
+type Options struct {
+	// C is the SimRank decay factor.
+	C float64
+	// T is the walk length.
+	T int
+	// Samples is the number of coupled-walk samples R.
+	Samples int
+	// MemoryBudget caps the index size in bytes; 0 means unlimited.
+	MemoryBudget int64
+	// Seed drives the random step functions.
+	Seed uint64
+}
+
+// DefaultOptions mirrors the paper's setup (c=0.6, T=10) with a sample
+// count giving comparable single-pair accuracy to CloudWalker's queries.
+func DefaultOptions() Options {
+	return Options{C: 0.6, T: 10, Samples: 400, Seed: 1}
+}
+
+// Validate reports the first invalid option.
+func (o Options) Validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("fingerprint: decay C=%g outside (0,1)", o.C)
+	}
+	if o.T <= 0 {
+		return fmt.Errorf("fingerprint: walk length T=%d must be positive", o.T)
+	}
+	if o.Samples <= 0 {
+		return fmt.Errorf("fingerprint: sample count %d must be positive", o.Samples)
+	}
+	if o.MemoryBudget < 0 {
+		return fmt.Errorf("fingerprint: negative memory budget %d", o.MemoryBudget)
+	}
+	return nil
+}
+
+// Index is the materialized fingerprint index.
+type Index struct {
+	opts Options
+	n    int
+	// step[r*T + (t-1)][v] = f_{r,t}(v): the in-neighbor chosen for node v
+	// at step t of sample r, or -1 if v has no in-links.
+	step [][]int32
+}
+
+// IndexBytes estimates the index size for n nodes under opts, without
+// building it.
+func IndexBytes(n int, opts Options) int64 {
+	return int64(opts.Samples) * int64(opts.T) * int64(n) * 4
+}
+
+// Build materializes the fingerprint index, enforcing the memory budget.
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	need := IndexBytes(n, opts)
+	if opts.MemoryBudget > 0 && need > opts.MemoryBudget {
+		return nil, fmt.Errorf("%w: need %d bytes, budget %d", ErrMemoryBudget, need, opts.MemoryBudget)
+	}
+	ix := &Index{opts: opts, n: n, step: make([][]int32, opts.Samples*opts.T)}
+	for r := 0; r < opts.Samples; r++ {
+		for t := 0; t < opts.T; t++ {
+			src := xrand.NewStream(opts.Seed, uint64(r)*1_000_003+uint64(t))
+			f := make([]int32, n)
+			for v := 0; v < n; v++ {
+				d := g.InDegree(v)
+				if d == 0 {
+					f[v] = -1
+					continue
+				}
+				f[v] = g.InNeighborAt(v, src.Intn(d))
+			}
+			ix.step[r*opts.T+t] = f
+		}
+	}
+	return ix, nil
+}
+
+// MemoryBytes returns the actual index size.
+func (ix *Index) MemoryBytes() int64 { return IndexBytes(ix.n, ix.opts) }
+
+// Options returns the build options.
+func (ix *Index) Options() Options { return ix.opts }
+
+// SinglePair estimates s(i,j) from the fingerprints: the average over
+// samples of c^τ with τ the first-meeting step.
+func (ix *Index) SinglePair(i, j int) (float64, error) {
+	if err := ix.checkNode(i); err != nil {
+		return 0, err
+	}
+	if err := ix.checkNode(j); err != nil {
+		return 0, err
+	}
+	if i == j {
+		return 1, nil
+	}
+	total := 0.0
+	for r := 0; r < ix.opts.Samples; r++ {
+		if tau := ix.meet(r, i, j); tau > 0 {
+			total += math.Pow(ix.opts.C, float64(tau))
+		}
+	}
+	return total / float64(ix.opts.Samples), nil
+}
+
+// meet returns the first step 1..T at which the coupled walks from i and j
+// in sample r collide, or 0 if they never do.
+func (ix *Index) meet(r, i, j int) int {
+	a, b := int32(i), int32(j)
+	base := r * ix.opts.T
+	for t := 1; t <= ix.opts.T; t++ {
+		f := ix.step[base+t-1]
+		a, b = f[a], f[b]
+		if a < 0 || b < 0 {
+			return 0
+		}
+		if a == b {
+			return t
+		}
+	}
+	return 0
+}
+
+// SingleSource estimates s(q, v) for every node v by scanning all
+// fingerprints — the O(n·R·T) full-index pass that makes FMT's
+// single-source column three orders slower than its single-pair column in
+// the paper's comparison table.
+func (ix *Index) SingleSource(q int) ([]float64, error) {
+	if err := ix.checkNode(q); err != nil {
+		return nil, err
+	}
+	scores := make([]float64, ix.n)
+	cur := make([]int32, ix.n)
+	done := make([]bool, ix.n)
+	cPow := make([]float64, ix.opts.T+1)
+	cPow[0] = 1
+	for t := 1; t <= ix.opts.T; t++ {
+		cPow[t] = cPow[t-1] * ix.opts.C
+	}
+	inv := 1.0 / float64(ix.opts.Samples)
+	for r := 0; r < ix.opts.Samples; r++ {
+		for v := range cur {
+			cur[v] = int32(v)
+			done[v] = false
+		}
+		qPos := int32(q)
+		base := r * ix.opts.T
+		for t := 1; t <= ix.opts.T && qPos >= 0; t++ {
+			f := ix.step[base+t-1]
+			qPos = f[qPos]
+			if qPos < 0 {
+				break
+			}
+			add := cPow[t] * inv
+			for v := 0; v < ix.n; v++ {
+				if done[v] {
+					continue
+				}
+				p := cur[v]
+				if p < 0 {
+					done[v] = true
+					continue
+				}
+				p = f[p]
+				cur[v] = p
+				if p == qPos {
+					if v != q {
+						scores[v] += add
+					}
+					done[v] = true // coalesced: first meeting recorded
+				}
+			}
+		}
+	}
+	scores[q] = 1
+	return scores, nil
+}
+
+func (ix *Index) checkNode(i int) error {
+	if i < 0 || i >= ix.n {
+		return fmt.Errorf("fingerprint: node %d out of range [0,%d)", i, ix.n)
+	}
+	return nil
+}

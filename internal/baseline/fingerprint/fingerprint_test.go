@@ -1,0 +1,221 @@
+package fingerprint
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cloudwalker/internal/exact"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+)
+
+func testOptions() Options {
+	o := DefaultOptions()
+	o.T = 8
+	o.Samples = 3000
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []func(*Options){
+		func(o *Options) { o.C = 0 },
+		func(o *Options) { o.C = 1.2 },
+		func(o *Options) { o.T = 0 },
+		func(o *Options) { o.Samples = 0 },
+		func(o *Options) { o.MemoryBudget = -1 },
+	}
+	for i, mutate := range bad {
+		o := DefaultOptions()
+		mutate(&o)
+		if o.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMemoryBudgetGate(t *testing.T) {
+	g, err := gen.ErdosRenyi(100, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MemoryBudget = IndexBytes(g.NumNodes(), opts) - 1
+	if _, err := Build(g, opts); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("want ErrMemoryBudget, got %v", err)
+	}
+	opts.MemoryBudget = IndexBytes(g.NumNodes(), opts)
+	ix, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.MemoryBytes() != opts.MemoryBudget {
+		t.Fatalf("MemoryBytes %d, want %d", ix.MemoryBytes(), opts.MemoryBudget)
+	}
+}
+
+func TestSinglePairMatchesExact(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 150, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	ix, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := exact.Naive(g, opts.C, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 0; i < 8; i++ {
+		for j := i; j < 8; j++ {
+			got, err := ix.SinglePair(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := math.Abs(got - s.At(i, j)); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 0.08 {
+		t.Fatalf("FMT single-pair worst error %g", worst)
+	}
+}
+
+func TestSinglePairSelf(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	ix, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := ix.SinglePair(1, 1); s != 1 {
+		t.Fatalf("s(1,1) = %g", s)
+	}
+}
+
+func TestSingleSourceMatchesSinglePair(t *testing.T) {
+	// SS must agree with SP on every target: both read the same
+	// fingerprints, so they are equal up to coalescing semantics.
+	g, err := gen.ErdosRenyi(25, 120, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	opts.Samples = 500
+	ix, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 4
+	ss, err := ix.SingleSource(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		sp, err := ix.SinglePair(q, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ss[v]-sp) > 1e-12 {
+			t.Fatalf("SS[%d] = %g but SP = %g", v, ss[v], sp)
+		}
+	}
+}
+
+func TestSingleSourceMatchesExact(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 150, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	ix, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := exact.Naive(g, opts.C, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 2
+	ss, err := ix.SingleSource(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		if e := math.Abs(ss[v] - s.At(q, v)); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.08 {
+		t.Fatalf("FMT single-source worst error %g", worst)
+	}
+}
+
+func TestDanglingNodes(t *testing.T) {
+	// Star: leaves have no in-links, so every cross similarity is 0.
+	g, err := gen.Star(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := ix.SinglePair(1, 2); s != 0 {
+		t.Fatalf("s(leaf,leaf) = %g", s)
+	}
+	ss, err := ix.SingleSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 5; v++ {
+		if ss[v] != 0 {
+			t.Fatalf("hub SS[%d] = %g", v, ss[v])
+		}
+	}
+}
+
+func TestNodeRangeErrors(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}})
+	ix, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SinglePair(-1, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := ix.SinglePair(0, 3); err == nil {
+		t.Error("overflow node accepted")
+	}
+	if _, err := ix.SingleSource(7); err == nil {
+		t.Error("overflow source accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g, err := gen.ErdosRenyi(20, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Samples = 50
+	a, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		x, _ := a.SinglePair(i, (i+7)%20)
+		y, _ := b.SinglePair(i, (i+7)%20)
+		if x != y {
+			t.Fatalf("same seed indexes disagree at %d", i)
+		}
+	}
+}

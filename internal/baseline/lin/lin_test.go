@@ -1,0 +1,210 @@
+package lin
+
+import (
+	"math"
+	"testing"
+
+	"cloudwalker/internal/exact"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+)
+
+func testOptions() Options {
+	o := DefaultOptions()
+	o.T = 15
+	o.Sweeps = 15
+	o.Workers = 2
+	return o
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []func(*Options){
+		func(o *Options) { o.C = 0 },
+		func(o *Options) { o.C = 1 },
+		func(o *Options) { o.T = -1 },
+		func(o *Options) { o.Sweeps = 0 },
+		func(o *Options) { o.PruneEps = -1 },
+	}
+	for i, mutate := range bad {
+		o := DefaultOptions()
+		mutate(&o)
+		if o.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDiagonalMatchesExact(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 150, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	ix, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.ExactDiagonal(g, opts.C, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := exact.CompareVec(want, ix.Diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIN is exact up to series truncation c^{T+1}/(1-c) and GS residual.
+	if d.MaxAbs > 0.005 {
+		t.Fatalf("LIN diagonal max error %g", d.MaxAbs)
+	}
+}
+
+func TestSinglePairMatchesExact(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	ix, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := exact.Naive(g, opts.C, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 0; i < 12; i++ {
+		for j := i; j < 12; j++ {
+			got, err := ix.SinglePair(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := math.Abs(got - s.At(i, j)); e > worst {
+				worst = e
+			}
+		}
+	}
+	if worst > 0.01 {
+		t.Fatalf("LIN single-pair worst error %g (should be near exact)", worst)
+	}
+}
+
+func TestSingleSourceMatchesExact(t *testing.T) {
+	g, err := gen.RMAT(40, 200, gen.DefaultRMAT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions()
+	ix, err := Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := exact.Naive(g, opts.C, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 6
+	ss, err := ix.SingleSource(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		if e := math.Abs(ss.Get(v) - s.At(q, v)); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.01 {
+		t.Fatalf("LIN single-source worst error %g", worst)
+	}
+	if ss.Get(q) != 1 {
+		t.Fatalf("self similarity %g", ss.Get(q))
+	}
+}
+
+func TestSingleSourceAgreesWithSinglePair(t *testing.T) {
+	g, err := gen.ErdosRenyi(25, 120, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(g, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 3
+	ss, err := ix.SingleSource(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		sp, err := ix.SinglePair(q, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ss.Get(v)-sp) > 1e-9 {
+			t.Fatalf("SS(%d) = %g, SP = %g", v, ss.Get(v), sp)
+		}
+	}
+}
+
+func TestPruneApproximation(t *testing.T) {
+	g, err := gen.RMAT(60, 400, gen.DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Build(g, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := testOptions()
+	pr.PruneEps = 1e-4
+	ap, err := Build(g, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a, _ := ex.SinglePair(i, (i+11)%60)
+		b, _ := ap.SinglePair(i, (i+11)%60)
+		if math.Abs(a-b) > 0.02 {
+			t.Fatalf("pruned LIN diverges: %g vs %g", a, b)
+		}
+	}
+}
+
+func TestNodeRangeErrors(t *testing.T) {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}})
+	ix, err := Build(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SinglePair(0, 5); err == nil {
+		t.Error("overflow node accepted")
+	}
+	if _, err := ix.SingleSource(-1); err == nil {
+		t.Error("negative source accepted")
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 150, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := testOptions()
+	o1.Workers = 1
+	o4 := testOptions()
+	o4.Workers = 4
+	a, err := Build(g, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, o4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Diag {
+		if a.Diag[i] != b.Diag[i] {
+			t.Fatalf("worker count changed LIN diagonal at %d", i)
+		}
+	}
+}

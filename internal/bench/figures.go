@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cloudwalker/internal/cluster"
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/dist"
+	"cloudwalker/internal/exact"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+)
+
+// RunConvergence regenerates the effectiveness figure ("CloudWalker
+// converges quickly", experiment id "fig-convergence"): on a wiki-vote
+// graph small enough for exact ground truth it reports
+//
+//  1. the Jacobi residual and diagonal error after each sweep
+//     (convergence in L — the paper's headline: L = 3 suffices),
+//  2. index and query error versus the exact SimRank as T grows,
+//  3. the same as the walker count R grows.
+func RunConvergence(cfg Config) ([]*Table, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	// Exact ground truth is O(n²) memory / O(n·m) per iteration: use
+	// wiki-vote scaled to ≤2000 nodes.
+	p, err := gen.ProfileByName("wiki-vote")
+	if err != nil {
+		return nil, err
+	}
+	scale := cfg.Scale
+	if float64(p.Nodes)*scale > 2000 {
+		scale = 2000 / float64(p.Nodes)
+	}
+	p = p.Scaled(scale)
+	cfg.logf("[convergence] wiki-vote at %d nodes / %d edges", p.Nodes, p.Edges)
+	g, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	iters := 3 * cfg.Opts.T
+	if iters < 20 {
+		iters = 20
+	}
+	wantDiag, err := exact.ExactDiagonal(g, cfg.Opts.C, iters)
+	if err != nil {
+		return nil, err
+	}
+	wantS, err := exact.Naive(g, cfg.Opts.C, iters)
+	if err != nil {
+		return nil, err
+	}
+
+	// (1) Jacobi residual and diagonal error per sweep.
+	sweeps := NewTable(
+		fmt.Sprintf("Convergence: Jacobi sweeps (wiki-vote @ %d nodes)", g.NumNodes()),
+		"Sweep L", "Residual ‖Ax-1‖∞", "Diag MAE vs exact")
+	for l := 1; l <= 6; l++ {
+		o := cfg.Opts
+		o.L = l
+		idx, rep, err := core.BuildIndex(g, o)
+		if err != nil {
+			return nil, err
+		}
+		d, err := exact.CompareVec(wantDiag, idx.Diag)
+		if err != nil {
+			return nil, err
+		}
+		sweeps.Add(fmt.Sprintf("%d", l), FmtFloat(rep.JacobiResiduals[l-1]), FmtFloat(d.MeanAbs))
+	}
+
+	// (2) Error versus walk length T.
+	tTab := NewTable("Convergence: error vs walk length T (R at default)",
+		"T", "Diag MAE", "SS MAE vs exact", "Top-10 overlap")
+	for _, T := range []int{1, 2, 4, 6, 8, 10} {
+		o := cfg.Opts
+		o.T = T
+		row, err := accuracyRow(g, o, wantDiag, wantS)
+		if err != nil {
+			return nil, err
+		}
+		tTab.Add(append([]string{fmt.Sprintf("%d", T)}, row...)...)
+	}
+
+	// (3) Error versus walker count R.
+	rTab := NewTable("Convergence: error vs indexing walkers R (T at default)",
+		"R", "Diag MAE", "SS MAE vs exact", "Top-10 overlap")
+	for _, R := range []int{10, 50, 100, 500, 1000} {
+		o := cfg.Opts
+		o.R = R
+		row, err := accuracyRow(g, o, wantDiag, wantS)
+		if err != nil {
+			return nil, err
+		}
+		rTab.Add(append([]string{fmt.Sprintf("%d", R)}, row...)...)
+	}
+	return []*Table{sweeps, tTab, rTab}, nil
+}
+
+// accuracyRow builds an index under o and reports the diagonal MAE, the
+// mean single-source error, and the mean top-10 overlap over a handful of
+// query nodes.
+func accuracyRow(g *graph.Graph, o core.Options, wantDiag []float64, wantS *exact.Dense) ([]string, error) {
+	idx, _, err := core.BuildIndex(g, o)
+	if err != nil {
+		return nil, err
+	}
+	d, err := exact.CompareVec(wantDiag, idx.Diag)
+	if err != nil {
+		return nil, err
+	}
+	q, err := core.NewQuerier(g, idx)
+	if err != nil {
+		return nil, err
+	}
+	const queries = 5
+	pairs := queryNodes(g.NumNodes(), queries, o.Seed+81)
+	var maeSum, overlapSum float64
+	for _, pq := range pairs {
+		src := pq[0]
+		v, err := q.SingleSource(src, core.PullSS)
+		if err != nil {
+			return nil, err
+		}
+		got := v.Dense(g.NumNodes())
+		want := wantS.Row(src)
+		diff, err := exact.CompareVec(want, got)
+		if err != nil {
+			return nil, err
+		}
+		maeSum += diff.MeanAbs
+		overlapSum += exact.TopKOverlap(want, got, 10, src)
+	}
+	return []string{
+		FmtFloat(d.MeanAbs),
+		FmtFloat(maeSum / queries),
+		fmt.Sprintf("%.2f", overlapSum/queries),
+	}, nil
+}
+
+// RunModels regenerates the systems figure ("Broadcasting is more
+// efficient, but RDD is more scalable", experiment id "fig-models"):
+//
+//  1. offline indexing time for both models as the machine count grows
+//     (strong scaling at fixed graph size), and
+//  2. both models as the graph grows past single-machine memory — the
+//     broadcast column turns OOM where the RDD column keeps running,
+//     which is the paper's reason to ship both implementations.
+func RunModels(cfg Config) ([]*Table, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	base, err := gen.ProfileByName("wiki-talk")
+	if err != nil {
+		return nil, err
+	}
+	p := base.Scaled(cfg.Scale)
+	g, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+
+	// (1) Strong scaling in machines.
+	strong := NewTable(
+		fmt.Sprintf("Models: D-indexing vs machines (wiki-talk @ %d nodes)", g.NumNodes()),
+		"Machines", "Broadcast D(sim)", "RDD D(sim)", "RDD/Broadcast")
+	for _, machines := range []int{1, 2, 4, 8, 16} {
+		ccfg := cfg.Cluster
+		ccfg.Machines = machines
+		ccfg.MemoryPerMachine = g.MemoryBytes() * 4 // no memory wall here
+		bSim, err := modelSimTime(g, cfg.Opts, ccfg, "broadcast")
+		if err != nil {
+			return nil, err
+		}
+		rSim, err := modelSimTime(g, cfg.Opts, ccfg, "rdd")
+		if err != nil {
+			return nil, err
+		}
+		ratio := "-"
+		if bSim > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(rSim)/float64(bSim))
+		}
+		strong.Add(fmt.Sprintf("%d", machines), FmtDuration(bSim), FmtDuration(rSim), ratio)
+	}
+
+	// (2) Graph growth past the per-machine memory wall.
+	wall := NewTable(
+		"Models: graph growth vs per-machine memory (10 machines)",
+		"Scale", "Graph bytes", "Mem/machine", "Broadcast", "RDD")
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		pp := base.Scaled(cfg.Scale * mult)
+		gg, err := pp.Generate()
+		if err != nil {
+			return nil, err
+		}
+		ccfg := cfg.Cluster
+		// The wall: a machine holds ~1.5× the base graph.
+		ccfg.MemoryPerMachine = 3 * g.MemoryBytes() / 2
+		bCell := "OOM"
+		if bSim, err := modelSimTime(gg, cfg.Opts, ccfg, "broadcast"); err == nil {
+			bCell = FmtDuration(bSim)
+		}
+		rCell := "OOM"
+		if rSim, err := modelSimTime(gg, cfg.Opts, ccfg, "rdd"); err == nil {
+			rCell = FmtDuration(rSim)
+		}
+		wall.Add(fmt.Sprintf("%gx", mult), FmtCount(gg.MemoryBytes()),
+			FmtCount(ccfg.MemoryPerMachine), bCell, rCell)
+	}
+	return []*Table{strong, wall}, nil
+}
+
+// modelSimTime builds the index on a fresh cluster and returns the
+// simulated wall time of the whole offline stage.
+func modelSimTime(g *graph.Graph, opts core.Options, ccfg cluster.Config, model string) (time.Duration, error) {
+	cl, err := cluster.New(ccfg)
+	if err != nil {
+		return 0, err
+	}
+	var eng dist.Engine
+	switch model {
+	case "broadcast":
+		eng, err = dist.NewBroadcast(g, opts, cl)
+	case "rdd":
+		eng, err = dist.NewRDD(g, opts, cl)
+	default:
+		return 0, fmt.Errorf("bench: unknown model %q", model)
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	if _, err := eng.BuildIndex(); err != nil {
+		return 0, err
+	}
+	return cl.Totals().SimWall, nil
+}

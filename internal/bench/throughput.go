@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/xrand"
+)
+
+// RunThroughput backs the poster's tagline "Big SimRank, instant
+// response" (experiment id "fig-throughput"): sustained query throughput
+// under concurrent clients. The Querier is safe for concurrent use (each
+// query derives its own RNG stream), so throughput should scale with
+// client count up to the core count, at per-query latencies that stay in
+// the paper's milliseconds regime.
+func RunThroughput(cfg Config) ([]*Table, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	p, err := gen.ProfileByName("twitter-2010")
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(cfg.Scale)
+	g, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("[throughput] twitter-2010 at %d nodes / %d edges", g.NumNodes(), g.NumEdges())
+	idx, _, err := core.BuildIndex(g, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	q, err := core.NewQuerier(g, idx)
+	if err != nil {
+		return nil, err
+	}
+
+	const window = 400 * time.Millisecond
+	t := NewTable(
+		fmt.Sprintf("Throughput: concurrent clients (twitter-2010 @ %d nodes, R'=%d)",
+			g.NumNodes(), cfg.Opts.RPrime),
+		"Clients", "MCSP qps", "MCSP p-mean", "MCSS qps", "MCSS p-mean")
+	for _, clients := range []int{1, 2, 4, 8} {
+		spQPS, spLat, err := hammer(clients, window, func(src *xrand.Source) error {
+			i := src.Intn(g.NumNodes())
+			j := src.Intn(g.NumNodes())
+			_, err := q.SinglePair(i, j)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ssQPS, ssLat, err := hammer(clients, window, func(src *xrand.Source) error {
+			i := src.Intn(g.NumNodes())
+			_, err := q.SingleSource(i, core.WalkSS)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%.0f", spQPS), FmtDuration(spLat),
+			fmt.Sprintf("%.0f", ssQPS), FmtDuration(ssLat))
+	}
+	return []*Table{t}, nil
+}
+
+// hammer runs `clients` goroutines issuing queries for the window and
+// returns (queries/sec, mean latency).
+func hammer(clients int, window time.Duration, query func(*xrand.Source) error) (float64, time.Duration, error) {
+	var (
+		done  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		qerr  error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := xrand.NewStream(99, uint64(c))
+			for !done.Load() {
+				if err := query(src); err != nil {
+					mu.Lock()
+					if qerr == nil {
+						qerr = err
+					}
+					mu.Unlock()
+					return
+				}
+				total.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(window)
+	done.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if qerr != nil {
+		return 0, 0, qerr
+	}
+	n := total.Load()
+	if n == 0 {
+		return 0, elapsed, nil
+	}
+	qps := float64(n) / elapsed.Seconds()
+	meanLat := time.Duration(int64(elapsed) * int64(clients) / n)
+	return qps, meanLat, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/linsys"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/walk"
+	"cloudwalker/internal/xrand"
+)
+
+// Index is CloudWalker's offline artifact: the estimated correction
+// diagonal x (D = diag(x)) plus the options it was built with.
+type Index struct {
+	Diag []float64
+	Opts Options
+}
+
+// IndexReport describes the offline build: system sparsity and the Jacobi
+// residual after each sweep (the convergence figure's x-axis).
+type IndexReport struct {
+	Rows            int
+	SystemNNZ       int
+	JacobiResiduals []float64
+}
+
+// BuildRow estimates row a_i = Σ_{t=0}^{T} c^t (P^t e_i) ∘ (P^t e_i) of
+// the indexing linear system with R Monte Carlo walkers. The t = 0 term
+// contributes exactly 1 at the diagonal. Exposed so the distributed
+// engines (internal/dist) can ship single-row tasks to simulated workers.
+// Callers estimating many rows should reuse one estimator per worker via
+// BuildRowWith to avoid the per-row histogram allocation.
+func BuildRow(g *graph.Graph, i int, opts Options, src *xrand.Source) *sparse.Vector {
+	return BuildRowWith(walk.NewRowEstimator(g, opts.R), i, opts, src)
+}
+
+// BuildRowWith is BuildRow against a reusable per-worker estimator. The
+// output is identical to BuildRow for the same (graph, i, opts, src).
+func BuildRowWith(est *walk.RowEstimator, i int, opts Options, src *xrand.Source) *sparse.Vector {
+	return est.EstimateRow(i, opts.T, opts.C, src)
+}
+
+// BuildSystem estimates every row of the linear system A x = 1 in
+// parallel; rows are independent, which is the paper's key scalability
+// claim for the offline stage.
+func BuildSystem(g *graph.Graph, opts Options) (*sparse.Matrix, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	a := sparse.NewMatrix(n, n)
+	workers := opts.workers()
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			est := walk.NewRowEstimator(g, opts.R)
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				src := xrand.NewStream(opts.Seed, uint64(i))
+				a.SetRow(i, BuildRowWith(est, i, opts, src))
+			}
+		}()
+	}
+	wg.Wait()
+	return a, nil
+}
+
+// BuildIndex runs the full offline stage: Monte Carlo row estimation
+// followed by L parallel Jacobi sweeps on A x = 1.
+func BuildIndex(g *graph.Graph, opts Options) (*Index, *IndexReport, error) {
+	a, err := BuildSystem(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return SolveIndex(g, a, opts)
+}
+
+// SolveIndex runs only the Jacobi stage on a prebuilt system. Split out so
+// the distributed engines can reuse it after assembling A remotely.
+func SolveIndex(g *graph.Graph, a *sparse.Matrix, opts Options) (*Index, *IndexReport, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := g.NumNodes()
+	if a.Rows() != n {
+		return nil, nil, fmt.Errorf("core: system has %d rows for %d nodes", a.Rows(), n)
+	}
+	sys, err := linsys.NewSystem(a, linsys.Ones(n))
+	if err != nil {
+		return nil, nil, err
+	}
+	x, rep, err := sys.Jacobi(opts.L, opts.workers(), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	ClampDiag(x)
+	idx := &Index{Diag: x, Opts: opts}
+	report := &IndexReport{
+		Rows:            n,
+		SystemNNZ:       a.NNZ(),
+		JacobiResiduals: rep.Residuals,
+	}
+	return idx, report, nil
+}
+
+// ClampDiag clamps a solved diagonal into [0,1] in place. The true
+// correction diagonal lies in (1-c, 1]; Monte Carlo noise can push the
+// estimate slightly out, which would bias queries. NaNs (zero-diagonal
+// rows that the solver skipped) become 1, the dangling-node value.
+func ClampDiag(x []float64) {
+	for i := range x {
+		if x[i] > 1 {
+			x[i] = 1
+		}
+		if x[i] < 0 {
+			x[i] = 0
+		}
+		if math.IsNaN(x[i]) {
+			x[i] = 1
+		}
+	}
+}
+
+// Validate checks that the index matches graph g.
+func (ix *Index) Validate(g *graph.Graph) error {
+	if len(ix.Diag) != g.NumNodes() {
+		return fmt.Errorf("core: index has %d diagonal entries for %d nodes",
+			len(ix.Diag), g.NumNodes())
+	}
+	for i, v := range ix.Diag {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("core: diagonal entry %d = %g outside [0,1]", i, v)
+		}
+	}
+	return ix.Opts.Validate()
+}

@@ -1,0 +1,84 @@
+// Package core implements CloudWalker, the paper's primary contribution:
+// offline estimation of the SimRank diagonal-correction matrix D by
+// parallel Monte Carlo simulation and a parallel Jacobi solve, plus online
+// single-pair (MCSP), single-source (MCSS), and all-pair (MCAP) queries
+// whose cost is independent of graph size.
+package core
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Options carries the CloudWalker parameters. Field names follow the
+// paper's parameter table.
+type Options struct {
+	// C is the SimRank decay factor, 0 < C < 1. Paper default 0.6.
+	C float64
+	// T is the number of walk steps (series truncation). Paper default 10.
+	T int
+	// L is the number of Jacobi sweeps in the offline solve. Paper default 3.
+	L int
+	// R is the number of walkers used to estimate each row a_i during
+	// indexing. Paper default 100.
+	R int
+	// RPrime is the number of walkers used by the online MCSP/MCSS
+	// queries. Paper default 10000.
+	RPrime int
+	// Workers bounds the goroutines used by parallel stages; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Seed makes every Monte Carlo stage deterministic.
+	Seed uint64
+	// PruneEps truncates entries smaller than this during the exact-pull
+	// single-source estimator, bounding frontier growth. 0 keeps all.
+	PruneEps float64
+}
+
+// DefaultOptions returns the paper's default parameter table
+// (c=0.6, T=10, L=3, R=100, R'=10000).
+func DefaultOptions() Options {
+	return Options{
+		C:       0.6,
+		T:       10,
+		L:       3,
+		R:       100,
+		RPrime:  10000,
+		Workers: 0,
+		Seed:    1,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (o Options) Validate() error {
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("core: decay C=%g outside (0,1)", o.C)
+	}
+	if o.T < 0 {
+		return fmt.Errorf("core: negative walk length T=%d", o.T)
+	}
+	if o.L < 0 {
+		return fmt.Errorf("core: negative Jacobi sweeps L=%d", o.L)
+	}
+	if o.R <= 0 {
+		return fmt.Errorf("core: indexing walkers R=%d must be positive", o.R)
+	}
+	if o.RPrime <= 0 {
+		return fmt.Errorf("core: query walkers R'=%d must be positive", o.RPrime)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", o.Workers)
+	}
+	if o.PruneEps < 0 {
+		return fmt.Errorf("core: negative prune threshold %g", o.PruneEps)
+	}
+	return nil
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

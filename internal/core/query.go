@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/walk"
+	"cloudwalker/internal/xrand"
+)
+
+// Querier answers online SimRank queries against a built index. It is
+// safe for concurrent use: every query derives its own RNG stream.
+type Querier struct {
+	g     *graph.Graph
+	index *Index
+	p     *sparse.Transition
+}
+
+// NewQuerier binds an index to its graph.
+func NewQuerier(g *graph.Graph, index *Index) (*Querier, error) {
+	if err := index.Validate(g); err != nil {
+		return nil, err
+	}
+	return &Querier{g: g, index: index, p: sparse.NewTransition(g)}, nil
+}
+
+// Graph returns the underlying graph.
+func (q *Querier) Graph() *graph.Graph { return q.g }
+
+// Index returns the bound index.
+func (q *Querier) Index() *Index { return q.index }
+
+// SinglePair is MCSP: s(i,j) ≈ Σ_t c^t (p̂_t^i)ᵀ D (p̂_t^j) with p̂ the
+// empirical distributions of R' independent backward walkers from each
+// endpoint. Cost O(T·R'), independent of graph size.
+func (q *Querier) SinglePair(i, j int) (float64, error) {
+	if err := q.checkNode(i); err != nil {
+		return 0, err
+	}
+	if err := q.checkNode(j); err != nil {
+		return 0, err
+	}
+	if i == j {
+		return 1, nil
+	}
+	opts := q.index.Opts
+	srcI := xrand.NewStream(opts.Seed, pairStream(i, j, 0))
+	srcJ := xrand.NewStream(opts.Seed, pairStream(i, j, 1))
+	di := walk.Distributions(q.g, i, opts.T, opts.RPrime, srcI)
+	dj := walk.Distributions(q.g, j, opts.T, opts.RPrime, srcJ)
+	s := 0.0
+	ct := 1.0
+	for t := 1; t <= opts.T; t++ { // t = 0 term is 0 for i != j
+		ct *= opts.C
+		if t >= len(di) || t >= len(dj) {
+			break
+		}
+		s += ct * sparse.WeightedDot(di[t], dj[t], q.index.Diag)
+	}
+	return clamp01(s), nil
+}
+
+// SinglePairs answers a batch of MCSP queries in parallel (Workers
+// goroutines). Results are positionally aligned with pairs and identical
+// to calling SinglePair sequentially: each query derives its RNG stream
+// from the pair itself, not from scheduling order.
+func (q *Querier) SinglePairs(pairs [][2]int) ([]float64, error) {
+	out := make([]float64, len(pairs))
+	workers := q.index.Opts.workers()
+	var next int64 = -1
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&next, 1))
+				if k >= len(pairs) {
+					return
+				}
+				s, err := q.SinglePair(pairs[k][0], pairs[k][1])
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				out[k] = s
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SingleSourceMode selects the phase-two estimator of MCSS.
+type SingleSourceMode int
+
+const (
+	// WalkSS is the paper's pure Monte Carlo estimator: phase-one walk
+	// endpoints continue with importance-weighted forward walks
+	// (O(T²·R') total steps, graph-size independent).
+	WalkSS SingleSourceMode = iota
+	// PullSS applies (Pᵀ)^t exactly by sparse pulls (deterministic given
+	// the phase-one distributions; frontier bounded by Options.PruneEps).
+	PullSS
+)
+
+// SingleSource is MCSS: estimates s(q, ·) for every node, returning a
+// sparse vector (absent nodes have estimate 0). s(q,q) is pinned to 1.
+func (qr *Querier) SingleSource(q int, mode SingleSourceMode) (*sparse.Vector, error) {
+	if err := qr.checkNode(q); err != nil {
+		return nil, err
+	}
+	opts := qr.index.Opts
+	switch mode {
+	case WalkSS:
+		return qr.singleSourceWalk(q, opts)
+	case PullSS:
+		return qr.singleSourcePull(q, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown single-source mode %d", mode)
+	}
+}
+
+// singleSourceWalk implements the estimator of DESIGN.md §3.4. Each of the
+// R' phase-one walkers records its position k_t at every step t; from
+// (k_t, t) a phase-two walker runs t importance-weighted forward steps and
+// deposits c^t · x[k_t] / R' · (importance weight) at its endpoint j. The
+// deposit expectation at j is Σ_t c^t Σ_k Pr_t(q→k) x_k Pr_t(j→k) = s(q,j).
+func (qr *Querier) singleSourceWalk(q int, opts Options) (*sparse.Vector, error) {
+	acc := sparse.NewAccumulator()
+	src := xrand.NewStream(opts.Seed, uint64(q)*2654435761+17)
+	invR := 1.0 / float64(opts.RPrime)
+	// t = 0 term: c^0 · x_q deposited at q itself (before pinning below).
+	acc.Add(int32(q), qr.index.Diag[q])
+	for r := 0; r < opts.RPrime; r++ {
+		cur := q
+		ct := 1.0
+		for t := 1; t <= opts.T; t++ {
+			cur = walk.StepIn(qr.g, cur, src)
+			if cur < 0 {
+				break
+			}
+			ct *= opts.C
+			w0 := ct * qr.index.Diag[cur] * invR
+			if w0 == 0 {
+				continue
+			}
+			j, w := walk.ForwardWeighted(qr.g, cur, w0, t, src)
+			if j >= 0 && w != 0 {
+				acc.Add(int32(j), w)
+			}
+		}
+	}
+	out := acc.ToVector()
+	clampVec(out)
+	pin(out, q)
+	return out, nil
+}
+
+// singleSourcePull estimates P^t e_q by Monte Carlo, then applies the
+// Horner recursion w_t = D v_t + c Pᵀ w_{t+1} with exact sparse pulls.
+func (qr *Querier) singleSourcePull(q int, opts Options) (*sparse.Vector, error) {
+	src := xrand.NewStream(opts.Seed, uint64(q)*2654435761+29)
+	v := walk.Distributions(qr.g, q, opts.T, opts.RPrime, src)
+	w := &sparse.Vector{}
+	for t := opts.T; t >= 0; t-- {
+		w = sparse.AddScaled(qr.scaleByDiag(v[t]), opts.C, qr.p.ApplyT(w))
+		if opts.PruneEps > 0 {
+			w.Prune(opts.PruneEps)
+		}
+	}
+	out := w
+	clampVec(out)
+	pin(out, q)
+	return out, nil
+}
+
+// scaleByDiag returns D·v as a new vector.
+func (qr *Querier) scaleByDiag(v *sparse.Vector) *sparse.Vector {
+	out := v.Clone()
+	for k, idx := range out.Idx {
+		out.Val[k] *= qr.index.Diag[idx]
+	}
+	return out
+}
+
+// AllPairsTopK is MCAP: runs SingleSource from every node in parallel and
+// keeps the top-k similar nodes per source (excluding the source itself).
+// Results[i] is sorted by descending similarity. Memory is O(n·k) instead
+// of the O(n²) dense similarity matrix.
+func (qr *Querier) AllPairsTopK(k int, mode SingleSourceMode) ([][]Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: top-k needs k > 0, got %d", k)
+	}
+	n := qr.g.NumNodes()
+	results := make([][]Neighbor, n)
+	workers := qr.index.Opts.workers()
+	var next int64 = -1
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				v, err := qr.SingleSource(i, mode)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				results[i] = topKOf(v, i, k)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Neighbor is one entry of a top-k result list.
+type Neighbor struct {
+	Node  int32
+	Score float64
+}
+
+// topKOf selects the k highest-scoring entries of v, excluding node self,
+// by a simple partial selection (k is small).
+func topKOf(v *sparse.Vector, self, k int) []Neighbor {
+	out := make([]Neighbor, 0, k)
+	for idx, node := range v.Idx {
+		if int(node) == self {
+			continue
+		}
+		score := v.Val[idx]
+		if len(out) < k {
+			out = append(out, Neighbor{Node: node, Score: score})
+			if len(out) == k {
+				sortNeighbors(out)
+			}
+			continue
+		}
+		if score <= out[k-1].Score {
+			continue
+		}
+		out[k-1] = Neighbor{Node: node, Score: score}
+		for i := k - 1; i > 0 && out[i].Score > out[i-1].Score; i-- {
+			out[i], out[i-1] = out[i-1], out[i]
+		}
+	}
+	if len(out) < k {
+		sortNeighbors(out)
+	}
+	return out
+}
+
+func sortNeighbors(ns []Neighbor) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j].Score > ns[j-1].Score; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// DirectSinglePair estimates s(i,j) without any index, by the classic
+// first-meeting formulation s(i,j) = E[c^τ] with τ the first step at
+// which two coupled backward walks from i and j collide (Jeh & Widom;
+// the estimator FMT amortizes with its fingerprint index). It is the
+// index-free reference point of the query ablation: same walker budget as
+// MCSP, no offline stage, but no single-source support and no reuse
+// across queries.
+func DirectSinglePair(g *graph.Graph, i, j int, c float64, T, R int, seed uint64) (float64, error) {
+	n := g.NumNodes()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return 0, fmt.Errorf("core: node pair (%d,%d) out of range [0,%d)", i, j, n)
+	}
+	if c <= 0 || c >= 1 {
+		return 0, fmt.Errorf("core: decay c=%g outside (0,1)", c)
+	}
+	if T <= 0 || R <= 0 {
+		return 0, fmt.Errorf("core: T=%d and R=%d must be positive", T, R)
+	}
+	if i == j {
+		return 1, nil
+	}
+	src := xrand.NewStream(seed, pairStream(i, j, 2))
+	total := 0.0
+	for r := 0; r < R; r++ {
+		if tau := walk.MeetingTime(g, i, j, T, src); tau > 0 {
+			total += pow(c, tau)
+		}
+	}
+	return total / float64(R), nil
+}
+
+// pow computes c^k for small integer k without math.Pow.
+func pow(c float64, k int) float64 {
+	out := 1.0
+	for ; k > 0; k-- {
+		out *= c
+	}
+	return out
+}
+
+func (q *Querier) checkNode(i int) error {
+	if i < 0 || i >= q.g.NumNodes() {
+		return fmt.Errorf("core: node %d out of range [0,%d)", i, q.g.NumNodes())
+	}
+	return nil
+}
+
+// pairStream derives a distinct RNG stream id for each (i, j, side).
+func pairStream(i, j, side int) uint64 {
+	return uint64(i)*0x9e3779b9 + uint64(j)*0x85ebca6b + uint64(side)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func clampVec(v *sparse.Vector) {
+	for i := range v.Val {
+		v.Val[i] = clamp01(v.Val[i])
+	}
+}
+
+// pin sets entry q to exactly 1 (self-similarity by definition).
+func pin(v *sparse.Vector, q int) {
+	for k, idx := range v.Idx {
+		if int(idx) == q {
+			v.Val[k] = 1
+			return
+		}
+	}
+	// q absent: insert via merge with a unit vector scaled appropriately.
+	*v = *sparse.AddScaled(v, 1, sparse.Unit(q))
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Index binary format: magic, version, the option scalars, n, then the
+// diagonal as float64s. Little-endian throughout. The offline stage for a
+// billion-node graph takes 110 hours in the paper — persisting its output
+// is part of the system, not a convenience.
+const (
+	indexMagic   = 0x43574958 // "CWIX"
+	indexVersion = 1
+)
+
+// Save serializes the index.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := []uint64{
+		indexMagic,
+		indexVersion,
+		math.Float64bits(ix.Opts.C),
+		uint64(ix.Opts.T),
+		uint64(ix.Opts.L),
+		uint64(ix.Opts.R),
+		uint64(ix.Opts.RPrime),
+		ix.Opts.Seed,
+		math.Float64bits(ix.Opts.PruneEps),
+		uint64(len(ix.Diag)),
+	}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("core: writing index header: %v", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.Diag); err != nil {
+		return fmt.Errorf("core: writing diagonal: %v", err)
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var header [10]uint64
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("core: reading index header: %v", err)
+		}
+	}
+	if header[0] != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %#x", header[0])
+	}
+	if header[1] != indexVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", header[1])
+	}
+	n := int(header[9])
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative index size %d", n)
+	}
+	ix := &Index{
+		Diag: make([]float64, n),
+		Opts: Options{
+			C:        math.Float64frombits(header[2]),
+			T:        int(header[3]),
+			L:        int(header[4]),
+			R:        int(header[5]),
+			RPrime:   int(header[6]),
+			Seed:     header[7],
+			PruneEps: math.Float64frombits(header[8]),
+		},
+	}
+	if err := binary.Read(br, binary.LittleEndian, ix.Diag); err != nil {
+		return nil, fmt.Errorf("core: reading diagonal: %v", err)
+	}
+	if err := ix.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}

@@ -1,0 +1,310 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/xrand"
+)
+
+func diamond(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.MustFromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+}
+
+func TestNaiveDiamondClosedForm(t *testing.T) {
+	// On the diamond, In(1) = In(2) = {0}, so s(1,2) = c·s(0,0) = c.
+	// In(3) = {1,2}; s(i,3) and s(0,·) are 0 for i≠3 because In(0)=∅.
+	const c = 0.6
+	s, err := Naive(diamond(t), c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(1, 2); math.Abs(got-c) > 1e-12 {
+		t.Fatalf("s(1,2) = %g, want %g", got, c)
+	}
+	if got := s.At(2, 1); got != s.At(1, 2) {
+		t.Fatalf("asymmetric: s(2,1)=%g s(1,2)=%g", got, s.At(1, 2))
+	}
+	for j := 1; j < 4; j++ {
+		if got := s.At(0, j); got != 0 {
+			t.Fatalf("s(0,%d) = %g, want 0 (node 0 has no in-links)", j, got)
+		}
+	}
+	// s(1,3): In(1)={0}, In(3)={1,2}: c/2 (s(0,1)+s(0,2)) = 0.
+	if got := s.At(1, 3); got != 0 {
+		t.Fatalf("s(1,3) = %g, want 0", got)
+	}
+	for i := 0; i < 4; i++ {
+		if s.At(i, i) != 1 {
+			t.Fatalf("s(%d,%d) = %g, want 1", i, i, s.At(i, i))
+		}
+	}
+}
+
+func TestNaiveCycleClosedForm(t *testing.T) {
+	// On the directed n-cycle every node has exactly one in-neighbor, so
+	// s(i,j) = c·s(i-1,j-1): similarity is constant along diagonals and
+	// s(i,j) = c^k if the walk distance wraps (i-j ≡ 0 mod gcd...).
+	// Concretely for n=4, c=0.8: pairs at distance 2 meet after 2 steps:
+	// s(0,2) = c²·s(2,0)... fixed point with s(0,2)=c²s(0,2)+... —
+	// distance-2 pairs: s(0,2) = c·s(3,1) = c²·s(2,0) ⇒ s(0,2)(1-c²)=0 ⇒ 0?
+	// No: on an even cycle opposite nodes never meet (parity), similarity
+	// 0; odd distances likewise 0 — walks preserve distance mod n.
+	const c = 0.8
+	g, err := gen.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Naive(g, c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := s.At(i, j); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("cycle s(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestNaiveSymmetryAndRange(t *testing.T) {
+	g, err := gen.ErdosRenyi(40, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Naive(g, 0.6, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for j := 0; j < g.NumNodes(); j++ {
+			v := s.At(i, j)
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Fatalf("s(%d,%d) = %g outside [0,1]", i, j, v)
+			}
+			if math.Abs(v-s.At(j, i)) > 1e-12 {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNaiveValidation(t *testing.T) {
+	g := diamond(t)
+	if _, err := Naive(g, 0, 5); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := Naive(g, 1, 5); err == nil {
+		t.Error("c=1 accepted")
+	}
+	if _, err := Naive(g, 0.5, -1); err == nil {
+		t.Error("negative iters accepted")
+	}
+}
+
+func TestFromDiagonalRecoversNaive(t *testing.T) {
+	// With the exact correction diagonal, the truncated series reproduces
+	// Jeh–Widom SimRank up to c^{T+1}.
+	const c = 0.6
+	g, err := gen.ErdosRenyi(30, 150, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Naive(g, c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ExactDiagonal(g, c, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 25
+	got, err := FromDiagonal(g, c, T, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compare(want, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := math.Pow(c, T+1)/(1-c) + 1e-9
+	if d.MaxAbs > tol {
+		t.Fatalf("series max error %g exceeds truncation bound %g", d.MaxAbs, tol)
+	}
+}
+
+func TestExactDiagonalRange(t *testing.T) {
+	g, err := gen.RMAT(25, 120, gen.DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ExactDiagonal(g, 0.6, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		// D_ii = 1 - c(PᵀSP)_ii ∈ (1-c, 1]: the quadratic form is a convex
+		// combination of S entries in [0,1].
+		if v < 1-0.6-1e-9 || v > 1+1e-9 {
+			t.Fatalf("x[%d] = %g outside (1-c, 1]", i, v)
+		}
+	}
+	// Dangling-in nodes have x_i = 1 exactly.
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.InDegree(i) == 0 && x[i] != 1 {
+			t.Fatalf("dangling node %d has x = %g, want 1", i, x[i])
+		}
+	}
+}
+
+func TestFromDiagonalValidation(t *testing.T) {
+	g := diamond(t)
+	if _, err := FromDiagonal(g, 0.6, 5, []float64{1}); err == nil {
+		t.Error("wrong diagonal length accepted")
+	}
+	if _, err := FromDiagonal(g, 1.5, 5, make([]float64, 4)); err == nil {
+		t.Error("c out of range accepted")
+	}
+	if _, err := FromDiagonal(g, 0.6, -2, make([]float64, 4)); err == nil {
+		t.Error("negative T accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a, b := NewDense(2), NewDense(2)
+	a.Set(0, 0, 1)
+	b.Set(0, 0, 0.5)
+	b.Set(1, 1, 0.1)
+	d, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.MaxAbs-0.5) > 1e-12 {
+		t.Fatalf("MaxAbs = %g", d.MaxAbs)
+	}
+	if math.Abs(d.MeanAbs-0.15) > 1e-12 {
+		t.Fatalf("MeanAbs = %g", d.MeanAbs)
+	}
+	if _, err := Compare(a, NewDense(3)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestCompareVec(t *testing.T) {
+	d, err := CompareVec([]float64{1, 2}, []float64{1.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbs != 0.5 || d.MeanAbs != 0.25 {
+		t.Fatalf("CompareVec = %+v", d)
+	}
+	if _, err := CompareVec([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5, 0.9, 0.2}
+	got := TopK(scores, 3, -1)
+	want := []int{1, 3, 2} // ties broken by lower index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	// Exclusion removes the query node itself.
+	got = TopK(scores, 2, 1)
+	if got[0] != 3 || got[1] != 2 {
+		t.Fatalf("TopK excluding 1 = %v", got)
+	}
+	// k larger than available.
+	if got := TopK(scores, 10, -1); len(got) != 5 {
+		t.Fatalf("TopK overflow = %v", got)
+	}
+}
+
+func TestTopKOverlap(t *testing.T) {
+	a := []float64{0.9, 0.8, 0.7, 0.1}
+	b := []float64{0.9, 0.1, 0.8, 0.7}
+	if o := TopKOverlap(a, b, 2, -1); o != 0.5 { // {0,1} vs {0,2}
+		t.Fatalf("overlap = %g, want 0.5", o)
+	}
+	if o := TopKOverlap(a, a, 3, -1); o != 1 {
+		t.Fatalf("self overlap = %g", o)
+	}
+	if o := TopKOverlap(a, b, 0, -1); o != 0 {
+		t.Fatalf("k=0 overlap = %g", o)
+	}
+}
+
+// Property: SimRank matrices from the naive iteration are symmetric with
+// unit diagonal and entries in [0,1], on any random graph.
+func TestQuickNaiveInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(20) + 3
+		g, err := gen.ErdosRenyi(n, 4*n, seed)
+		if err != nil {
+			return false
+		}
+		s, err := Naive(g, 0.6, 8)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.At(i, i) != 1 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				v := s.At(i, j)
+				if v < -1e-12 || v > 1+1e-12 || math.Abs(v-s.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the diagonal correction from ExactDiagonal, pushed through
+// FromDiagonal, reproduces the naive matrix.
+func TestQuickDiagonalRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(15) + 3
+		g, err := gen.ErdosRenyi(n, 3*n, seed)
+		if err != nil {
+			return false
+		}
+		const c = 0.6
+		want, err := Naive(g, c, 30)
+		if err != nil {
+			return false
+		}
+		x, err := ExactDiagonal(g, c, 30)
+		if err != nil {
+			return false
+		}
+		got, err := FromDiagonal(g, c, 20, x)
+		if err != nil {
+			return false
+		}
+		d, err := Compare(want, got)
+		return err == nil && d.MaxAbs < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

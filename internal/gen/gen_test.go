@@ -1,0 +1,350 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErdosRenyiBasic(t *testing.T) {
+	g, err := ErdosRenyi(100, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("n = %d, want 100", g.NumNodes())
+	}
+	// Dedup/self-loop drop loses a few edges but not many at this density.
+	if g.NumEdges() < 400 || g.NumEdges() > 500 {
+		t.Fatalf("m = %d, want ~500", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, _ := ErdosRenyi(50, 200, 42)
+	b, _ := ErdosRenyi(50, 200, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, _ := ErdosRenyi(50, 200, 43)
+	// Different seeds should almost surely differ in edge placement.
+	same := true
+	for u := 0; u < 50 && same; u++ {
+		x, y := a.OutNeighbors(u), c.OutNeighbors(u)
+		if len(x) != len(y) {
+			same = false
+			break
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	if _, err := ErdosRenyi(0, 10, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ErdosRenyi(10, -1, 1); err == nil {
+		t.Error("m<0 accepted")
+	}
+}
+
+func TestBarabasiAlbertPowerLaw(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.ComputeStats()
+	// Preferential attachment concentrates in-degree: the max in-degree
+	// should far exceed the average.
+	if float64(st.MaxInDegree) < 5*st.AvgDegree {
+		t.Errorf("max in-degree %d not skewed vs avg %g", st.MaxInDegree, st.AvgDegree)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(0, 3, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestRMATBasic(t *testing.T) {
+	g, err := RMAT(1000, 8000, DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 {
+		t.Fatalf("n = %d, want 1000", g.NumNodes())
+	}
+	if g.NumEdges() < 6000 {
+		t.Fatalf("m = %d, want close to 8000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.ComputeStats()
+	if float64(st.MaxInDegree) < 3*st.AvgDegree {
+		t.Errorf("R-MAT in-degree not skewed: max %d avg %g", st.MaxInDegree, st.AvgDegree)
+	}
+}
+
+func TestRMATBadParams(t *testing.T) {
+	bad := []RMATParams{
+		{A: 0.5, B: 0.5, C: 0.5, D: 0.5},
+		{A: -0.1, B: 0.5, C: 0.3, D: 0.3},
+		{A: 1, B: 0, C: 0, D: 0},
+	}
+	for _, p := range bad {
+		if _, err := RMAT(100, 100, p, 1); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestCopyingModel(t *testing.T) {
+	g, err := Copying(500, 5, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("copying model produced no edges")
+	}
+	if _, err := Copying(10, 2, 1.5, 1); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g, err := Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		if g.InDegree(u) != 1 || g.OutDegree(u) != 1 {
+			t.Fatalf("cycle node %d degrees %d/%d, want 1/1", u, g.InDegree(u), g.OutDegree(u))
+		}
+		if !g.HasEdge(u, (u+1)%10) {
+			t.Fatalf("missing cycle edge %d->%d", u, (u+1)%10)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InDegree(0) != 5 || g.OutDegree(0) != 0 {
+		t.Fatalf("hub degrees %d/%d", g.InDegree(0), g.OutDegree(0))
+	}
+	for u := 1; u < 6; u++ {
+		if g.InDegree(u) != 0 {
+			t.Fatalf("leaf %d has in-degree %d", u, g.InDegree(u))
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 20 {
+		t.Fatalf("K5 digraph has %d edges, want 20", g.NumEdges())
+	}
+	for u := 0; u < 5; u++ {
+		if g.InDegree(u) != 4 || g.OutDegree(u) != 4 {
+			t.Fatalf("K5 node %d degrees %d/%d", u, g.InDegree(u), g.OutDegree(u))
+		}
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	g, err := Bipartite(20, 10, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 30 {
+		t.Fatalf("n = %d, want 30", g.NumNodes())
+	}
+	// Left nodes have no in-links, right nodes no out-links.
+	for u := 0; u < 20; u++ {
+		if g.InDegree(u) != 0 {
+			t.Fatalf("left node %d has in-links", u)
+		}
+	}
+	for v := 20; v < 30; v++ {
+		if g.OutDegree(v) != 0 {
+			t.Fatalf("right node %d has out-links", v)
+		}
+	}
+}
+
+func TestProfilesTableMatchesPaper(t *testing.T) {
+	// The paper's dataset table (|V|, |E|).
+	want := map[string][2]int64{
+		"wiki-vote":    {7_100, 103_000},
+		"wiki-talk":    {2_400_000, 5_000_000},
+		"twitter-2010": {42_000_000, 1_500_000_000},
+		"uk-union":     {131_000_000, 5_500_000_000},
+		"clue-web":     {1_000_000_000, 42_600_000_000},
+	}
+	if len(Profiles) != len(want) {
+		t.Fatalf("have %d profiles, want %d", len(Profiles), len(want))
+	}
+	for _, p := range Profiles {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %q", p.Name)
+			continue
+		}
+		if p.PaperNodes != w[0] || p.PaperEdges != w[1] {
+			t.Errorf("%s: paper sizes %d/%d, want %d/%d", p.Name, p.PaperNodes, p.PaperEdges, w[0], w[1])
+		}
+		if p.Nodes <= 0 || p.Edges <= 0 {
+			t.Errorf("%s: non-positive synthetic size", p.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("wiki-vote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes != 7100 {
+		t.Fatalf("wiki-vote nodes %d", p.Nodes)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestProfileGenerate(t *testing.T) {
+	p, _ := ProfileByName("wiki-vote")
+	g, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != p.Nodes {
+		t.Fatalf("generated %d nodes, want %d", g.NumNodes(), p.Nodes)
+	}
+	// R-MAT dedup keeps us within ~15% of the target edges at this density.
+	if math.Abs(float64(g.NumEdges())-float64(p.Edges)) > 0.2*float64(p.Edges) {
+		t.Fatalf("generated %d edges, want ~%d", g.NumEdges(), p.Edges)
+	}
+}
+
+func TestProfileScaled(t *testing.T) {
+	p, _ := ProfileByName("twitter-2010")
+	q := p.Scaled(0.1)
+	if q.Nodes != p.Nodes/10 || q.Edges != p.Edges/10 {
+		t.Fatalf("scaled profile %d/%d", q.Nodes, q.Edges)
+	}
+	tiny := p.Scaled(0)
+	if tiny.Nodes < 16 || tiny.Edges < 16 {
+		t.Fatal("scale floor not applied")
+	}
+}
+
+func TestQuickGeneratorsValid(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		for _, mk := range []func() error{
+			func() error {
+				g, err := ErdosRenyi(n, 3*n, seed)
+				if err != nil {
+					return err
+				}
+				return g.Validate()
+			},
+			func() error {
+				g, err := BarabasiAlbert(n, 2, seed)
+				if err != nil {
+					return err
+				}
+				return g.Validate()
+			},
+			func() error {
+				g, err := RMAT(n, 3*n, DefaultRMAT, seed)
+				if err != nil {
+					return err
+				}
+				return g.Validate()
+			},
+			func() error {
+				g, err := Copying(n, 2, 0.5, seed)
+				if err != nil {
+					return err
+				}
+				return g.Validate()
+			},
+		} {
+			if mk() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	const (
+		communities = 6
+		per         = 20
+		inDeg       = 4
+	)
+	g, err := PlantedPartition(communities, per, inDeg, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != communities*per {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With loyalty 0.9 most in-links come from the home community.
+	within, total := 0, 0
+	g.Edges(func(u, v int32) bool {
+		total++
+		if int(u)%communities == int(v)%communities {
+			within++
+		}
+		return true
+	})
+	if frac := float64(within) / float64(total); frac < 0.75 {
+		t.Fatalf("within-community edge fraction %.2f, want > 0.75", frac)
+	}
+}
+
+func TestPlantedPartitionErrors(t *testing.T) {
+	if _, err := PlantedPartition(0, 5, 3, 0.5, 1); err == nil {
+		t.Error("zero communities accepted")
+	}
+	if _, err := PlantedPartition(3, 5, 3, 1.5, 1); err == nil {
+		t.Error("loyalty > 1 accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates directed edges and produces an immutable Graph.
+// It deduplicates parallel edges and can optionally drop self-loops
+// (SimRank's definition works on simple digraphs; the paper's datasets are
+// deduplicated web/social graphs).
+type Builder struct {
+	n         int
+	src       []int32
+	dst       []int32
+	keepLoops bool
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// KeepSelfLoops makes Build retain edges u->u. Default is to drop them.
+func (b *Builder) KeepSelfLoops() *Builder {
+	b.keepLoops = true
+	return b
+}
+
+// Grow raises the node count to at least n.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// PendingEdges returns the number of edges added so far (before dedup).
+func (b *Builder) PendingEdges() int { return len(b.src) }
+
+// AddEdge records the directed edge u->v. Nodes must already be in range;
+// use Grow or AddEdgeGrow for dynamic sizing.
+func (b *Builder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	b.src = append(b.src, int32(u))
+	b.dst = append(b.dst, int32(v))
+	return nil
+}
+
+// AddEdgeGrow records u->v, growing the node count as needed.
+func (b *Builder) AddEdgeGrow(u, v int) error {
+	if u < 0 || v < 0 {
+		return fmt.Errorf("graph: negative node in edge (%d,%d)", u, v)
+	}
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	return b.AddEdge(u, v)
+}
+
+// Build sorts, deduplicates, and freezes the edges into a Graph. The
+// Builder can be reused afterwards (its edge buffer is retained).
+func (b *Builder) Build() (*Graph, error) {
+	m := len(b.src)
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if b.src[i] != b.src[j] {
+			return b.src[i] < b.src[j]
+		}
+		return b.dst[i] < b.dst[j]
+	})
+
+	g := &Graph{n: b.n}
+	g.outOff = make([]int64, b.n+1)
+	g.outAdj = make([]int32, 0, m)
+	var prevU, prevV int32 = -1, -1
+	for _, idx := range order {
+		u, v := b.src[idx], b.dst[idx]
+		if u == v && !b.keepLoops {
+			continue
+		}
+		if u == prevU && v == prevV {
+			continue // duplicate edge
+		}
+		prevU, prevV = u, v
+		g.outAdj = append(g.outAdj, v)
+		g.outOff[u+1]++
+	}
+	for u := 0; u < b.n; u++ {
+		g.outOff[u+1] += g.outOff[u]
+	}
+	g.m = len(g.outAdj)
+
+	// Reverse CSR via counting sort over destinations.
+	g.inOff = make([]int64, b.n+1)
+	for _, v := range g.outAdj {
+		g.inOff[v+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inAdj = make([]int32, g.m)
+	cursor := make([]int64, b.n)
+	copy(cursor, g.inOff[:b.n])
+	for u := 0; u < b.n; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			g.inAdj[cursor[v]] = int32(u)
+			cursor[v]++
+		}
+	}
+	// Sources arrive in increasing u, so each in-adjacency row is sorted.
+	return g, nil
+}
+
+// FromEdges is a convenience constructor: build a graph with n nodes from
+// an edge list given as (u, v) pairs.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests and examples.
+func MustFromEdges(n int, edges [][2]int) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

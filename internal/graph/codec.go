@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is the SNAP-style edge list used by the paper's datasets:
+// one "src dst" pair per line, '#' or '%' starting a comment line. Node ids
+// need not be contiguous in the file; ReadEdgeList densifies nothing — ids
+// are taken literally and the node count is max(id)+1 unless a larger hint
+// is given.
+
+// ReadEdgeList parses a text edge list from r. minNodes lets callers force
+// a node count larger than max(id)+1 (e.g. to include isolated nodes).
+func ReadEdgeList(r io.Reader, minNodes int) (*Graph, error) {
+	b := NewBuilder(minNodes)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst', got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineNo, fields[1], err)
+		}
+		if err := b.AddEdgeGrow(u, v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %v", err)
+	}
+	return b.Build()
+}
+
+// WriteEdgeList writes the graph as a text edge list with a header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.Edges(func(u, v int32) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// Binary format: magic, version, n, m, then the four CSR arrays. All
+// integers little-endian. The reverse CSR is rebuilt on load rather than
+// stored, halving file size (the paper's clue-web edge file is 400 GB;
+// format economy matters at that scale).
+const (
+	binaryMagic   = 0x43574c4b // "CWLK"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes g to w in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, binaryVersion, uint64(g.n), uint64(g.m)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("graph: writing header: %v", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outOff); err != nil {
+		return fmt.Errorf("graph: writing offsets: %v", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+		return fmt.Errorf("graph: writing adjacency: %v", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and rebuilds the
+// reverse CSR.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %v", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", hdr[1])
+	}
+	n, m := int(hdr[2]), int(hdr[3])
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative dimensions n=%d m=%d", n, m)
+	}
+	g := &Graph{n: n, m: m}
+	g.outOff = make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, g.outOff); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %v", err)
+	}
+	g.outAdj = make([]int32, m)
+	if err := binary.Read(br, binary.LittleEndian, g.outAdj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %v", err)
+	}
+	// Rebuild reverse CSR.
+	g.inOff = make([]int64, n+1)
+	for _, v := range g.outAdj {
+		if v < 0 || int(v) >= n {
+			return nil, fmt.Errorf("graph: adjacency entry %d out of range", v)
+		}
+		g.inOff[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	g.inAdj = make([]int32, m)
+	cursor := make([]int64, n)
+	copy(cursor, g.inOff[:n])
+	for u := 0; u < n; u++ {
+		if g.outOff[u] > g.outOff[u+1] || g.outOff[u+1] > int64(m) {
+			return nil, fmt.Errorf("graph: corrupt offsets at node %d", u)
+		}
+		for _, v := range g.OutNeighbors(u) {
+			g.inAdj[cursor[v]] = int32(u)
+			cursor[v]++
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,409 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/xrand"
+)
+
+// diamond: 0->1, 0->2, 1->3, 2->3
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasic(t *testing.T) {
+	g := diamond(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got n=%d m=%d, want 4/4", g.NumNodes(), g.NumEdges())
+	}
+	if got := g.OutNeighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Out(0) = %v", got)
+	}
+	if got := g.InNeighbors(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("In(3) = %v", got)
+	}
+	if g.InDegree(0) != 0 || g.OutDegree(3) != 0 {
+		t.Fatalf("degrees wrong: in(0)=%d out(3)=%d", g.InDegree(0), g.OutDegree(3))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDedupAndLoops(t *testing.T) {
+	b := NewBuilder(3)
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEdge(1, 1); err != nil { // self loop, dropped by default
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("dedup failed: m=%d, want 2", g.NumEdges())
+	}
+	if g.HasEdge(1, 1) {
+		t.Fatal("self loop retained")
+	}
+}
+
+func TestBuildKeepSelfLoops(t *testing.T) {
+	b := NewBuilder(2).KeepSelfLoops()
+	if err := b.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 0) {
+		t.Fatal("self loop dropped despite KeepSelfLoops")
+	}
+	st := g.ComputeStats()
+	if st.SelfLoops != 1 {
+		t.Fatalf("SelfLoops = %d, want 1", st.SelfLoops)
+	}
+}
+
+func TestAddEdgeOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 2); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative node accepted")
+	}
+}
+
+func TestAddEdgeGrow(t *testing.T) {
+	b := NewBuilder(0)
+	if err := b.AddEdgeGrow(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", b.NumNodes())
+	}
+	if err := b.AddEdgeGrow(-1, 2); err == nil {
+		t.Fatal("negative node accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	g, err := FromEdges(10, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.ComputeStats()
+	if st.DanglingIn != 9 { // all but node 1
+		t.Fatalf("DanglingIn = %d, want 9", st.DanglingIn)
+	}
+	if st.DanglingOut != 9 { // all but node 0
+		t.Fatalf("DanglingOut = %d, want 9", st.DanglingOut)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := diamond(t)
+	tg := g.Transpose()
+	if tg.NumNodes() != g.NumNodes() || tg.NumEdges() != g.NumEdges() {
+		t.Fatal("transpose changed size")
+	}
+	g.Edges(func(u, v int32) bool {
+		if !tg.HasEdge(int(v), int(u)) {
+			t.Errorf("edge %d->%d missing from transpose", v, u)
+		}
+		return true
+	})
+	// Double transpose is the original.
+	ttg := tg.Transpose()
+	if !sameGraph(g, ttg) {
+		t.Fatal("double transpose differs from original")
+	}
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		x, y := a.OutNeighbors(u), b.OutNeighbors(u)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := diamond(t)
+	count := 0
+	g.Edges(func(u, v int32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop failed, visited %d edges", count)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := diamond(t)
+	st := g.ComputeStats()
+	if st.Nodes != 4 || st.Edges != 4 {
+		t.Fatalf("stats size wrong: %+v", st)
+	}
+	if st.MaxInDegree != 2 || st.MaxOutDegree != 2 {
+		t.Fatalf("max degrees wrong: %+v", st)
+	}
+	if st.AvgDegree != 1.0 {
+		t.Fatalf("avg degree %g, want 1.0", st.AvgDegree)
+	}
+	if st.DanglingIn != 1 || st.DanglingOut != 1 {
+		t.Fatalf("dangling wrong: %+v", st)
+	}
+}
+
+func TestInDegreeHistogram(t *testing.T) {
+	g := diamond(t)
+	h := g.InDegreeHistogram()
+	// in-degrees: node0=0, node1=1, node2=1, node3=2
+	want := []int{1, 2, 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", h, want)
+		}
+	}
+}
+
+func TestEdgeListRoundtrip(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Fatal("edge list roundtrip changed the graph")
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# comment\n% another\n\n0 1\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 x\n", "-1 0\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestBinaryRoundtrip(t *testing.T) {
+	src := xrand.New(7)
+	b := NewBuilder(50)
+	for i := 0; i < 400; i++ {
+		if err := b.AddEdge(src.Intn(50), src.Intn(50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Fatal("binary roundtrip changed the graph")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid header wrong magic.
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 32))
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := diamond(t)
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {1, 3, true}, {2, 3, true},
+		{1, 0, false}, {3, 0, false}, {0, 3, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNeighborAt(t *testing.T) {
+	g := diamond(t)
+	if got := g.InNeighborAt(3, 0); got != 1 {
+		t.Fatalf("InNeighborAt(3,0) = %d, want 1", got)
+	}
+	if got := g.OutNeighborAt(0, 1); got != 2 {
+		t.Fatalf("OutNeighborAt(0,1) = %d, want 2", got)
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	g := diamond(t)
+	if g.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not positive")
+	}
+}
+
+// Property: building from any random edge multiset yields a valid graph
+// whose in/out degree sums both equal the deduplicated edge count.
+func TestQuickBuildInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%40) + 1
+		m := int(mRaw % 500)
+		src := xrand.New(seed)
+		b := NewBuilder(n)
+		for i := 0; i < m; i++ {
+			if err := b.AddEdge(src.Intn(n), src.Intn(n)); err != nil {
+				return false
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		sumIn, sumOut := 0, 0
+		for u := 0; u < n; u++ {
+			sumIn += g.InDegree(u)
+			sumOut += g.OutDegree(u)
+		}
+		return sumIn == g.NumEdges() && sumOut == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: text codec roundtrips arbitrary random graphs.
+func TestQuickEdgeListRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(30) + 2
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			if err := b.AddEdge(src.Intn(n), src.Intn(n)); err != nil {
+				return false
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if WriteEdgeList(&buf, g) != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf, n)
+		if err != nil {
+			return false
+		}
+		return sameGraph(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in-adjacency rows stay sorted (walk sampling relies on it).
+func TestQuickInAdjacencySorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(25) + 2
+		b := NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			_ = b.AddEdge(src.Intn(n), src.Intn(n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			in := g.InNeighbors(v)
+			if !sort.SliceIsSorted(in, func(i, j int) bool { return in[i] < in[j] }) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package linsys solves the sparse linear system A x = b of CloudWalker's
+// offline indexing stage.
+//
+// Row i of A is the Monte-Carlo-estimated a_i = Σ_t c^t (P^t e_i)∘(P^t e_i)
+// and b = 1. The t = 0 term contributes 1 to every diagonal entry, so
+// a_ii ≥ 1 while off-diagonal entries are squared probabilities scaled by
+// c^t — the system is strongly diagonally dominant in practice and the
+// paper's L = 3 Jacobi sweeps suffice. Jacobi is chosen over Gauss–Seidel
+// because each sweep is embarrassingly parallel across rows (the poster's
+// "Update x In Parallel"); Gauss–Seidel is provided for the sequential
+// ablation.
+package linsys
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cloudwalker/internal/sparse"
+)
+
+// System is the linear system A x = b.
+type System struct {
+	A *sparse.Matrix
+	B []float64
+}
+
+// NewSystem validates dimensions and wraps (A, b).
+func NewSystem(a *sparse.Matrix, b []float64) (*System, error) {
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("linsys: %d rows but %d right-hand sides", a.Rows(), len(b))
+	}
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linsys: system must be square, got %dx%d", a.Rows(), a.Cols())
+	}
+	return &System{A: a, B: b}, nil
+}
+
+// Ones returns a right-hand side of n ones (the self-similarity
+// constraints s(i,i) = 1).
+func Ones(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+// Report describes a solve: residual history (‖Ax−b‖∞ after each sweep)
+// and the number of sweeps executed.
+type Report struct {
+	Sweeps    int
+	Residuals []float64
+}
+
+// FinalResidual returns the last recorded residual (math.Inf(1) if none).
+func (r Report) FinalResidual() float64 {
+	if len(r.Residuals) == 0 {
+		return math.Inf(1)
+	}
+	return r.Residuals[len(r.Residuals)-1]
+}
+
+// Jacobi runs `sweeps` parallel Jacobi iterations with `workers`
+// goroutines, starting from x0 (nil means the zero vector). Rows whose
+// diagonal is zero (possible only if the Monte Carlo row is missing — e.g.
+// a row that was never estimated) keep their x value and are reported.
+func (s *System) Jacobi(sweeps, workers int, x0 []float64) ([]float64, Report, error) {
+	n := s.A.Rows()
+	if sweeps < 0 {
+		return nil, Report{}, fmt.Errorf("linsys: negative sweep count %d", sweeps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, Report{}, fmt.Errorf("linsys: x0 has %d entries, want %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+	next := make([]float64, n)
+	rep := Report{}
+	for sweep := 0; sweep < sweeps; sweep++ {
+		parallelRows(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := s.A.Row(i)
+				diag := 0.0
+				sum := 0.0
+				for k, j := range row.Idx {
+					if int(j) == i {
+						diag = row.Val[k]
+						continue
+					}
+					sum += row.Val[k] * x[j]
+				}
+				if diag == 0 {
+					next[i] = x[i]
+					continue
+				}
+				next[i] = (s.B[i] - sum) / diag
+			}
+		})
+		x, next = next, x
+		rep.Sweeps++
+		rep.Residuals = append(rep.Residuals, s.ResidualInf(x))
+	}
+	return x, rep, nil
+}
+
+// GaussSeidel runs `sweeps` sequential Gauss–Seidel iterations (in-place
+// updates). It typically converges in fewer sweeps than Jacobi but cannot
+// be parallelized across rows; the models ablation quantifies the tradeoff.
+func (s *System) GaussSeidel(sweeps int, x0 []float64) ([]float64, Report, error) {
+	n := s.A.Rows()
+	if sweeps < 0 {
+		return nil, Report{}, fmt.Errorf("linsys: negative sweep count %d", sweeps)
+	}
+	x := make([]float64, n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, Report{}, fmt.Errorf("linsys: x0 has %d entries, want %d", len(x0), n)
+		}
+		copy(x, x0)
+	}
+	rep := Report{}
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for i := 0; i < n; i++ {
+			row := s.A.Row(i)
+			diag := 0.0
+			sum := 0.0
+			for k, j := range row.Idx {
+				if int(j) == i {
+					diag = row.Val[k]
+					continue
+				}
+				sum += row.Val[k] * x[j]
+			}
+			if diag == 0 {
+				continue
+			}
+			x[i] = (s.B[i] - sum) / diag
+		}
+		rep.Sweeps++
+		rep.Residuals = append(rep.Residuals, s.ResidualInf(x))
+	}
+	return x, rep, nil
+}
+
+// ResidualInf returns ‖Ax − b‖∞.
+func (s *System) ResidualInf(x []float64) float64 {
+	ax, err := s.A.MulVec(x)
+	if err != nil {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - s.B[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// parallelRows splits [0, n) into `workers` contiguous chunks and runs fn
+// on each concurrently.
+func parallelRows(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2*workers {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,225 @@
+package linsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+// rowVec builds a sparse row from (index, value) pairs.
+func rowVec(pairs ...float64) *sparse.Vector {
+	v := &sparse.Vector{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v.Idx = append(v.Idx, int32(pairs[i]))
+		v.Val = append(v.Val, pairs[i+1])
+	}
+	return v
+}
+
+// diagDominant builds a random strictly diagonally dominant system and the
+// vector xTrue, returning (system, xTrue).
+func diagDominant(n int, seed uint64) (*System, []float64) {
+	src := xrand.New(seed)
+	a := sparse.NewMatrix(n, n)
+	xTrue := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xTrue[i] = src.Float64()*2 - 1
+	}
+	for i := 0; i < n; i++ {
+		acc := sparse.NewAccumulator()
+		offSum := 0.0
+		for k := 0; k < 4; k++ {
+			j := src.Intn(n)
+			if j == i {
+				continue
+			}
+			v := src.Float64() - 0.5
+			acc.Add(int32(j), v)
+			offSum += math.Abs(v)
+		}
+		acc.Add(int32(i), offSum+1+src.Float64())
+		a.SetRow(i, acc.ToVector())
+	}
+	b, _ := a.MulVec(xTrue)
+	sys, _ := NewSystem(a, b)
+	return sys, xTrue
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	a := sparse.NewMatrix(2, 3)
+	if _, err := NewSystem(a, []float64{1, 2}); err == nil {
+		t.Fatal("non-square system accepted")
+	}
+	sq := sparse.NewMatrix(2, 2)
+	if _, err := NewSystem(sq, []float64{1}); err == nil {
+		t.Fatal("rhs length mismatch accepted")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	b := Ones(3)
+	if len(b) != 3 || b[0] != 1 || b[2] != 1 {
+		t.Fatalf("Ones = %v", b)
+	}
+}
+
+func TestJacobiSolvesDiagonalSystem(t *testing.T) {
+	a := sparse.NewMatrix(3, 3)
+	a.SetRow(0, rowVec(0, 2))
+	a.SetRow(1, rowVec(1, 4))
+	a.SetRow(2, rowVec(2, 8))
+	sys, err := NewSystem(a, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, rep, err := sys.Jacobi(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0.25}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	if rep.Sweeps != 1 || rep.FinalResidual() > 1e-12 {
+		t.Fatalf("report %+v", rep)
+	}
+}
+
+func TestJacobiConvergesOnDominantSystem(t *testing.T) {
+	sys, xTrue := diagDominant(200, 3)
+	x, rep, err := sys.Jacobi(50, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g (residual %g)", i, x[i], xTrue[i], rep.FinalResidual())
+		}
+	}
+	// Residuals should be (weakly) decreasing overall.
+	if rep.Residuals[len(rep.Residuals)-1] > rep.Residuals[0] {
+		t.Fatalf("residuals did not decrease: %v", rep.Residuals[:3])
+	}
+}
+
+func TestGaussSeidelConvergesFasterThanJacobi(t *testing.T) {
+	sys, _ := diagDominant(150, 7)
+	_, jrep, err := sys.Jacobi(5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grep, err := sys.GaussSeidel(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grep.FinalResidual() > jrep.FinalResidual()*1.5 {
+		t.Fatalf("Gauss-Seidel residual %g not competitive with Jacobi %g",
+			grep.FinalResidual(), jrep.FinalResidual())
+	}
+}
+
+func TestJacobiZeroDiagonalRowKept(t *testing.T) {
+	a := sparse.NewMatrix(2, 2)
+	a.SetRow(0, rowVec(0, 2))
+	a.SetRow(1, rowVec(0, 1)) // no diagonal entry
+	sys, err := NewSystem(a, []float64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := []float64{0, 7}
+	x, _, err := sys.Jacobi(3, 1, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 {
+		t.Fatalf("x[0] = %g, want 2", x[0])
+	}
+	if x[1] != 7 {
+		t.Fatalf("zero-diagonal row changed: x[1] = %g, want 7", x[1])
+	}
+}
+
+func TestJacobiInputValidation(t *testing.T) {
+	sys, _ := diagDominant(10, 1)
+	if _, _, err := sys.Jacobi(-1, 1, nil); err == nil {
+		t.Fatal("negative sweeps accepted")
+	}
+	if _, _, err := sys.Jacobi(1, 1, make([]float64, 3)); err == nil {
+		t.Fatal("wrong x0 length accepted")
+	}
+	if _, _, err := sys.GaussSeidel(-1, nil); err == nil {
+		t.Fatal("negative sweeps accepted (GS)")
+	}
+	if _, _, err := sys.GaussSeidel(1, make([]float64, 3)); err == nil {
+		t.Fatal("wrong x0 length accepted (GS)")
+	}
+}
+
+func TestJacobiWorkerCountInvariance(t *testing.T) {
+	sys, _ := diagDominant(100, 11)
+	x1, _, err := sys.Jacobi(10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x8, _, err := sys.Jacobi(10, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x8[i] {
+			t.Fatalf("worker count changed result at %d: %g vs %g", i, x1[i], x8[i])
+		}
+	}
+}
+
+func TestZeroSweepsReturnsX0(t *testing.T) {
+	sys, _ := diagDominant(10, 13)
+	x0 := make([]float64, 10)
+	for i := range x0 {
+		x0[i] = float64(i)
+	}
+	x, rep, err := sys.Jacobi(0, 2, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sweeps != 0 || !math.IsInf(rep.FinalResidual(), 1) {
+		t.Fatalf("report %+v", rep)
+	}
+	for i := range x0 {
+		if x[i] != x0[i] {
+			t.Fatal("zero sweeps changed x")
+		}
+	}
+}
+
+func TestResidualInf(t *testing.T) {
+	a := sparse.NewMatrix(2, 2)
+	a.SetRow(0, rowVec(0, 1))
+	a.SetRow(1, rowVec(1, 1))
+	sys, _ := NewSystem(a, []float64{1, 1})
+	if r := sys.ResidualInf([]float64{1, 0.25}); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("residual %g, want 0.75", r)
+	}
+}
+
+// Property: on random diagonally dominant systems, enough Jacobi sweeps
+// drive the residual below any fixed tolerance.
+func TestQuickJacobiConverges(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 5
+		sys, _ := diagDominant(n, seed)
+		_, rep, err := sys.Jacobi(60, 3, nil)
+		if err != nil {
+			return false
+		}
+		return rep.FinalResidual() < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

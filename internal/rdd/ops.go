@@ -1,0 +1,130 @@
+package rdd
+
+import (
+	"fmt"
+
+	"cloudwalker/internal/cluster"
+)
+
+// Union concatenates the partitions of two RDDs without moving data (a
+// narrow dependency, like Spark's union).
+func Union[T any](a, b *RDD[T]) (*RDD[T], error) {
+	if a.ctx != b.ctx {
+		return nil, fmt.Errorf("rdd: union of RDDs from different contexts")
+	}
+	parts := make([][]T, 0, len(a.parts)+len(b.parts))
+	parts = append(parts, a.parts...)
+	parts = append(parts, b.parts...)
+	return &RDD[T]{ctx: a.ctx, parts: parts}, nil
+}
+
+// GroupByKey shuffles all values of each key to one partition and emits
+// one Pair per key holding the value slice. Unlike ReduceByKey there is no
+// map-side combine: the full record volume travels, which is exactly why
+// Spark documentation (and the paper's RDD-model cost analysis) prefers
+// reduceByKey where possible. Values arrive in input-partition order.
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], name string, parts int,
+	hash func(K) uint64) (*RDD[Pair[K, []V]], error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("rdd: partition count %d must be positive", parts)
+	}
+	moved, err := Repartition(r, name+"/group", parts, func(kv Pair[K, V]) uint64 {
+		return hash(kv.Key)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MapPartitions(moved, name+"/collect", func(_ int, in []Pair[K, V]) ([]Pair[K, []V], error) {
+		idx := make(map[K]int)
+		var out []Pair[K, []V]
+		for _, kv := range in {
+			if i, ok := idx[kv.Key]; ok {
+				out[i].Val = append(out[i].Val, kv.Val)
+			} else {
+				idx[kv.Key] = len(out)
+				out = append(out, Pair[K, []V]{Key: kv.Key, Val: []V{kv.Val}})
+			}
+		}
+		return out, nil
+	})
+}
+
+// Distinct removes duplicate records using a hash shuffle so that equal
+// records meet in the same partition. Output keeps first-seen order within
+// each partition.
+func Distinct[T comparable](r *RDD[T], name string, parts int, hash func(T) uint64) (*RDD[T], error) {
+	moved, err := Repartition(r, name+"/distinct", parts, hash)
+	if err != nil {
+		return nil, err
+	}
+	return MapPartitions(moved, name+"/dedup", func(_ int, in []T) ([]T, error) {
+		seen := make(map[T]bool, len(in))
+		out := make([]T, 0, len(in))
+		for _, v := range in {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// CountByKey returns key counts on the driver (via a ReduceByKey and a
+// collect).
+func CountByKey[K comparable, V any](r *RDD[Pair[K, V]], name string, parts int,
+	hash func(K) uint64) (map[K]int, error) {
+	ones, err := Map(r, name+"/ones", func(kv Pair[K, V]) Pair[K, int] {
+		return Pair[K, int]{Key: kv.Key, Val: 1}
+	})
+	if err != nil {
+		return nil, err
+	}
+	red, err := ReduceByKey(ones, name+"/count", parts, hash, func(a, b int) int { return a + b })
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int)
+	for _, kv := range red.Collect() {
+		out[kv.Key] = kv.Val
+	}
+	return out, nil
+}
+
+// Keys projects the keys of a keyed RDD.
+func Keys[K comparable, V any](r *RDD[Pair[K, V]], name string) (*RDD[K], error) {
+	return Map(r, name, func(kv Pair[K, V]) K { return kv.Key })
+}
+
+// Values projects the values of a keyed RDD.
+func Values[K comparable, V any](r *RDD[Pair[K, V]], name string) (*RDD[V], error) {
+	return Map(r, name, func(kv Pair[K, V]) V { return kv.Val })
+}
+
+// Fold aggregates every record on the driver: each partition folds
+// locally in a stage, then the driver folds the partition results in
+// order. combine must be associative.
+func Fold[T any](r *RDD[T], name string, zero T, combine func(T, T) T) (T, error) {
+	partial := make([]T, len(r.parts))
+	tasks := make([]cluster.Task, len(r.parts))
+	for p := range r.parts {
+		p := p
+		tasks[p] = func() error {
+			acc := zero
+			for _, v := range r.parts[p] {
+				acc = combine(acc, v)
+			}
+			partial[p] = acc
+			return nil
+		}
+	}
+	if err := r.ctx.cl.RunStage(name, tasks); err != nil {
+		return zero, err
+	}
+	r.ctx.cl.AccountShuffle(name+"/gather", int64(len(r.parts))*r.ctx.RecordBytes)
+	acc := zero
+	for _, v := range partial {
+		acc = combine(acc, v)
+	}
+	return acc, nil
+}

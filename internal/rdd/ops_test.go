@@ -1,0 +1,193 @@
+package rdd
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"cloudwalker/internal/cluster"
+)
+
+func TestUnion(t *testing.T) {
+	ctx := testContext(t)
+	a, _ := Parallelize(ctx, []int{1, 2}, 2)
+	b, _ := Parallelize(ctx, []int{3, 4, 5}, 1)
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Count() != 5 || u.NumPartitions() != 3 {
+		t.Fatalf("union count %d parts %d", u.Count(), u.NumPartitions())
+	}
+	got := u.Collect()
+	for i, want := range []int{1, 2, 3, 4, 5} {
+		if got[i] != want {
+			t.Fatalf("union order %v", got)
+		}
+	}
+}
+
+func TestUnionDifferentContextsRejected(t *testing.T) {
+	a, _ := Parallelize(testContext(t), []int{1}, 1)
+	b, _ := Parallelize(testContext(t), []int{2}, 1)
+	if _, err := Union(a, b); err == nil {
+		t.Fatal("cross-context union accepted")
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := testContext(t)
+	pairs := []Pair[int, string]{
+		{1, "a"}, {2, "b"}, {1, "c"}, {3, "d"}, {2, "e"}, {1, "f"},
+	}
+	r, _ := Parallelize(ctx, pairs, 3)
+	grouped, err := GroupByKey(r, "g", 2, func(k int) uint64 { return uint64(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int][]string{}
+	for _, kv := range grouped.Collect() {
+		got[kv.Key] = kv.Val
+	}
+	if len(got) != 3 {
+		t.Fatalf("groups %v", got)
+	}
+	if len(got[1]) != 3 || got[1][0] != "a" || got[1][1] != "c" || got[1][2] != "f" {
+		t.Fatalf("group 1 = %v (want input order)", got[1])
+	}
+	if len(got[2]) != 2 || len(got[3]) != 1 {
+		t.Fatalf("groups %v", got)
+	}
+}
+
+func TestGroupByKeyShufflesFullVolume(t *testing.T) {
+	// GroupByKey must shuffle every record (no combine): compare shuffle
+	// bytes against ReduceByKey on the same data.
+	mkPairs := func() []Pair[int, int] {
+		var out []Pair[int, int]
+		for i := 0; i < 600; i++ {
+			out = append(out, Pair[int, int]{Key: i % 3, Val: 1})
+		}
+		return out
+	}
+	gctx := testContext(t)
+	r1, _ := Parallelize(gctx, mkPairs(), 4)
+	if _, err := GroupByKey(r1, "g", 2, func(k int) uint64 { return uint64(k) }); err != nil {
+		t.Fatal(err)
+	}
+	rctx := testContext(t)
+	r2, _ := Parallelize(rctx, mkPairs(), 4)
+	if _, err := ReduceByKey(r2, "r", 2, func(k int) uint64 { return uint64(k) },
+		func(a, b int) int { return a + b }); err != nil {
+		t.Fatal(err)
+	}
+	if g, r := gctx.Cluster().Totals().ShuffleBytes, rctx.Cluster().Totals().ShuffleBytes; g <= r*10 {
+		t.Fatalf("GroupByKey shuffled %d, ReduceByKey %d: combine advantage missing", g, r)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := testContext(t)
+	r, _ := Parallelize(ctx, []int{5, 1, 5, 2, 1, 5, 9}, 3)
+	d, err := Distinct(r, "d", 2, func(v int) uint64 { return uint64(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Collect()
+	sort.Ints(got)
+	want := []int{1, 2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("distinct %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct %v", got)
+		}
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := testContext(t)
+	var pairs []Pair[string, int]
+	for i := 0; i < 12; i++ {
+		key := "even"
+		if i%2 == 1 {
+			key = "odd"
+		}
+		pairs = append(pairs, Pair[string, int]{Key: key, Val: i})
+	}
+	r, _ := Parallelize(ctx, pairs, 3)
+	counts, err := CountByKey(r, "c", 2, func(k string) uint64 { return uint64(len(k)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["even"] != 6 || counts["odd"] != 6 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestKeysValues(t *testing.T) {
+	ctx := testContext(t)
+	r, _ := Parallelize(ctx, []Pair[int, string]{{1, "a"}, {2, "b"}}, 1)
+	ks, err := Keys(r, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := Values(r, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := ks.Collect(); k[0] != 1 || k[1] != 2 {
+		t.Fatalf("keys %v", k)
+	}
+	if v := vs.Collect(); v[0] != "a" || v[1] != "b" {
+		t.Fatalf("values %v", v)
+	}
+}
+
+func TestFold(t *testing.T) {
+	ctx := testContext(t)
+	r, _ := Parallelize(ctx, ints(101), 7)
+	sum, err := Fold(r, "sum", 0, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 101*100/2 {
+		t.Fatalf("fold sum %d", sum)
+	}
+}
+
+func TestFlakyMapPartitionsRetried(t *testing.T) {
+	// With cluster retries enabled, a transiently failing partition task
+	// is re-executed and the job succeeds — Spark's task-failure model.
+	cfg := cluster.DefaultConfig()
+	cfg.Machines, cfg.CoresPerMachine = 2, 2
+	cfg.MaxTaskRetries = 2
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(cl, 16)
+	r, _ := Parallelize(ctx, ints(10), 2)
+	var failures int32
+	got, err := MapPartitions(r, "flaky", func(p int, in []int) ([]int, error) {
+		if p == 1 && atomic.AddInt32(&failures, 1) <= 2 {
+			return nil, errors.New("transient executor loss")
+		}
+		return in, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 10 {
+		t.Fatalf("lost records after retry: %d", got.Count())
+	}
+	retried := 0
+	for _, s := range cl.Stages() {
+		retried += s.Retries
+	}
+	if retried != 2 {
+		t.Fatalf("retries recorded %d, want 2", retried)
+	}
+}

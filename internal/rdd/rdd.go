@@ -1,0 +1,357 @@
+// Package rdd is a miniature Spark: partitioned, immutable datasets with
+// narrow (map-like) and wide (shuffle) operations executed as stages on
+// the simulated cluster of internal/cluster.
+//
+// The paper implements CloudWalker twice — once with the graph broadcast
+// to every executor and once with the graph held in an RDD — and observes
+// that "broadcasting is more efficient, but RDD is more scalable". This
+// package provides exactly the operations those two implementations need:
+// Parallelize, Map/Filter/FlatMap/MapPartitions (narrow), Repartition /
+// ReduceByKey / Join (wide, with shuffle-byte accounting), Collect, and
+// broadcast variables with per-machine memory reservation.
+//
+// Transformations are eager (no lineage): each call runs one stage and
+// materializes the result. Wide operations take an explicit key hash so
+// that partitioning is deterministic across runs and worker counts.
+package rdd
+
+import (
+	"fmt"
+
+	"cloudwalker/internal/cluster"
+)
+
+// Context ties RDDs to a simulated cluster.
+type Context struct {
+	cl *cluster.Cluster
+	// RecordBytes is the accounting size of one record in shuffle volume
+	// estimates.
+	RecordBytes int64
+}
+
+// NewContext wraps a cluster. recordBytes <= 0 defaults to 16.
+func NewContext(cl *cluster.Cluster, recordBytes int64) *Context {
+	if recordBytes <= 0 {
+		recordBytes = 16
+	}
+	return &Context{cl: cl, RecordBytes: recordBytes}
+}
+
+// Cluster returns the underlying simulated cluster.
+func (c *Context) Cluster() *cluster.Cluster { return c.cl }
+
+// RDD is an immutable partitioned dataset.
+type RDD[T any] struct {
+	ctx   *Context
+	parts [][]T
+}
+
+// Parallelize splits data into `parts` contiguous partitions.
+func Parallelize[T any](ctx *Context, data []T, parts int) (*RDD[T], error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("rdd: partition count %d must be positive", parts)
+	}
+	r := &RDD[T]{ctx: ctx, parts: make([][]T, parts)}
+	chunk := (len(data) + parts - 1) / parts
+	for p := 0; p < parts; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		r.parts[p] = data[lo:hi:hi]
+	}
+	return r, nil
+}
+
+// FromPartitions wraps pre-partitioned data without copying.
+func FromPartitions[T any](ctx *Context, parts [][]T) (*RDD[T], error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("rdd: need at least one partition")
+	}
+	return &RDD[T]{ctx: ctx, parts: parts}, nil
+}
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return len(r.parts) }
+
+// Partition returns partition p (shared storage; callers must not mutate).
+func (r *RDD[T]) Partition(p int) []T { return r.parts[p] }
+
+// Count returns the total number of records.
+func (r *RDD[T]) Count() int {
+	n := 0
+	for _, p := range r.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Collect gathers all records to the driver in partition order, accounting
+// the transfer as a shuffle-sized network move.
+func (r *RDD[T]) Collect() []T {
+	out := make([]T, 0, r.Count())
+	for _, p := range r.parts {
+		out = append(out, p...)
+	}
+	r.ctx.cl.AccountShuffle("collect", int64(len(out))*r.ctx.RecordBytes)
+	return out
+}
+
+// MapPartitions applies f to every partition in a parallel stage. f
+// receives the partition index and its records and returns the output
+// records for that partition.
+func MapPartitions[T, U any](r *RDD[T], name string, f func(part int, in []T) ([]U, error)) (*RDD[U], error) {
+	out := &RDD[U]{ctx: r.ctx, parts: make([][]U, len(r.parts))}
+	tasks := make([]cluster.Task, len(r.parts))
+	for p := range r.parts {
+		p := p
+		tasks[p] = func() error {
+			res, err := f(p, r.parts[p])
+			if err != nil {
+				return fmt.Errorf("rdd: %s partition %d: %w", name, p, err)
+			}
+			out.parts[p] = res
+			return nil
+		}
+	}
+	if err := r.ctx.cl.RunStage(name, tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Map applies f to every record.
+func Map[T, U any](r *RDD[T], name string, f func(T) U) (*RDD[U], error) {
+	return MapPartitions(r, name, func(_ int, in []T) ([]U, error) {
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out, nil
+	})
+}
+
+// Filter keeps records satisfying pred.
+func Filter[T any](r *RDD[T], name string, pred func(T) bool) (*RDD[T], error) {
+	return MapPartitions(r, name, func(_ int, in []T) ([]T, error) {
+		out := make([]T, 0, len(in))
+		for _, v := range in {
+			if pred(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], name string, f func(T) []U) (*RDD[U], error) {
+	return MapPartitions(r, name, func(_ int, in []T) ([]U, error) {
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out, nil
+	})
+}
+
+// Repartition redistributes records into `parts` partitions by
+// keyOf(record) % parts — a wide dependency whose full record volume is
+// accounted as shuffle bytes. The result is deterministic: output
+// partition p receives input partitions' buckets in input order.
+func Repartition[T any](r *RDD[T], name string, parts int, keyOf func(T) uint64) (*RDD[T], error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("rdd: partition count %d must be positive", parts)
+	}
+	// Stage 1 (map side): bucket every input partition.
+	buckets := make([][][]T, len(r.parts)) // [inPart][outPart][]T
+	tasks := make([]cluster.Task, len(r.parts))
+	for p := range r.parts {
+		p := p
+		tasks[p] = func() error {
+			b := make([][]T, parts)
+			for _, v := range r.parts[p] {
+				dst := int(keyOf(v) % uint64(parts))
+				b[dst] = append(b[dst], v)
+			}
+			buckets[p] = b
+			return nil
+		}
+	}
+	if err := r.ctx.cl.RunStage(name+"/shuffle-write", tasks); err != nil {
+		return nil, err
+	}
+	r.ctx.cl.AccountShuffle(name+"/shuffle", int64(r.Count())*r.ctx.RecordBytes)
+	// Stage 2 (reduce side): concatenate buckets per output partition.
+	out := &RDD[T]{ctx: r.ctx, parts: make([][]T, parts)}
+	tasks = make([]cluster.Task, parts)
+	for dst := 0; dst < parts; dst++ {
+		dst := dst
+		tasks[dst] = func() error {
+			var merged []T
+			for p := range buckets {
+				merged = append(merged, buckets[p][dst]...)
+			}
+			out.parts[dst] = merged
+			return nil
+		}
+	}
+	if err := r.ctx.cl.RunStage(name+"/shuffle-read", tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Pair is a keyed record for ReduceByKey and Join.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// ReduceByKey combines values per key with a map-side local combine, a
+// hash shuffle (only combined records travel), and a reduce-side merge.
+// Output order within a partition is first-seen key order, making results
+// deterministic.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], name string, parts int,
+	hash func(K) uint64, reduce func(V, V) V) (*RDD[Pair[K, V]], error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("rdd: partition count %d must be positive", parts)
+	}
+	// Map side: local combine + bucket.
+	buckets := make([][][]Pair[K, V], len(r.parts))
+	combined := 0
+	tasks := make([]cluster.Task, len(r.parts))
+	counts := make([]int, len(r.parts))
+	for p := range r.parts {
+		p := p
+		tasks[p] = func() error {
+			idx := make(map[K]int)
+			var local []Pair[K, V]
+			for _, kv := range r.parts[p] {
+				if i, ok := idx[kv.Key]; ok {
+					local[i].Val = reduce(local[i].Val, kv.Val)
+				} else {
+					idx[kv.Key] = len(local)
+					local = append(local, kv)
+				}
+			}
+			b := make([][]Pair[K, V], parts)
+			for _, kv := range local {
+				dst := int(hash(kv.Key) % uint64(parts))
+				b[dst] = append(b[dst], kv)
+			}
+			buckets[p] = b
+			counts[p] = len(local)
+			return nil
+		}
+	}
+	if err := r.ctx.cl.RunStage(name+"/combine", tasks); err != nil {
+		return nil, err
+	}
+	for _, c := range counts {
+		combined += c
+	}
+	r.ctx.cl.AccountShuffle(name+"/shuffle", int64(combined)*r.ctx.RecordBytes)
+	// Reduce side: merge buckets.
+	out := &RDD[Pair[K, V]]{ctx: r.ctx, parts: make([][]Pair[K, V], parts)}
+	tasks = make([]cluster.Task, parts)
+	for dst := 0; dst < parts; dst++ {
+		dst := dst
+		tasks[dst] = func() error {
+			idx := make(map[K]int)
+			var merged []Pair[K, V]
+			for p := range buckets {
+				for _, kv := range buckets[p][dst] {
+					if i, ok := idx[kv.Key]; ok {
+						merged[i].Val = reduce(merged[i].Val, kv.Val)
+					} else {
+						idx[kv.Key] = len(merged)
+						merged = append(merged, kv)
+					}
+				}
+			}
+			out.parts[dst] = merged
+			return nil
+		}
+	}
+	if err := r.ctx.cl.RunStage(name+"/reduce", tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Joined carries one matched value pair from Join.
+type Joined[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// Join inner-joins two keyed RDDs: both sides are hash-repartitioned, then
+// each output partition emits every (left, right) combination per key, in
+// left-record order.
+func Join[K comparable, V, W any](a *RDD[Pair[K, V]], b *RDD[Pair[K, W]], name string, parts int,
+	hash func(K) uint64) (*RDD[Pair[K, Joined[V, W]]], error) {
+	ra, err := Repartition(a, name+"/left", parts, func(kv Pair[K, V]) uint64 { return hash(kv.Key) })
+	if err != nil {
+		return nil, err
+	}
+	rb, err := Repartition(b, name+"/right", parts, func(kv Pair[K, W]) uint64 { return hash(kv.Key) })
+	if err != nil {
+		return nil, err
+	}
+	out := &RDD[Pair[K, Joined[V, W]]]{ctx: a.ctx, parts: make([][]Pair[K, Joined[V, W]], parts)}
+	tasks := make([]cluster.Task, parts)
+	for p := 0; p < parts; p++ {
+		p := p
+		tasks[p] = func() error {
+			right := make(map[K][]W)
+			for _, kv := range rb.parts[p] {
+				right[kv.Key] = append(right[kv.Key], kv.Val)
+			}
+			var merged []Pair[K, Joined[V, W]]
+			for _, kv := range ra.parts[p] {
+				for _, w := range right[kv.Key] {
+					merged = append(merged, Pair[K, Joined[V, W]]{
+						Key: kv.Key,
+						Val: Joined[V, W]{Left: kv.Val, Right: w},
+					})
+				}
+			}
+			out.parts[p] = merged
+			return nil
+		}
+	}
+	if err := a.ctx.cl.RunStage(name+"/join", tasks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Broadcast is a read-only value resident on every machine.
+type Broadcast[T any] struct {
+	Value T
+	ctx   *Context
+	bytes int64
+}
+
+// NewBroadcast reserves per-machine memory for the value and accounts the
+// network cost of distributing it. Release the reservation with Destroy.
+func NewBroadcast[T any](ctx *Context, name string, value T, bytes int64) (*Broadcast[T], error) {
+	if err := ctx.cl.Reserve(bytes, "broadcast "+name); err != nil {
+		return nil, err
+	}
+	ctx.cl.AccountBroadcast("broadcast/"+name, bytes)
+	return &Broadcast[T]{Value: value, ctx: ctx, bytes: bytes}, nil
+}
+
+// Destroy releases the broadcast's memory reservation.
+func (b *Broadcast[T]) Destroy() {
+	if b.ctx != nil {
+		b.ctx.cl.Release(b.bytes)
+		b.ctx = nil
+	}
+}

@@ -1,0 +1,267 @@
+package rdd
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"cloudwalker/internal/cluster"
+)
+
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines = 2
+	cfg.CoresPerMachine = 2
+	cfg.MemoryPerMachine = 1 << 20
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewContext(cl, 16)
+}
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeAndCollect(t *testing.T) {
+	ctx := testContext(t)
+	r, err := Parallelize(ctx, ints(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", r.NumPartitions())
+	}
+	if r.Count() != 10 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	got := r.Collect()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("collect order broken: %v", got)
+		}
+	}
+	if _, err := Parallelize(ctx, ints(3), 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}
+
+func TestParallelizeMorePartitionsThanRecords(t *testing.T) {
+	ctx := testContext(t)
+	r, err := Parallelize(ctx, ints(2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("count = %d", r.Count())
+	}
+}
+
+func TestFromPartitions(t *testing.T) {
+	ctx := testContext(t)
+	r, err := FromPartitions(ctx, [][]int{{1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 3 || r.Partition(1)[0] != 3 {
+		t.Fatal("FromPartitions wrong")
+	}
+	if _, err := FromPartitions[int](ctx, nil); err == nil {
+		t.Fatal("empty partition list accepted")
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := testContext(t)
+	r, _ := Parallelize(ctx, ints(8), 3)
+	doubled, err := Map(r, "double", func(v int) int { return 2 * v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	evens, err := Filter(doubled, "keep<8", func(v int) bool { return v < 8 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evens.Collect()
+	want := []int{0, 2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	dup, err := FlatMap(evens, "dup", func(v int) []int { return []int{v, v} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.Count() != 8 {
+		t.Fatalf("flatmap count = %d", dup.Count())
+	}
+}
+
+func TestMapPartitionsErrorPropagates(t *testing.T) {
+	ctx := testContext(t)
+	r, _ := Parallelize(ctx, ints(4), 2)
+	boom := errors.New("boom")
+	_, err := MapPartitions(r, "explode", func(p int, in []int) ([]int, error) {
+		if p == 1 {
+			return nil, boom
+		}
+		return in, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRepartitionPreservesMultisetAndAccountsShuffle(t *testing.T) {
+	ctx := testContext(t)
+	r, _ := Parallelize(ctx, ints(20), 4)
+	re, err := Repartition(r, "rebalance", 3, func(v int) uint64 { return uint64(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", re.NumPartitions())
+	}
+	got := re.Collect()
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("lost records: %v", got)
+		}
+	}
+	// Every record must land in the partition its key hashes to.
+	for p := 0; p < 3; p++ {
+		for _, v := range re.Partition(p) {
+			if int(uint64(v)%3) != p {
+				t.Fatalf("record %d in wrong partition %d", v, p)
+			}
+		}
+	}
+	tot := ctx.Cluster().Totals()
+	if tot.ShuffleBytes < int64(20*16) {
+		t.Fatalf("shuffle bytes %d not accounted", tot.ShuffleBytes)
+	}
+}
+
+func TestRepartitionDeterministic(t *testing.T) {
+	run := func() []int {
+		ctx := testContext(t)
+		r, _ := Parallelize(ctx, ints(50), 7)
+		re, err := Repartition(r, "p", 4, func(v int) uint64 { return uint64(v * 7) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return re.Collect()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("repartition order not deterministic")
+		}
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := testContext(t)
+	var pairs []Pair[int, int]
+	for i := 0; i < 30; i++ {
+		pairs = append(pairs, Pair[int, int]{Key: i % 5, Val: 1})
+	}
+	r, _ := Parallelize(ctx, pairs, 4)
+	red, err := ReduceByKey(r, "count", 3,
+		func(k int) uint64 { return uint64(k) },
+		func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	for _, kv := range red.Collect() {
+		got[kv.Key] += kv.Val
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for k, v := range got {
+		if v != 6 {
+			t.Fatalf("key %d count %d, want 6", k, v)
+		}
+	}
+}
+
+func TestReduceByKeyLocalCombineReducesShuffle(t *testing.T) {
+	// 1000 records, 4 keys: local combine must shuffle at most
+	// 4 keys × partitions records, far below 1000.
+	ctx := testContext(t)
+	var pairs []Pair[int, int]
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, Pair[int, int]{Key: i % 4, Val: 1})
+	}
+	r, _ := Parallelize(ctx, pairs, 5)
+	if _, err := ReduceByKey(r, "sum", 2,
+		func(k int) uint64 { return uint64(k) },
+		func(a, b int) int { return a + b }); err != nil {
+		t.Fatal(err)
+	}
+	var shuffled int64
+	for _, s := range ctx.Cluster().Stages() {
+		shuffled += s.ShuffleBytes
+	}
+	if shuffled > int64(4*5*16) {
+		t.Fatalf("shuffled %d bytes; local combine not effective", shuffled)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := testContext(t)
+	left, _ := Parallelize(ctx, []Pair[int, string]{
+		{1, "a"}, {2, "b"}, {3, "c"}, {1, "d"},
+	}, 2)
+	right, _ := Parallelize(ctx, []Pair[int, int]{
+		{1, 10}, {2, 20}, {4, 40}, {1, 11},
+	}, 2)
+	joined, err := Join(left, right, "j", 3, func(k int) uint64 { return uint64(k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := joined.Collect()
+	// key 1: {a,d} × {10,11} = 4 matches; key 2: 1; keys 3, 4: none.
+	if len(got) != 5 {
+		t.Fatalf("join produced %d records: %+v", len(got), got)
+	}
+	count := map[int]int{}
+	for _, kv := range got {
+		count[kv.Key]++
+	}
+	if count[1] != 4 || count[2] != 1 || count[3] != 0 || count[4] != 0 {
+		t.Fatalf("join counts %v", count)
+	}
+}
+
+func TestBroadcastReservesAndReleases(t *testing.T) {
+	ctx := testContext(t) // 1 MB per machine
+	b, err := NewBroadcast(ctx, "small", 42, 512<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Value != 42 {
+		t.Fatal("broadcast value lost")
+	}
+	if _, err := NewBroadcast(ctx, "big", 0, 600<<10); err == nil {
+		t.Fatal("over-budget broadcast accepted")
+	}
+	b.Destroy()
+	if ctx.Cluster().MemoryInUse() != 0 {
+		t.Fatal("destroy did not release memory")
+	}
+	b.Destroy() // idempotent
+}

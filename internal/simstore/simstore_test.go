@@ -1,0 +1,183 @@
+package simstore
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/xrand"
+)
+
+func nb(node int, score float64) core.Neighbor {
+	return core.Neighbor{Node: int32(node), Score: score}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 3); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestSetGetSortsAndTruncates(t *testing.T) {
+	s, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(1, []core.Neighbor{nb(5, 0.1), nb(7, 0.9), nb(9, 0.5)}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Node != 7 || got[1].Node != 9 {
+		t.Fatalf("list %+v", got)
+	}
+	if err := s.Set(5, nil); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+	if _, err := s.Get(-1); err == nil {
+		t.Error("out-of-range get accepted")
+	}
+}
+
+func TestSetCopiesInput(t *testing.T) {
+	s, _ := New(1, 3)
+	in := []core.Neighbor{nb(1, 0.5)}
+	if err := s.Set(0, in); err != nil {
+		t.Fatal(err)
+	}
+	in[0].Score = 0.99
+	got, _ := s.Get(0)
+	if got[0].Score != 0.5 {
+		t.Fatal("store aliases caller slice")
+	}
+}
+
+func TestFromResults(t *testing.T) {
+	res := [][]core.Neighbor{
+		{nb(1, 0.3)},
+		{nb(0, 0.8), nb(2, 0.2)},
+		nil,
+	}
+	s, err := FromResults(res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNodes() != 3 || s.K() != 2 {
+		t.Fatalf("store %d/%d", s.NumNodes(), s.K())
+	}
+	got, _ := s.Get(1)
+	if len(got) != 2 || got[0].Node != 0 {
+		t.Fatalf("list %+v", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := New(2, 2)
+	b, _ := New(2, 2)
+	_ = a.Set(0, []core.Neighbor{nb(1, 0.5), nb(2, 0.3)})
+	_ = b.Set(0, []core.Neighbor{nb(2, 0.6), nb(3, 0.4)})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Get(0)
+	// Dedup keeps max score per node: {2: 0.6, 3: 0.4, 1: 0.5} -> top2 {2, 1}.
+	if len(got) != 2 || got[0].Node != 2 || got[0].Score != 0.6 || got[1].Node != 1 {
+		t.Fatalf("merged %+v", got)
+	}
+	c, _ := New(3, 2)
+	if err := a.Merge(c); err == nil {
+		t.Error("size mismatch merge accepted")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	s, _ := New(4, 3)
+	_ = s.Set(0, []core.Neighbor{nb(1, 0.75), nb(3, 0.25)})
+	_ = s.Set(2, []core.Neighbor{nb(0, 1)})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 4 || got.K() != 3 {
+		t.Fatalf("loaded %d/%d", got.NumNodes(), got.K())
+	}
+	lst, _ := got.Get(0)
+	if len(lst) != 2 || lst[0].Node != 1 {
+		t.Fatalf("loaded list %+v", lst)
+	}
+	// float32 rounding tolerance.
+	if math.Abs(lst[0].Score-0.75) > 1e-6 {
+		t.Fatalf("score %g", lst[0].Score)
+	}
+	if lst, _ := got.Get(1); len(lst) != 0 {
+		t.Fatalf("unset list %+v", lst)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 32))
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("zero header accepted")
+	}
+}
+
+// Property: save/load roundtrips arbitrary stores up to float32 rounding.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(20) + 1
+		k := src.Intn(5) + 1
+		s, err := New(n, k)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var lst []core.Neighbor
+			for j := 0; j < src.Intn(k+1); j++ {
+				lst = append(lst, nb(src.Intn(n), src.Float64()))
+			}
+			if s.Set(i, lst) != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if s.Save(&buf) != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			a, _ := s.Get(i)
+			b, _ := got.Get(i)
+			if len(a) != len(b) {
+				return false
+			}
+			for j := range a {
+				if a[j].Node != b[j].Node || math.Abs(a[j].Score-b[j].Score) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package sparse
+
+import (
+	"fmt"
+)
+
+// Matrix is a float64 CSR matrix with independently owned rows. It backs
+// the linear system A x = 1 of the offline indexing stage: row i is the
+// Monte-Carlo-estimated a_i. Rows may be set concurrently (one writer per
+// row) because they share no storage.
+type Matrix struct {
+	rows []*Vector
+	cols int
+}
+
+// NewMatrix returns an empty rows×cols matrix (all rows empty).
+func NewMatrix(rows, cols int) *Matrix {
+	m := &Matrix{rows: make([]*Vector, rows), cols: cols}
+	for i := range m.rows {
+		m.rows[i] = &Vector{}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return len(m.rows) }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i. The caller must not mutate it.
+func (m *Matrix) Row(i int) *Vector { return m.rows[i] }
+
+// SetRow installs row i. Safe for concurrent use with distinct i.
+func (m *Matrix) SetRow(i int, v *Vector) { m.rows[i] = v }
+
+// NNZ returns the total number of stored entries.
+func (m *Matrix) NNZ() int {
+	total := 0
+	for _, r := range m.rows {
+		total += r.NNZ()
+	}
+	return total
+}
+
+// MemoryBytes estimates the resident size of the matrix.
+func (m *Matrix) MemoryBytes() int64 {
+	return int64(m.NNZ()) * 12 // int32 index + float64 value
+}
+
+// MulVec computes y = M x for dense x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("sparse: MulVec dimension mismatch: %d cols, %d vector", m.cols, len(x))
+	}
+	y := make([]float64, len(m.rows))
+	for i, r := range m.rows {
+		s := 0.0
+		for k, j := range r.Idx {
+			s += r.Val[k] * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// Diag returns the diagonal entries as a dense slice.
+func (m *Matrix) Diag() []float64 {
+	d := make([]float64, len(m.rows))
+	for i := range m.rows {
+		d[i] = m.rows[i].Get(i)
+	}
+	return d
+}
+
+// Validate checks every row.
+func (m *Matrix) Validate() error {
+	for i, r := range m.rows {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("row %d: %v", i, err)
+		}
+		if n := r.NNZ(); n > 0 && int(r.Idx[n-1]) >= m.cols {
+			return fmt.Errorf("row %d: index %d out of %d columns", i, r.Idx[n-1], m.cols)
+		}
+	}
+	return nil
+}

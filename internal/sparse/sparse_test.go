@@ -1,0 +1,396 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/xrand"
+)
+
+func vec(pairs ...float64) *Vector {
+	v := &Vector{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		v.Idx = append(v.Idx, int32(pairs[i]))
+		v.Val = append(v.Val, pairs[i+1])
+	}
+	return v
+}
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVectorGetSum(t *testing.T) {
+	v := vec(1, 2.5, 4, -1, 9, 0.5)
+	if v.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", v.NNZ())
+	}
+	if v.Get(4) != -1 || v.Get(0) != 0 || v.Get(9) != 0.5 {
+		t.Fatal("Get wrong")
+	}
+	if !approx(v.Sum(), 2.0, 1e-12) {
+		t.Fatalf("Sum = %g", v.Sum())
+	}
+	if !approx(v.L1(), 4.0, 1e-12) {
+		t.Fatalf("L1 = %g", v.L1())
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := vec(0, 1, 2, 2, 5, 3)
+	b := vec(1, 7, 2, 4, 5, -1)
+	if got := Dot(a, b); !approx(got, 2*4+3*(-1), 1e-12) {
+		t.Fatalf("Dot = %g", got)
+	}
+	if got := Dot(a, &Vector{}); got != 0 {
+		t.Fatalf("Dot with empty = %g", got)
+	}
+}
+
+func TestWeightedDot(t *testing.T) {
+	a := vec(0, 0.5, 3, 0.5)
+	b := vec(0, 0.25, 3, 0.75)
+	w := []float64{2, 0, 0, 4}
+	want := 0.5*2*0.25 + 0.5*4*0.75
+	if got := WeightedDot(a, b, w); !approx(got, want, 1e-12) {
+		t.Fatalf("WeightedDot = %g, want %g", got, want)
+	}
+}
+
+func TestHadamardAndSquare(t *testing.T) {
+	a := vec(1, 2, 3, 3)
+	b := vec(3, 4, 5, 6)
+	h := Hadamard(a, b)
+	if h.NNZ() != 1 || h.Get(3) != 12 {
+		t.Fatalf("Hadamard = %+v", h)
+	}
+	sq := a.SquareValues()
+	if sq.Get(1) != 4 || sq.Get(3) != 9 {
+		t.Fatalf("SquareValues = %+v", sq)
+	}
+	// original untouched
+	if a.Get(1) != 2 {
+		t.Fatal("SquareValues mutated receiver")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := vec(0, 1, 2, 1)
+	b := vec(1, 1, 2, 3)
+	c := AddScaled(a, 2, b)
+	if c.Get(0) != 1 || c.Get(1) != 2 || c.Get(2) != 7 {
+		t.Fatalf("AddScaled = %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	v := vec(0, 0.001, 1, 0.5, 2, -0.0001)
+	v.Prune(0.01)
+	if v.NNZ() != 1 || v.Get(1) != 0.5 {
+		t.Fatalf("Prune kept %+v", v)
+	}
+}
+
+func TestDenseRoundtrip(t *testing.T) {
+	v := vec(0, 1, 3, -2)
+	d := v.Dense(5)
+	if d[0] != 1 || d[3] != -2 || d[1] != 0 {
+		t.Fatalf("Dense = %v", d)
+	}
+	w := FromDense(d)
+	if w.NNZ() != 2 || w.Get(3) != -2 {
+		t.Fatalf("FromDense = %+v", w)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	e := Unit(7)
+	if e.NNZ() != 1 || e.Get(7) != 1 || e.Sum() != 1 {
+		t.Fatalf("Unit = %+v", e)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Vector{Idx: []int32{3, 1}, Val: []float64{1, 2}}
+	if bad.Validate() == nil {
+		t.Fatal("unsorted vector validated")
+	}
+	bad2 := &Vector{Idx: []int32{1}, Val: []float64{1, 2}}
+	if bad2.Validate() == nil {
+		t.Fatal("ragged vector validated")
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	acc := NewAccumulator()
+	acc.Add(5, 1)
+	acc.Add(2, 3)
+	acc.Add(5, 2)
+	acc.Add(9, 1)
+	acc.Add(9, -1) // cancels to zero, dropped
+	v := acc.ToVector()
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 2 || v.Get(5) != 3 || v.Get(2) != 3 {
+		t.Fatalf("accumulated %+v", v)
+	}
+	acc.Reset()
+	if acc.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// ---- Transition operator ----
+
+// diamond: 0->1, 0->2, 1->3, 2->3. In(1)={0}, In(2)={0}, In(3)={1,2}.
+func diamond(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.MustFromEdges(4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+}
+
+func TestTransitionApply(t *testing.T) {
+	p := NewTransition(diamond(t))
+	// P e_3: mass splits over In(3) = {1, 2}.
+	y := p.Apply(Unit(3))
+	if y.NNZ() != 2 || !approx(y.Get(1), 0.5, 1e-12) || !approx(y.Get(2), 0.5, 1e-12) {
+		t.Fatalf("P e_3 = %+v", y)
+	}
+	// P e_0: node 0 has no in-links; mass vanishes.
+	if y := p.Apply(Unit(0)); y.NNZ() != 0 {
+		t.Fatalf("P e_0 = %+v, want empty", y)
+	}
+	// Two steps from 3: all mass at 0.
+	y2 := p.Apply(p.Apply(Unit(3)))
+	if y2.NNZ() != 1 || !approx(y2.Get(0), 1.0, 1e-12) {
+		t.Fatalf("P^2 e_3 = %+v", y2)
+	}
+}
+
+func TestTransitionColumnStochastic(t *testing.T) {
+	// For any node with in-links, column sums to 1: sum(P e_i) == 1.
+	g, err := gen.ErdosRenyi(60, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewTransition(g)
+	for i := 0; i < g.NumNodes(); i++ {
+		s := p.Apply(Unit(i)).Sum()
+		want := 1.0
+		if g.InDegree(i) == 0 {
+			want = 0
+		}
+		if !approx(s, want, 1e-9) {
+			t.Fatalf("column %d sums to %g, want %g", i, s, want)
+		}
+	}
+}
+
+func TestTransitionApplyTAgainstDefinition(t *testing.T) {
+	g := diamond(t)
+	p := NewTransition(g)
+	// (Pᵀ e_0)(i) = P[0][i] = 1/|In(i)| if 0 ∈ In(i).
+	y := p.ApplyT(Unit(0))
+	if !approx(y.Get(1), 1.0, 1e-12) || !approx(y.Get(2), 1.0, 1e-12) {
+		t.Fatalf("Pᵀ e_0 = %+v", y)
+	}
+	// (Pᵀ e_1)(3) = 1/|In(3)| = 0.5.
+	y = p.ApplyT(Unit(1))
+	if !approx(y.Get(3), 0.5, 1e-12) {
+		t.Fatalf("Pᵀ e_1 = %+v", y)
+	}
+}
+
+func TestTransitionDenseMatchesSparse(t *testing.T) {
+	g, err := gen.RMAT(80, 400, gen.DefaultRMAT, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewTransition(g)
+	src := xrand.New(1)
+	x := make([]float64, g.NumNodes())
+	for i := range x {
+		if src.Float64() < 0.3 {
+			x[i] = src.Float64()*2 - 1
+		}
+	}
+	xs := FromDense(x)
+
+	yd := p.ApplyDense(x)
+	ys := p.Apply(xs).Dense(g.NumNodes())
+	for i := range yd {
+		if !approx(yd[i], ys[i], 1e-9) {
+			t.Fatalf("Apply dense/sparse differ at %d: %g vs %g", i, yd[i], ys[i])
+		}
+	}
+
+	td := p.ApplyTDense(x)
+	ts := p.ApplyT(xs).Dense(g.NumNodes())
+	for i := range td {
+		if !approx(td[i], ts[i], 1e-9) {
+			t.Fatalf("ApplyT dense/sparse differ at %d: %g vs %g", i, td[i], ts[i])
+		}
+	}
+}
+
+// Property: <Pᵀa, b> == <a, Pb> (adjointness) on random graphs/vectors.
+func TestQuickTransitionAdjoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(40) + 5
+		g, err := gen.ErdosRenyi(n, 4*n, seed)
+		if err != nil {
+			return false
+		}
+		p := NewTransition(g)
+		a, b := &Vector{}, &Vector{}
+		for i := 0; i < n; i++ {
+			if src.Float64() < 0.4 {
+				a.Idx = append(a.Idx, int32(i))
+				a.Val = append(a.Val, src.Float64())
+			}
+			if src.Float64() < 0.4 {
+				b.Idx = append(b.Idx, int32(i))
+				b.Val = append(b.Val, src.Float64())
+			}
+		}
+		lhs := Dot(p.ApplyT(a), b)
+		rhs := Dot(a, p.Apply(b))
+		return approx(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerUnit(t *testing.T) {
+	p := NewTransition(diamond(t))
+	dists := p.PowerUnit(3, 3)
+	if len(dists) != 4 {
+		t.Fatalf("PowerUnit returned %d dists", len(dists))
+	}
+	if dists[0].Get(3) != 1 {
+		t.Fatal("t=0 should be e_i")
+	}
+	if !approx(dists[1].Get(1), 0.5, 1e-12) {
+		t.Fatal("t=1 wrong")
+	}
+	if !approx(dists[2].Get(0), 1, 1e-12) {
+		t.Fatal("t=2 wrong")
+	}
+	if dists[3].NNZ() != 0 {
+		t.Fatal("t=3 should be empty (0 has no in-links)")
+	}
+}
+
+// ---- Matrix ----
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.SetRow(0, vec(0, 1, 2, 2))
+	m.SetRow(1, vec(1, 3))
+	m.SetRow(2, vec(2, -1, 3, 5))
+	if m.Rows() != 3 || m.Cols() != 4 || m.NNZ() != 5 {
+		t.Fatalf("dims wrong: %d %d %d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.MulVec([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1*1 + 2*3, 3 * 2, -1*3 + 5*4}
+	for i := range want {
+		if !approx(y[i], want[i], 1e-12) {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	d := m.Diag()
+	if d[0] != 1 || d[1] != 3 || d[2] != -1 {
+		t.Fatalf("Diag = %v", d)
+	}
+	if m.MemoryBytes() != 60 {
+		t.Fatalf("MemoryBytes = %d", m.MemoryBytes())
+	}
+}
+
+func TestMatrixMulVecDimMismatch(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if _, err := m.MulVec([]float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestMatrixValidateOutOfRange(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.SetRow(0, vec(5, 1))
+	if m.Validate() == nil {
+		t.Fatal("out-of-range column validated")
+	}
+}
+
+func TestMatrixCodecRoundtrip(t *testing.T) {
+	src := xrand.New(3)
+	m := NewMatrix(20, 25)
+	for i := 0; i < 20; i++ {
+		acc := NewAccumulator()
+		for k := 0; k < src.Intn(8); k++ {
+			acc.Add(int32(src.Intn(25)), src.Float64()*2-1)
+		}
+		m.SetRow(i, acc.ToVector())
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 20 || got.Cols() != 25 || got.NNZ() != m.NNZ() {
+		t.Fatalf("dims changed: %d/%d/%d", got.Rows(), got.Cols(), got.NNZ())
+	}
+	for i := 0; i < 20; i++ {
+		a, b := m.Row(i), got.Row(i)
+		if a.NNZ() != b.NNZ() {
+			t.Fatalf("row %d nnz changed", i)
+		}
+		for k := range a.Idx {
+			if a.Idx[k] != b.Idx[k] || a.Val[k] != b.Val[k] {
+				t.Fatalf("row %d entry %d changed", i, k)
+			}
+		}
+	}
+}
+
+func TestMatrixCodecRejectsGarbage(t *testing.T) {
+	if _, err := ReadMatrix(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 32))
+	if _, err := ReadMatrix(&buf); err == nil {
+		t.Fatal("zero header accepted")
+	}
+}
+
+func TestMatrixCodecEmptyMatrix(t *testing.T) {
+	m := NewMatrix(0, 0)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 0 {
+		t.Fatal("empty matrix roundtrip failed")
+	}
+}

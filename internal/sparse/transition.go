@@ -1,0 +1,110 @@
+package sparse
+
+import (
+	"cloudwalker/internal/graph"
+)
+
+// Transition is the column-stochastic backward transition operator P of a
+// graph: P[k][i] = 1/|In(i)| if k ∈ In(i), else 0. Columns of nodes with no
+// in-links are zero (their walks terminate), matching the paper's random
+// walker semantics. The operator applies P and Pᵀ without materializing
+// the matrix.
+type Transition struct {
+	g *graph.Graph
+}
+
+// NewTransition wraps g's backward transition operator.
+func NewTransition(g *graph.Graph) *Transition {
+	return &Transition{g: g}
+}
+
+// N returns the operator dimension (number of nodes).
+func (p *Transition) N() int { return p.g.NumNodes() }
+
+// Apply computes y = P x for sparse x: each mass x_i spreads equally over
+// the in-neighbors of i. Cost is proportional to the sum of in-degrees of
+// x's support.
+func (p *Transition) Apply(x *Vector) *Vector {
+	acc := NewAccumulator()
+	for t, i := range x.Idx {
+		node := int(i)
+		d := p.g.InDegree(node)
+		if d == 0 {
+			continue // dangling column: walk mass vanishes
+		}
+		share := x.Val[t] / float64(d)
+		for _, k := range p.g.InNeighbors(node) {
+			acc.Add(k, share)
+		}
+	}
+	return acc.ToVector()
+}
+
+// ApplyT computes y = Pᵀ x for sparse x: (Pᵀx)(i) = (1/|In(i)|) Σ_{k∈In(i)} x_k.
+// Each mass x_k at node k pushes x_k/|In(i)| to every node i that has k as
+// an in-neighbor — i.e. along k's out-links with weight 1/|In(target)|.
+func (p *Transition) ApplyT(x *Vector) *Vector {
+	acc := NewAccumulator()
+	for t, k := range x.Idx {
+		node := int(k)
+		val := x.Val[t]
+		for _, i := range p.g.OutNeighbors(node) {
+			d := p.g.InDegree(int(i))
+			if d == 0 {
+				continue // cannot happen: i has in-neighbor k
+			}
+			acc.Add(i, val/float64(d))
+		}
+	}
+	return acc.ToVector()
+}
+
+// ApplyDense computes y = P x for dense x into a fresh dense slice.
+func (p *Transition) ApplyDense(x []float64) []float64 {
+	n := p.g.NumNodes()
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		d := p.g.InDegree(i)
+		if d == 0 {
+			continue
+		}
+		share := x[i] / float64(d)
+		for _, k := range p.g.InNeighbors(i) {
+			y[k] += share
+		}
+	}
+	return y
+}
+
+// ApplyTDense computes y = Pᵀ x for dense x into a fresh dense slice.
+func (p *Transition) ApplyTDense(x []float64) []float64 {
+	n := p.g.NumNodes()
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := p.g.InDegree(i)
+		if d == 0 {
+			continue
+		}
+		s := 0.0
+		for _, k := range p.g.InNeighbors(i) {
+			s += x[k]
+		}
+		y[i] = s / float64(d)
+	}
+	return y
+}
+
+// PowerUnit returns the distributions P^t e_i for t = 0..T as sparse
+// vectors, computed exactly. This is the deterministic counterpart of the
+// Monte Carlo walk histograms (used by the LIN baseline and by tests).
+func (p *Transition) PowerUnit(i, T int) []*Vector {
+	out := make([]*Vector, T+1)
+	out[0] = Unit(i)
+	for t := 1; t <= T; t++ {
+		out[t] = p.Apply(out[t-1])
+	}
+	return out
+}

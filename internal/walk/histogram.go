@@ -1,0 +1,135 @@
+package walk
+
+import (
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+// Histogram counts walker visits with a dense array plus a touched list,
+// giving O(1) increments and O(touched) reset — no map overhead. One
+// Histogram is reused across all (node, step) pairs processed by a
+// worker, which makes the offline indexing stage's inner loop allocation-
+// free. Not safe for concurrent use; give each worker its own.
+type Histogram struct {
+	counts  []int32
+	touched []int32
+}
+
+// NewHistogram returns a histogram over n slots.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{counts: make([]int32, n)}
+}
+
+// Add increments slot k.
+func (h *Histogram) Add(k int32) {
+	if h.counts[k] == 0 {
+		h.touched = append(h.touched, k)
+	}
+	h.counts[k]++
+}
+
+// Touched returns the number of distinct slots hit since the last Reset.
+func (h *Histogram) Touched() int { return len(h.touched) }
+
+// ToVector converts the counts into a sparse vector scaled by 1/scale
+// (pass the walker count to obtain an empirical distribution) and resets
+// the histogram.
+func (h *Histogram) ToVector(scale float64) *sparse.Vector {
+	v := &sparse.Vector{
+		Idx: make([]int32, 0, len(h.touched)),
+		Val: make([]float64, 0, len(h.touched)),
+	}
+	// Sort the touched list: insertion order is walker order, and sparse
+	// vectors need ascending indices. Touched lists are short (≤ R), so a
+	// simple in-place sort is fine and allocation-free.
+	sortInt32(h.touched)
+	inv := 1.0 / scale
+	for _, k := range h.touched {
+		v.Idx = append(v.Idx, k)
+		v.Val = append(v.Val, float64(h.counts[k])*inv)
+		h.counts[k] = 0
+	}
+	h.touched = h.touched[:0]
+	return v
+}
+
+// AddSquaredTo folds c^t · (count/scale)² for every touched slot into a
+// sparse accumulator row — the per-step contribution to an indexing row
+// a_i — and resets the histogram.
+func (h *Histogram) AddSquaredTo(acc *sparse.Accumulator, ct, scale float64) {
+	inv := 1.0 / scale
+	for _, k := range h.touched {
+		frac := float64(h.counts[k]) * inv
+		acc.Add(k, ct*frac*frac)
+		h.counts[k] = 0
+	}
+	h.touched = h.touched[:0]
+}
+
+// sortInt32 is an in-place insertion/shell sort for short slices.
+func sortInt32(a []int32) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap] > v; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}
+
+// RowEstimator estimates indexing rows a_i = Σ_t c^t (P^t e_i)∘(P^t e_i)
+// with reusable buffers. It is the allocation-lean counterpart of calling
+// Distributions + SquareValues per node and is what the offline stage's
+// workers use.
+type RowEstimator struct {
+	g    *graph.Graph
+	hist *Histogram
+	cur  []int32 // current walker positions; -1 = dead
+}
+
+// NewRowEstimator creates an estimator for graph g with R walkers.
+func NewRowEstimator(g *graph.Graph, r int) *RowEstimator {
+	return &RowEstimator{
+		g:    g,
+		hist: NewHistogram(g.NumNodes()),
+		cur:  make([]int32, r),
+	}
+}
+
+// EstimateRow runs R walkers for T steps from node i and returns the
+// Monte Carlo row (including the t = 0 unit diagonal term).
+func (re *RowEstimator) EstimateRow(i int, T int, c float64, src *xrand.Source) *sparse.Vector {
+	acc := sparse.NewAccumulator()
+	acc.Add(int32(i), 1) // t = 0
+	r := len(re.cur)
+	for w := range re.cur {
+		re.cur[w] = int32(i)
+	}
+	alive := r
+	ct := 1.0
+	scale := float64(r)
+	for t := 1; t <= T && alive > 0; t++ {
+		ct *= c
+		for w := range re.cur {
+			v := re.cur[w]
+			if v < 0 {
+				continue
+			}
+			d := re.g.InDegree(int(v))
+			if d == 0 {
+				re.cur[w] = -1
+				alive--
+				continue
+			}
+			next := re.g.InNeighborAt(int(v), src.Intn(d))
+			re.cur[w] = next
+			re.hist.Add(next)
+		}
+		re.hist.AddSquaredTo(acc, ct, scale)
+	}
+	return acc.ToVector()
+}

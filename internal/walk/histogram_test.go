@@ -1,0 +1,211 @@
+package walk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(3)
+	h.Add(3)
+	h.Add(7)
+	if h.Touched() != 2 {
+		t.Fatalf("touched %d", h.Touched())
+	}
+	v := h.ToVector(4)
+	if v.NNZ() != 2 || v.Get(3) != 0.5 || v.Get(7) != 0.25 {
+		t.Fatalf("vector %+v", v)
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reset happened: reuse gives fresh counts.
+	h.Add(1)
+	v2 := h.ToVector(1)
+	if v2.NNZ() != 1 || v2.Get(1) != 1 {
+		t.Fatalf("after reset %+v", v2)
+	}
+}
+
+func TestHistogramSortedOutput(t *testing.T) {
+	h := NewHistogram(100)
+	for _, k := range []int32{42, 7, 99, 0, 55, 7} {
+		h.Add(k)
+	}
+	v := h.ToVector(1)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 5 {
+		t.Fatalf("NNZ %d", v.NNZ())
+	}
+}
+
+func TestHistogramAddSquaredTo(t *testing.T) {
+	h := NewHistogram(5)
+	h.Add(2)
+	h.Add(2)
+	h.Add(4)
+	acc := sparse.NewAccumulator()
+	h.AddSquaredTo(acc, 0.5, 2) // (2/2)²·0.5 at 2; (1/2)²·0.5 at 4
+	v := acc.ToVector()
+	if math.Abs(v.Get(2)-0.5) > 1e-12 || math.Abs(v.Get(4)-0.125) > 1e-12 {
+		t.Fatalf("squared fold %+v", v)
+	}
+	if h.Touched() != 0 {
+		t.Fatal("AddSquaredTo did not reset")
+	}
+}
+
+func TestSortInt32(t *testing.T) {
+	for _, in := range [][]int32{
+		{},
+		{1},
+		{3, 1, 2},
+		{5, 4, 3, 2, 1, 0},
+		{1, 1, 1},
+		{2, 9, 2, 9, 5},
+	} {
+		cp := append([]int32(nil), in...)
+		sortInt32(cp)
+		for i := 1; i < len(cp); i++ {
+			if cp[i-1] > cp[i] {
+				t.Fatalf("unsorted %v -> %v", in, cp)
+			}
+		}
+	}
+}
+
+func TestRowEstimatorMatchesReference(t *testing.T) {
+	// The estimator must produce the same row distributionally as the
+	// reference walker-major implementation: compare expectations against
+	// the exact operator on a large walker budget.
+	g, err := gen.ErdosRenyi(30, 180, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sparse.NewTransition(g)
+	const (
+		T = 5
+		R = 40000
+		c = 0.6
+	)
+	// Exact row.
+	exactRow := sparse.Unit(3)
+	v := sparse.Unit(3)
+	ct := 1.0
+	for t := 1; t <= T; t++ {
+		v = p.Apply(v)
+		ct *= c
+		exactRow = sparse.AddScaled(exactRow, ct, v.SquareValues())
+	}
+	est := NewRowEstimator(g, R)
+	got := est.EstimateRow(3, T, c, xrand.New(9))
+	diff := sparse.AddScaled(got, -1, exactRow)
+	if m := maxAbs(diff); m > 0.01 {
+		t.Fatalf("row estimator error %g", m)
+	}
+}
+
+func TestRowEstimatorReuseIsClean(t *testing.T) {
+	// Rows estimated after reuse must not leak state from prior rows.
+	g, err := gen.RMAT(40, 200, gen.DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRowEstimator(g, 200)
+	reused := NewRowEstimator(g, 200)
+	// Burn a row on the reused estimator first.
+	_ = reused.EstimateRow(11, 6, 0.6, xrand.New(1))
+	a := fresh.EstimateRow(5, 6, 0.6, xrand.New(2))
+	b := reused.EstimateRow(5, 6, 0.6, xrand.New(2))
+	diff := sparse.AddScaled(a, -1, b)
+	if maxAbs(diff) != 0 {
+		t.Fatal("estimator reuse changed results")
+	}
+}
+
+func TestRowEstimatorDanglingStart(t *testing.T) {
+	g, err := gen.Star(5) // leaves have no in-links
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewRowEstimator(g, 50)
+	row := est.EstimateRow(1, 8, 0.6, xrand.New(3))
+	// Walkers die instantly: row is just the unit diagonal.
+	if row.NNZ() != 1 || row.Get(1) != 1 {
+		t.Fatalf("dangling row %+v", row)
+	}
+}
+
+// Property: estimator rows always include the unit diagonal and have
+// non-negative entries bounded by 1 + c/(1-c).
+func TestQuickRowEstimatorInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(25) + 3
+		g, err := gen.ErdosRenyi(n, 3*n, seed)
+		if err != nil {
+			return false
+		}
+		est := NewRowEstimator(g, 60)
+		i := src.Intn(n)
+		row := est.EstimateRow(i, 6, 0.6, src)
+		if row.Validate() != nil {
+			return false
+		}
+		if row.Get(i) < 1 {
+			return false
+		}
+		bound := 1 + 0.6/(1-0.6) + 1e-9
+		for _, val := range row.Val {
+			if val < 0 || val > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRowEstimator(b *testing.B) {
+	g, err := gen.RMAT(10000, 100000, gen.DefaultRMAT, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := NewRowEstimator(g, 100)
+	src := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.EstimateRow(i%g.NumNodes(), 10, 0.6, src)
+	}
+}
+
+func BenchmarkRowReference(b *testing.B) {
+	// The map-based reference path for comparison with BenchmarkRowEstimator.
+	g, err := gen.RMAT(10000, 100000, gen.DefaultRMAT, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dists := Distributions(g, i%g.NumNodes(), 10, 100, src)
+		row := sparse.Unit(i % g.NumNodes())
+		ct := 1.0
+		for t := 1; t < len(dists); t++ {
+			ct *= 0.6
+			row = sparse.AddScaled(row, ct, dists[t].SquareValues())
+		}
+	}
+}

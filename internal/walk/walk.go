@@ -1,0 +1,167 @@
+// Package walk implements the Monte Carlo random-walk engine at the heart
+// of CloudWalker.
+//
+// A SimRank walk moves backward: at node v it steps to a uniformly random
+// in-neighbor of v. The empirical distribution of R such walkers after t
+// steps is an unbiased estimate of P^t e_start, where P is the graph's
+// column-stochastic backward transition operator (sparse.Transition). A
+// walker that reaches a node with no in-links terminates, matching the
+// vanishing mass of P's zero columns.
+package walk
+
+import (
+	"sync"
+
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+// StepIn moves one step backward from v: a uniform random in-neighbor,
+// or -1 if v has none.
+func StepIn(g *graph.Graph, v int, src *xrand.Source) int {
+	d := g.InDegree(v)
+	if d == 0 {
+		return -1
+	}
+	return int(g.InNeighborAt(v, src.Intn(d)))
+}
+
+// StepOut moves one step forward from u: a uniform random out-neighbor,
+// or -1 if u has none.
+func StepOut(g *graph.Graph, u int, src *xrand.Source) int {
+	d := g.OutDegree(u)
+	if d == 0 {
+		return -1
+	}
+	return int(g.OutNeighborAt(u, src.Intn(d)))
+}
+
+// Path walks T backward steps from start and returns the node visited at
+// each step t = 0..T; entries after termination are -1.
+func Path(g *graph.Graph, start, T int, src *xrand.Source) []int32 {
+	path := make([]int32, T+1)
+	cur := start
+	path[0] = int32(start)
+	for t := 1; t <= T; t++ {
+		if cur >= 0 {
+			cur = StepIn(g, cur, src)
+		}
+		path[t] = int32(cur)
+	}
+	return path
+}
+
+// Distributions runs R backward walkers from start for T steps and returns
+// the empirical distributions p̂_t ≈ P^t e_start for t = 0..T. Each
+// distribution sums to (walkers still alive at t)/R ≤ 1.
+func Distributions(g *graph.Graph, start, T, R int, src *xrand.Source) []*sparse.Vector {
+	if R <= 0 || T < 0 {
+		return []*sparse.Vector{sparse.Unit(start)}
+	}
+	accs := make([]*sparse.Accumulator, T+1)
+	for t := range accs {
+		accs[t] = sparse.NewAccumulator()
+	}
+	w := 1.0 / float64(R)
+	for r := 0; r < R; r++ {
+		cur := start
+		accs[0].Add(int32(start), w)
+		for t := 1; t <= T; t++ {
+			cur = StepIn(g, cur, src)
+			if cur < 0 {
+				break
+			}
+			accs[t].Add(int32(cur), w)
+		}
+	}
+	out := make([]*sparse.Vector, T+1)
+	for t := range out {
+		out[t] = accs[t].ToVector()
+	}
+	return out
+}
+
+// DistributionsParallel is Distributions with the R walkers split across
+// `workers` goroutines, each with an independent RNG stream derived from
+// seed. Results are deterministic for a fixed (seed, workers) pair.
+func DistributionsParallel(g *graph.Graph, start, T, R, workers int, seed uint64) []*sparse.Vector {
+	if workers <= 1 || R < 2*workers {
+		return Distributions(g, start, T, R, xrand.NewStream(seed, 0))
+	}
+	chunks := make([][]*sparse.Vector, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		share := R / workers
+		if w < R%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			src := xrand.NewStream(seed, uint64(w))
+			chunks[w] = Distributions(g, start, T, share, src)
+		}(w, share)
+	}
+	wg.Wait()
+	// Merge: each chunk's distributions are normalized by its own share,
+	// so reweight by share/R before summing.
+	out := make([]*sparse.Vector, T+1)
+	for t := 0; t <= T; t++ {
+		acc := sparse.NewAccumulator()
+		for w := 0; w < workers; w++ {
+			share := R / workers
+			if w < R%workers {
+				share++
+			}
+			scale := float64(share) / float64(R)
+			d := chunks[w][t]
+			for k, idx := range d.Idx {
+				acc.Add(idx, d.Val[k]*scale)
+			}
+		}
+		out[t] = acc.ToVector()
+	}
+	return out
+}
+
+// ForwardWeighted performs the importance-weighted forward walk of the
+// MCSS estimator (DESIGN.md §3.4): starting at node k with weight w, take
+// `steps` transitions to a uniform random out-neighbor, multiplying the
+// weight by |Out(cur)| / |In(next)| at each step. It returns the final
+// node and weight, or (-1, 0) if the walk dies at a node with no
+// out-links. The expectation of the deposited weight at node j equals
+// w * Pr[t-step backward walk from j ends at k].
+func ForwardWeighted(g *graph.Graph, k int, w float64, steps int, src *xrand.Source) (int, float64) {
+	cur := k
+	for s := 0; s < steps; s++ {
+		dOut := g.OutDegree(cur)
+		if dOut == 0 {
+			return -1, 0
+		}
+		next := int(g.OutNeighborAt(cur, src.Intn(dOut)))
+		w *= float64(dOut) / float64(g.InDegree(next))
+		cur = next
+	}
+	return cur, w
+}
+
+// MeetingTime runs two coupled backward walks from i and j (independent
+// uniform steps) and returns the first step 1..T at which they occupy the
+// same node, or 0 if they never meet within T steps. This is the classic
+// first-meeting view of SimRank used by the naive MC baseline and by the
+// fingerprint index.
+func MeetingTime(g *graph.Graph, i, j, T int, src *xrand.Source) int {
+	a, b := i, j
+	for t := 1; t <= T; t++ {
+		a = StepIn(g, a, src)
+		b = StepIn(g, b, src)
+		if a < 0 || b < 0 {
+			return 0
+		}
+		if a == b {
+			return t
+		}
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package xrand
+
+import "fmt"
+
+// Alias is a Walker alias table for O(1) sampling from a fixed discrete
+// distribution. Building is O(n); sampling costs one Uint64 and one
+// comparison. The table is immutable after construction and safe for
+// concurrent Sample calls as long as each caller uses its own Source.
+type Alias struct {
+	prob  []float64 // acceptance probability of column i
+	alias []int32   // fallback outcome of column i
+}
+
+// NewAlias builds an alias table from non-negative weights. At least one
+// weight must be positive.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("xrand: alias table needs at least one weight")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("xrand: negative weight %g at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("xrand: all weights are zero")
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		a.prob[g] = 1
+		a.alias[g] = g
+	}
+	for _, l := range small { // numerical leftovers
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	return a, nil
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one outcome index using src.
+func (a *Alias) Sample(src *Source) int {
+	u := src.Uint64()
+	i := int(u % uint64(len(a.prob))) // column
+	f := float64(u>>11) / (1 << 53)   // reuse high bits as the coin
+	if f < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

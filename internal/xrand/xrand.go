@@ -1,0 +1,163 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation for the CloudWalker reproduction.
+//
+// Every randomized component in this repository (graph generators, Monte
+// Carlo walkers, baselines) draws from an xrand.Source so that experiments
+// are reproducible bit-for-bit from a single master seed, and so that
+// parallel workers can be handed statistically independent streams without
+// locking. The generator is xoshiro256** seeded through SplitMix64, the
+// combination recommended by the xoshiro authors.
+package xrand
+
+import "math"
+
+// Source is a xoshiro256** pseudo-random generator. It is NOT safe for
+// concurrent use; hand each goroutine its own Source via Split or New with
+// distinct stream identifiers.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding, per the xoshiro authors' guidance.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source derived from seed. Distinct seeds yield streams that
+// are independent for all practical purposes.
+func New(seed uint64) *Source {
+	sm := seed
+	s := &Source{}
+	s.s0 = splitmix64(&sm)
+	s.s1 = splitmix64(&sm)
+	s.s2 = splitmix64(&sm)
+	s.s3 = splitmix64(&sm)
+	// xoshiro must not start in the all-zero state; SplitMix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+// NewStream returns a Source for stream id derived from seed. It is the
+// canonical way to give worker i its own generator: NewStream(seed, i) and
+// NewStream(seed, j) are independent for i != j.
+func NewStream(seed, stream uint64) *Source {
+	// Mix the stream id through SplitMix64 so that adjacent stream ids
+	// land far apart in seed space.
+	sm := seed
+	base := splitmix64(&sm)
+	sm2 := base ^ (stream+1)*0xd1342543de82ef95
+	return New(splitmix64(&sm2))
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Split returns a new Source whose future outputs are independent of the
+// receiver's. The receiver is advanced.
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using
+// Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements via swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,286 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same seed diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	// Streams with adjacent ids should not be correlated; check that the
+	// first outputs differ and a simple lag correlation is small.
+	s0, s1 := NewStream(7, 0), NewStream(7, 1)
+	equal := 0
+	for i := 0; i < 1000; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("adjacent streams collided %d times", equal)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Chi-square style sanity check on 8 buckets.
+	s := New(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %g", b, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %g, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(11)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance %g, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(13)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %g, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(19)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed multiset: %v", xs)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(23)
+	child := parent.Split()
+	eq := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			eq++
+		}
+	}
+	if eq > 0 {
+		t.Fatalf("split streams collided %d times", eq)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	s := New(29)
+	f := func(n uint16, _ uint8) bool {
+		m := int(n%1000) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 4 {
+		t.Fatalf("N = %d, want 4", a.N())
+	}
+	s := New(31)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(s)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Errorf("outcome %d: count %d, want ~%g", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(37)
+	for i := 0; i < 100; i++ {
+		if v := a.Sample(s); v != 0 {
+			t.Fatalf("single-outcome alias returned %d", v)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(41)
+	for i := 0; i < 10000; i++ {
+		v := a.Sample(s)
+		if v == 0 || v == 2 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(1000003)
+	}
+	_ = sink
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	w := make([]float64, 1024)
+	for i := range w {
+		w[i] = float64(i%17) + 1
+	}
+	a, _ := NewAlias(w)
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample(s)
+	}
+	_ = sink
+}
