@@ -62,12 +62,12 @@ func main() {
 			log.Fatal(err)
 		}
 		wall := time.Since(start)
+		tot := cl.Totals() // snapshot the D stage before query stages land
 		start = time.Now()
 		if _, err := eng.SinglePair(17, 400); err != nil {
 			log.Fatal(err)
 		}
 		pairTime := time.Since(start)
-		tot := cl.Totals()
 		results = append(results, result{
 			name: eng.Name(), wall: wall, sim: tot.SimWall,
 			shuffle: tot.ShuffleBytes, bcast: tot.BroadcastBytes, pairTime: pairTime,

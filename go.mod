@@ -1,0 +1,3 @@
+module cloudwalker
+
+go 1.24

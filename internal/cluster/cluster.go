@@ -14,6 +14,7 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -203,11 +204,54 @@ func (c *Cluster) RunStage(name string, tasks []Task) error {
 	for _, d := range durations {
 		m.ComputeTime += d
 	}
-	m.SimWall = makespan(durations, c.cfg.TotalCores())
+	m.SimWall = makespan(clampStragglers(durations), c.cfg.TotalCores())
 	c.mu.Lock()
 	c.stages = append(c.stages, m)
 	c.mu.Unlock()
 	return firstErr
+}
+
+// stragglerFactor bounds how far one task's measured duration may exceed
+// the stage median before it is clamped for makespan purposes. The bound
+// is deliberately loose: genuine data skew (a reduce task holding a hot
+// node's whole walker mass) rarely exceeds it, while OS descheduling
+// spikes on oversubscribed hosts run to hundreds of times the median.
+const stragglerFactor = 16
+
+// clampStragglers limits extreme task durations to stragglerFactor times
+// the stage median before list-scheduling. Spark curbs exactly this with
+// speculative execution (spark.speculation re-launches outliers); here it
+// also keeps the simulated makespan honest when the host OS deschedules
+// the process mid-task and wall-clock measurement turns one task into a
+// spurious multi-hundred-millisecond straggler. The cost is a bounded
+// underreport of genuine extreme skew — conservative for the RDD-vs-
+// broadcast comparison, since it can only shrink the slower model's
+// makespan. Durations within the bound — including every task of a
+// uniform stage — pass through unchanged.
+func clampStragglers(durations []time.Duration) []time.Duration {
+	if len(durations) < 2 {
+		return durations
+	}
+	sorted := make([]time.Duration, len(durations))
+	copy(sorted, durations)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	limit := stragglerFactor * sorted[len(sorted)/2]
+	if limit <= 0 {
+		// A zero median (empty tasks, coarse clocks) gives no baseline to
+		// judge stragglers against; keep the measurements as they are.
+		return durations
+	}
+	if sorted[len(sorted)-1] <= limit {
+		return durations
+	}
+	out := make([]time.Duration, len(durations))
+	for i, d := range durations {
+		if d > limit {
+			d = limit
+		}
+		out[i] = d
+	}
+	return out
 }
 
 // makespan list-schedules the task durations onto `cores` slots in order

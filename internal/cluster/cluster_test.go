@@ -130,6 +130,38 @@ func TestMakespan(t *testing.T) {
 	}
 }
 
+func TestClampStragglers(t *testing.T) {
+	// Uniform stages pass through untouched (same backing array).
+	uniform := []time.Duration{3, 4, 5, 4}
+	if got := clampStragglers(uniform); &got[0] != &uniform[0] {
+		t.Fatal("uniform stage was copied")
+	}
+	// A wild outlier is clamped to stragglerFactor x median (the upper
+	// median, 3 here); the rest keep their values.
+	ds := []time.Duration{2, 3, 1000, 2}
+	got := clampStragglers(ds)
+	if got[2] != stragglerFactor*3 {
+		t.Fatalf("straggler clamped to %d, want %d", got[2], stragglerFactor*3)
+	}
+	if got[0] != 2 || got[1] != 3 || got[3] != 2 {
+		t.Fatalf("non-stragglers changed: %v", got)
+	}
+	if ds[2] != 1000 {
+		t.Fatal("input mutated")
+	}
+	// Single-task stages cannot be judged against a median.
+	one := []time.Duration{1000}
+	if got := clampStragglers(one); got[0] != 1000 {
+		t.Fatalf("single task clamped to %d", got[0])
+	}
+	// A zero median (coarse clocks, empty tasks) gives no baseline; the
+	// measurements must pass through rather than collapse to zero.
+	zeros := []time.Duration{0, 0, 0, 500}
+	if got := clampStragglers(zeros); got[3] != 500 {
+		t.Fatalf("zero-median stage clamped to %d", got[3])
+	}
+}
+
 func TestMemoryReservation(t *testing.T) {
 	c, _ := New(testConfig()) // 1 MB per machine
 	if err := c.Reserve(512<<10, "half"); err != nil {

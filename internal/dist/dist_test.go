@@ -1,0 +1,306 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"cloudwalker/internal/cluster"
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(60, 420, gen.DefaultRMAT, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testOpts() core.Options {
+	o := core.DefaultOptions()
+	o.T, o.L, o.R, o.RPrime = 6, 4, 800, 400
+	o.Seed = 21
+	return o
+}
+
+func testCluster(t *testing.T, mutate func(*cluster.Config)) *cluster.Cluster {
+	t.Helper()
+	cfg := cluster.DefaultConfig()
+	cfg.Machines, cfg.CoresPerMachine = 4, 2
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestBroadcastMatchesLocal: the broadcast model must be bit-identical to
+// the single-machine build — rows derive their RNG streams from row ids,
+// not from task scheduling.
+func TestBroadcastMatchesLocal(t *testing.T) {
+	g, opts := testGraph(t), testOpts()
+	local, _, err := core.BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewBroadcast(g, opts, testCluster(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	idx, err := eng.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local.Diag {
+		if local.Diag[i] != idx.Diag[i] {
+			t.Fatalf("diag[%d]: broadcast %g != local %g", i, idx.Diag[i], local.Diag[i])
+		}
+	}
+}
+
+// TestRDDAgreesWithLocal: the RDD model uses different walker streams, so
+// require statistical agreement of the diagonal.
+func TestRDDAgreesWithLocal(t *testing.T) {
+	g, opts := testGraph(t), testOpts()
+	local, _, err := core.BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewRDD(g, opts, testCluster(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	idx, err := eng.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range local.Diag {
+		d := local.Diag[i] - idx.Diag[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.1 {
+		t.Fatalf("rdd diagonal diverges from local by %g", worst)
+	}
+}
+
+// TestBroadcastOOM: a graph larger than one machine's budget must fail at
+// construction with the cluster's out-of-memory error, holding nothing.
+func TestBroadcastOOM(t *testing.T) {
+	g := testGraph(t)
+	cl := testCluster(t, func(c *cluster.Config) {
+		c.MemoryPerMachine = g.MemoryBytes() - 1
+	})
+	if _, err := NewBroadcast(g, testOpts(), cl); err == nil {
+		t.Fatal("broadcast fit a graph larger than machine memory")
+	} else if !strings.Contains(err.Error(), "out of memory") {
+		t.Fatalf("expected an OOM error, got: %v", err)
+	}
+	if cl.MemoryInUse() != 0 {
+		t.Fatalf("failed construction left %d bytes reserved", cl.MemoryInUse())
+	}
+}
+
+// TestRDDSurvivesBroadcastWall: with per-machine memory between one
+// partition's share and the whole graph, broadcast OOMs and RDD runs —
+// the paper's "RDD is more scalable" claim.
+func TestRDDSurvivesBroadcastWall(t *testing.T) {
+	g, opts := testGraph(t), testOpts()
+	opts.R, opts.T = 40, 3 // keep the walk cheap; memory is the subject
+	budget := g.MemoryBytes()/2 + 1
+	cl := testCluster(t, func(c *cluster.Config) { c.MemoryPerMachine = budget })
+	if _, err := NewBroadcast(g, opts, cl); err == nil {
+		t.Fatal("broadcast should not fit")
+	}
+	cl2 := testCluster(t, func(c *cluster.Config) { c.MemoryPerMachine = budget })
+	eng, err := NewRDD(g, opts, cl2)
+	if err != nil {
+		t.Fatalf("rdd should fit one partition per machine: %v", err)
+	}
+	defer eng.Close()
+	if _, err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRDDShuffleAccounting: the per-step exchange must record nonzero
+// shuffle volume that grows with the walk length T.
+func TestRDDShuffleAccounting(t *testing.T) {
+	g := testGraph(t)
+	shuffleAt := func(T int) int64 {
+		opts := testOpts()
+		opts.T = T
+		cl := testCluster(t, nil)
+		eng, err := NewRDD(g, opts, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		if _, err := eng.BuildIndex(); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Totals().ShuffleBytes
+	}
+	short, long := shuffleAt(2), shuffleAt(6)
+	if short <= 0 {
+		t.Fatalf("T=2 shuffled %d bytes, want > 0", short)
+	}
+	if long <= short {
+		t.Fatalf("shuffle bytes did not grow with T: T=2 %d, T=6 %d", short, long)
+	}
+}
+
+// TestBroadcastAccountsNoShuffle: the broadcast model's offline stage
+// moves the graph once (broadcast bytes) and shuffles nothing.
+func TestBroadcastAccountsNoShuffle(t *testing.T) {
+	g, opts := testGraph(t), testOpts()
+	cl := testCluster(t, nil)
+	eng, err := NewBroadcast(g, opts, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	tot := cl.Totals()
+	if tot.BroadcastBytes != g.MemoryBytes() {
+		t.Fatalf("broadcast bytes %d, want graph bytes %d", tot.BroadcastBytes, g.MemoryBytes())
+	}
+	if tot.ShuffleBytes != 0 {
+		t.Fatalf("broadcast model shuffled %d bytes, want 0", tot.ShuffleBytes)
+	}
+}
+
+// TestQueriesLazyBuildAndClose: queries before BuildIndex trigger the
+// build; Close releases the reservation, is idempotent, and rejects
+// further use.
+func TestQueriesLazyBuildAndClose(t *testing.T) {
+	g, opts := testGraph(t), testOpts()
+	opts.R, opts.RPrime = 100, 200
+	for _, mk := range []func(*cluster.Cluster) (Engine, error){
+		func(cl *cluster.Cluster) (Engine, error) { return NewBroadcast(g, opts, cl) },
+		func(cl *cluster.Cluster) (Engine, error) { return NewRDD(g, opts, cl) },
+	} {
+		cl := testCluster(t, nil)
+		eng, err := mk(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.MemoryInUse() == 0 {
+			t.Fatalf("%s reserved no memory", eng.Name())
+		}
+		// Query without an explicit BuildIndex: lazily built.
+		s, err := eng.SinglePair(0, 1)
+		if err != nil || s < 0 || s > 1 {
+			t.Fatalf("%s lazy SinglePair: %g, %v", eng.Name(), s, err)
+		}
+		v, err := eng.SingleSource(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Get(2) != 1 {
+			t.Fatalf("%s self-similarity %g, want 1", eng.Name(), v.Get(2))
+		}
+		if _, err := eng.SinglePair(-1, 0); err == nil {
+			t.Fatalf("%s accepted an out-of-range node", eng.Name())
+		}
+		eng.Close()
+		eng.Close() // idempotent
+		if cl.MemoryInUse() != 0 {
+			t.Fatalf("%s Close left %d bytes reserved", eng.Name(), cl.MemoryInUse())
+		}
+		if _, err := eng.BuildIndex(); err == nil {
+			t.Fatalf("%s accepted BuildIndex after Close", eng.Name())
+		}
+	}
+}
+
+// TestConstructorValidation: bad options and nil inputs are rejected by
+// both constructors.
+func TestConstructorValidation(t *testing.T) {
+	g := testGraph(t)
+	cl := testCluster(t, nil)
+	bad := testOpts()
+	bad.C = 1.5
+	if _, err := NewBroadcast(g, bad, cl); err == nil {
+		t.Fatal("broadcast accepted invalid options")
+	}
+	if _, err := NewRDD(g, bad, cl); err == nil {
+		t.Fatal("rdd accepted invalid options")
+	}
+	if _, err := NewBroadcast(nil, testOpts(), cl); err == nil {
+		t.Fatal("broadcast accepted a nil graph")
+	}
+	if _, err := NewRDD(g, testOpts(), nil); err == nil {
+		t.Fatal("rdd accepted a nil cluster")
+	}
+}
+
+func TestRowRanges(t *testing.T) {
+	cases := []struct {
+		n, chunks, wantLen int
+	}{
+		{10, 3, 3},
+		{3, 10, 3},
+		{1, 1, 1},
+		{7, 0, 1},
+	}
+	for _, c := range cases {
+		got := rowRanges(c.n, c.chunks)
+		if len(got) != c.wantLen {
+			t.Fatalf("rowRanges(%d, %d) has %d ranges, want %d", c.n, c.chunks, len(got), c.wantLen)
+		}
+		covered := 0
+		prev := 0
+		for _, rg := range got {
+			if rg[0] != prev || rg[1] <= rg[0] {
+				t.Fatalf("rowRanges(%d, %d) = %v not contiguous", c.n, c.chunks, got)
+			}
+			covered += rg[1] - rg[0]
+			prev = rg[1]
+		}
+		if covered != c.n {
+			t.Fatalf("rowRanges(%d, %d) covers %d rows", c.n, c.chunks, covered)
+		}
+	}
+}
+
+// TestRDDDeterministicGivenCluster: the RDD build is deterministic for a
+// fixed (seed, cluster shape): per-partition streams are derived from the
+// step and partition index, not from goroutine scheduling.
+func TestRDDDeterministicGivenCluster(t *testing.T) {
+	g, opts := testGraph(t), testOpts()
+	opts.R = 200
+	run := func() []float64 {
+		eng, err := NewRDD(g, opts, testCluster(t, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		idx, err := eng.BuildIndex()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx.Diag
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rdd build not deterministic at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
