@@ -33,6 +33,7 @@ import (
 	"cloudwalker/internal/exact"
 	"cloudwalker/internal/gen"
 	"cloudwalker/internal/graph"
+	"cloudwalker/internal/server"
 	"cloudwalker/internal/simstore"
 	"cloudwalker/internal/sparse"
 )
@@ -180,6 +181,31 @@ func StoreFromResults(results [][]Neighbor, k int) (*SimilarityStore, error) {
 
 // LoadSimilarityStore reads a store written by SimilarityStore.Save.
 func LoadSimilarityStore(r io.Reader) (*SimilarityStore, error) { return simstore.Load(r) }
+
+// Server is the online HTTP/JSON serving tier: /pair, /pairs, /source,
+// /topk, /healthz, /stats, with a sharded result cache, request
+// coalescing, and 429 load shedding (see cmd/cloudwalkerd for the
+// daemon).
+type Server = server.Server
+
+// ServerConfig tunes the serving tier (cache size/shards, admission
+// limit, batch limit, optional all-pair store).
+type ServerConfig = server.Config
+
+// ServerStats is the /stats payload (cache hit rate, shed count,
+// per-endpoint latency quantiles).
+type ServerStats = server.Stats
+
+// NewServer builds the serving tier around a Querier.
+func NewServer(q *Querier, cfg ServerConfig) (*Server, error) { return server.New(q, cfg) }
+
+// CanonicalPair orders a pair query so both orders of a symmetric
+// SimRank pair share one cache entry and one bit-identical estimate.
+func CanonicalPair(i, j int) (int, int) { return core.CanonicalPair(i, j) }
+
+// TopKNeighbors truncates a sparse single-source result to its k
+// highest-scoring entries, excluding self (negative self keeps all).
+func TopKNeighbors(v *Vector, self, k int) []Neighbor { return core.TopKNeighbors(v, self, k) }
 
 // DirectSinglePair estimates s(i,j) with the classic index-free
 // first-meeting Monte Carlo method (no offline stage; single pairs only).

@@ -1,0 +1,153 @@
+// Command cloudwalkerd is the CloudWalker query daemon: it loads a graph
+// and its offline index (plus, optionally, a precomputed all-pair store),
+// and serves online SimRank queries over HTTP/JSON with result caching,
+// request coalescing, and load shedding.
+//
+// Usage:
+//
+//	cloudwalker gen   -out graph.bin -kind rmat -n 10000 -m 120000
+//	cloudwalker index -graph graph.bin -out index.cw
+//	cloudwalkerd -graph graph.bin -index index.cw [-store topk.cw] [-addr :8089]
+//
+// Endpoints: /pair, /pairs, /source, /topk, /healthz, /stats (see
+// internal/server). SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cloudwalker"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudwalkerd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus process concerns. If ready is non-nil it receives the
+// bound address once the listener is up (tests use it to aim requests at
+// an ephemeral port).
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("cloudwalkerd", flag.ContinueOnError)
+	gpath := fs.String("graph", "", "graph file (.txt/.el for text, else binary)")
+	ipath := fs.String("index", "", "index file from 'cloudwalker index'")
+	spath := fs.String("store", "", "optional all-pair store from 'cloudwalker query -mode ap -save'")
+	addr := fs.String("addr", ":8089", "listen address")
+	cacheSize := fs.Int("cache", 0, "result cache entries (0 = default, -1 = disabled)")
+	cacheShards := fs.Int("cache-shards", 0, "result cache shards (0 = default)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrent queries before shedding 429s (0 = 4x cores, -1 = unlimited)")
+	maxBatch := fs.Int("max-batch", 0, "max pairs per /pairs request (0 = default)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gpath == "" || *ipath == "" {
+		return fmt.Errorf("-graph and -index are required")
+	}
+
+	g, err := loadGraph(*gpath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*ipath)
+	if err != nil {
+		return err
+	}
+	idx, err := cloudwalker.LoadIndex(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	q, err := cloudwalker.NewQuerier(g, idx)
+	if err != nil {
+		return err
+	}
+	cfg := cloudwalker.ServerConfig{
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+		MaxInFlight: *maxInFlight,
+		MaxBatch:    *maxBatch,
+	}
+	if *spath != "" {
+		sf, err := os.Open(*spath)
+		if err != nil {
+			return err
+		}
+		store, err := cloudwalker.LoadSimilarityStore(sf)
+		sf.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+		fmt.Fprintf(out, "loaded all-pair store: %d nodes, k=%d\n", store.NumNodes(), store.K())
+	}
+	srv, err := cloudwalker.NewServer(q, cfg)
+	if err != nil {
+		return err
+	}
+
+	// Arm signal handling before the listener goes up so a SIGTERM that
+	// races startup still drains instead of killing the process.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving %d nodes / %d edges on http://%s\n",
+		g.NumNodes(), g.NumEdges(), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(out, "received %v, draining (up to %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		st := srv.StatsSnapshot()
+		fmt.Fprintf(out, "drained; served %d computations, shed %d\n", st.Computations, st.Shed)
+		return nil
+	}
+}
+
+// loadGraph reads text (.txt/.el) or binary graph files, mirroring the
+// cloudwalker CLI's convention.
+func loadGraph(path string) (*cloudwalker.Graph, error) {
+	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".el") {
+		return cloudwalker.LoadEdgeListFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cloudwalker.LoadBinaryGraph(f)
+}

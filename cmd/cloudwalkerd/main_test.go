@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cloudwalker"
+)
+
+func TestRunRequiresFlags(t *testing.T) {
+	if err := run(nil, new(bytes.Buffer), nil); err == nil {
+		t.Fatal("missing -graph/-index accepted")
+	}
+	if err := run([]string{"-graph", "nope.bin"}, new(bytes.Buffer), nil); err == nil {
+		t.Fatal("missing -index accepted")
+	}
+	if err := run([]string{"-graph", "/does/not/exist.bin", "-index", "x.cw"},
+		new(bytes.Buffer), nil); err == nil {
+		t.Fatal("unreadable graph accepted")
+	}
+}
+
+// TestDaemonEndToEnd builds artifacts with the library (standing in for
+// the cloudwalker CLI), boots the daemon on an ephemeral port, queries
+// it, and shuts it down with SIGTERM — the full operational loop.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	g, err := cloudwalker.GenerateRMAT(200, 1600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cloudwalker.DefaultOptions()
+	opts.T = 4
+	opts.R = 30
+	opts.RPrime = 200
+	idx, _, err := cloudwalker.BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpath := filepath.Join(dir, "graph.bin")
+	ipath := filepath.Join(dir, "index.cw")
+	gf, err := os.Create(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cloudwalker.SaveBinaryGraph(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	xf, err := os.Create(ipath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cloudwalker.SaveIndex(xf, idx); err != nil {
+		t.Fatal(err)
+	}
+	xf.Close()
+
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-graph", gpath, "-index", ipath, "-addr", "127.0.0.1:0",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Get("http://" + addr + "/pair?i=1&j=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		Score  float64 `json:"score"`
+		Cached bool    `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Score < 0 || pr.Score > 1 {
+		t.Fatalf("status %d, score %v", resp.StatusCode, pr.Score)
+	}
+
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and return nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("missing drain log:\n%s", out.String())
+	}
+}

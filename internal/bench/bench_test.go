@@ -282,8 +282,8 @@ func TestThroughputExperiment(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 11 {
-		t.Fatalf("experiment count %d, want 11", len(names))
+	if len(names) != 12 {
+		t.Fatalf("experiment count %d, want 12", len(names))
 	}
 	var buf bytes.Buffer
 	if err := Run("params", tinyConfig(), &buf, false); err != nil {
@@ -301,5 +301,22 @@ func TestRegistry(t *testing.T) {
 	}
 	if !strings.HasPrefix(buf.String(), "# Datasets") {
 		t.Fatalf("CSV output:\n%s", buf.String())
+	}
+}
+
+// TestServingSmoke runs the serving experiment at tiny scale: both arms
+// must complete and render (the 10x cached-speedup claim is checked at
+// real scale by `benchtab -exp fig-serving`, not here — a 28-node graph
+// under race-detector overhead is not a performance environment).
+func TestServingSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("fig-serving", tinyConfig(), &buf, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"uncached", "cached", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serving table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -21,6 +21,7 @@ var Experiments = map[string]Runner{
 	"fig-models":        RunModels,
 	"fig-effectiveness": RunEffectiveness,
 	"fig-queryscaling":  RunQueryScaling,
+	"fig-serving":       RunServing,
 	"fig-throughput":    RunThroughput,
 	"ablation":          RunAblation,
 }

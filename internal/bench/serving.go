@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/server"
+	"cloudwalker/internal/xrand"
+)
+
+// RunServing measures the online serving tier end to end (experiment id
+// "fig-serving"): closed-loop HTTP clients hammering /pair on a hot
+// working set, once against a cache-disabled server (every request runs
+// the full MCSP estimate) and once against the default sharded cache
+// (after warmup every request is a hit). The cached arm should beat the
+// uncached arm by well over an order of magnitude — the operational
+// payoff of SimRank scores being frozen Monte Carlo estimates that can
+// be memoized without accuracy loss.
+func RunServing(cfg Config) ([]*Table, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	p, err := gen.ProfileByName("wiki-vote")
+	if err != nil {
+		return nil, err
+	}
+	p = p.Scaled(cfg.Scale)
+	g, err := p.Generate()
+	if err != nil {
+		return nil, err
+	}
+	cfg.logf("[serving] wiki-vote at %d nodes / %d edges", g.NumNodes(), g.NumEdges())
+	idx, _, err := core.BuildIndex(g, cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	q, err := core.NewQuerier(g, idx)
+	if err != nil {
+		return nil, err
+	}
+
+	// The hot working set: 32 distinct pairs, the "related pages" a
+	// popular front page would hammer.
+	src := xrand.NewStream(7, 1)
+	hot := make([]string, 32)
+	for i := range hot {
+		a, b := src.Intn(g.NumNodes()), src.Intn(g.NumNodes())
+		hot[i] = fmt.Sprintf("/pair?i=%d&j=%d", a, b)
+	}
+
+	const clients = 8
+	window := 400 * time.Millisecond
+	t := NewTable(
+		fmt.Sprintf("Serving: /pair closed-loop, %d clients, %d-pair hot set (wiki-vote @ %d nodes)",
+			clients, len(hot), g.NumNodes()),
+		"Arm", "QPS", "p50", "p99")
+
+	var uncachedQPS, cachedQPS float64
+	for _, arm := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"uncached", -1},
+		{"cached", 0},
+	} {
+		srv, err := server.New(q, server.Config{CacheSize: arm.cacheSize, MaxInFlight: -1})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		if arm.cacheSize >= 0 {
+			// Warm the cache so the measurement window sees the steady
+			// state, not the one-off fill.
+			for _, path := range hot {
+				if err := drainGet(ts.Client(), ts.URL+path); err != nil {
+					ts.Close()
+					return nil, err
+				}
+			}
+		}
+		qps, p50, p99, err := closedLoop(ts, clients, window, hot)
+		ts.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.Add(arm.name, fmt.Sprintf("%.0f", qps), FmtDuration(p50), FmtDuration(p99))
+		if arm.cacheSize < 0 {
+			uncachedQPS = qps
+		} else {
+			cachedQPS = qps
+		}
+	}
+	if uncachedQPS > 0 {
+		t.Add("speedup", fmt.Sprintf("%.1fx", cachedQPS/uncachedQPS), "", "")
+	}
+	return []*Table{t}, nil
+}
+
+// closedLoop runs `clients` goroutines, each issuing one request at a
+// time from the hot set for the window, and returns throughput plus
+// latency quantiles over all requests.
+func closedLoop(ts *httptest.Server, clients int, window time.Duration, hot []string) (qps float64, p50, p99 time.Duration, err error) {
+	var (
+		done  atomic.Bool
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		qerr  error
+		byCli = make([][]time.Duration, clients)
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			src := xrand.NewStream(99, uint64(c))
+			client := ts.Client()
+			var lats []time.Duration
+			for !done.Load() {
+				path := hot[src.Intn(len(hot))]
+				t0 := time.Now()
+				if err := drainGet(client, ts.URL+path); err != nil {
+					mu.Lock()
+					if qerr == nil {
+						qerr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			byCli[c] = lats
+		}(c)
+	}
+	time.Sleep(window)
+	done.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if qerr != nil {
+		return 0, 0, 0, qerr
+	}
+	var all []time.Duration
+	for _, l := range byCli {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0, fmt.Errorf("bench: serving window %v completed zero requests", window)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	qps = float64(len(all)) / elapsed.Seconds()
+	p50 = all[len(all)/2]
+	p99 = all[len(all)*99/100]
+	return qps, p50, p99, nil
+}
+
+// drainGet issues one GET and fully drains the body so the connection is
+// reused (closed-loop clients must not leak sockets).
+func drainGet(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bench: GET %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}

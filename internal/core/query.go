@@ -219,7 +219,7 @@ func (qr *Querier) AllPairsTopK(k int, mode SingleSourceMode) ([][]Neighbor, err
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				results[i] = topKOf(v, i, k)
+				results[i] = TopKNeighbors(v, i, k)
 			}
 		}()
 	}
@@ -236,9 +236,15 @@ type Neighbor struct {
 	Score float64
 }
 
-// topKOf selects the k highest-scoring entries of v, excluding node self,
-// by a simple partial selection (k is small).
-func topKOf(v *sparse.Vector, self, k int) []Neighbor {
+// TopKNeighbors selects the k highest-scoring entries of v, excluding node
+// self (pass a negative self to keep all), by a simple partial selection
+// (k is small). k <= 0 yields an empty result. It is the truncation step
+// between a single-source result and what a serving tier returns to
+// clients.
+func TopKNeighbors(v *sparse.Vector, self, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
 	out := make([]Neighbor, 0, k)
 	for idx, node := range v.Idx {
 		if int(node) == self {
@@ -319,6 +325,18 @@ func (q *Querier) checkNode(i int) error {
 		return fmt.Errorf("core: node %d out of range [0,%d)", i, q.g.NumNodes())
 	}
 	return nil
+}
+
+// CanonicalPair orders a pair query: SimRank is symmetric (s(i,j) =
+// s(j,i)), but the Monte Carlo estimator derives its RNG streams from the
+// ordered pair, so (i,j) and (j,i) would produce slightly different
+// estimates. Serving layers canonicalize before querying so both orders
+// share one cache entry and one bit-identical score.
+func CanonicalPair(i, j int) (int, int) {
+	if j < i {
+		return j, i
+	}
+	return i, j
 }
 
 // pairStream derives a distinct RNG stream id for each (i, j, side).

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -54,10 +55,15 @@ func (b *Builder) AddEdge(u, v int) error {
 	return nil
 }
 
-// AddEdgeGrow records u->v, growing the node count as needed.
+// AddEdgeGrow records u->v, growing the node count as needed. Ids must
+// fit in int32 (the adjacency representation); larger ids are rejected
+// rather than silently wrapped.
 func (b *Builder) AddEdgeGrow(u, v int) error {
 	if u < 0 || v < 0 {
 		return fmt.Errorf("graph: negative node in edge (%d,%d)", u, v)
+	}
+	if int64(u) >= math.MaxInt32 || int64(v) >= math.MaxInt32 {
+		return fmt.Errorf("graph: edge (%d,%d) exceeds int32 node-id range", u, v)
 	}
 	if u >= b.n {
 		b.n = u + 1

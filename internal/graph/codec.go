@@ -32,14 +32,18 @@ func ReadEdgeList(r io.Reader, minNodes int) (*Graph, error) {
 		if len(fields) < 2 {
 			return nil, fmt.Errorf("graph: line %d: want 'src dst', got %q", lineNo, line)
 		}
-		u, err := strconv.Atoi(fields[0])
+		// Node ids are int32 throughout the CSR representation; parsing at
+		// 32 bits rejects overflowing ids up front instead of letting them
+		// wrap (or allocate O(id) memory) further down.
+		u64, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad source %q: %v", lineNo, fields[0], err)
 		}
-		v, err := strconv.Atoi(fields[1])
+		v64, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("graph: line %d: bad target %q: %v", lineNo, fields[1], err)
 		}
+		u, v := int(u64), int(v64)
 		if err := b.AddEdgeGrow(u, v); err != nil {
 			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 		}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cloudwalker/internal/xrand"
+)
+
+func TestCacheRejectsBadConfig(t *testing.T) {
+	if _, err := NewCache(0, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewCache(8, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	// More shards than capacity: shard count is clamped, capacity holds.
+	c, err := NewCache(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", c.Capacity())
+	}
+}
+
+// TestCacheLRUOrder pins eviction order on a single shard: the least
+// recently *used* entry goes first, and a Get refreshes recency.
+func TestCacheLRUOrder(t *testing.T) {
+	c, err := NewCache(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4) // evicts b, the oldest untouched entry
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order broken")
+	}
+	for _, key := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s evicted out of order", key)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// 5 Gets above: 4 hits (a, a, c, d), 1 miss (b).
+	if st.Hits != 4 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 4/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c, err := NewCache(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh, not insert: nothing evicted
+	if st := c.Stats(); st.Evictions != 0 || st.Len != 2 {
+		t.Fatalf("stats after refresh = %+v", st)
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("a = %v (%v), want 10", v, ok)
+	}
+	c.Put("c", 3) // now b (oldest) goes
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("refresh did not promote a; b should have been evicted last")
+	}
+}
+
+// TestCacheConcurrentProperty hammers one cache from parallel readers and
+// writers (run under -race) and then checks the invariants that must hold
+// regardless of interleaving: capacity is never exceeded, the hit/miss
+// counters account for exactly the Gets performed, and no value ever
+// surfaces under the wrong key.
+func TestCacheConcurrentProperty(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 5000
+		keys    = 512
+	)
+	c, err := NewCache(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	gets := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := xrand.NewStream(42, uint64(w))
+			for i := 0; i < ops; i++ {
+				k := src.Intn(keys)
+				key := fmt.Sprintf("k%d", k)
+				if src.Intn(2) == 0 {
+					c.Put(key, k)
+					continue
+				}
+				gets[w]++
+				if v, ok := c.Get(key); ok && v.(int) != k {
+					t.Errorf("key %s returned value %v", key, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := c.Stats()
+	if st.Len > st.Capacity {
+		t.Fatalf("len %d exceeds capacity %d", st.Len, st.Capacity)
+	}
+	if got := c.Len(); got != st.Len {
+		t.Fatalf("Len()=%d disagrees with stats len %d after quiescence", got, st.Len)
+	}
+	var wantGets uint64
+	for _, g := range gets {
+		wantGets += g
+	}
+	if st.Hits+st.Misses != wantGets {
+		t.Fatalf("hits %d + misses %d != %d gets performed", st.Hits, st.Misses, wantGets)
+	}
+	// Every surviving entry must still carry its own key's value.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%d", k)
+		if v, ok := c.Get(key); ok && v.(int) != k {
+			t.Fatalf("key %s holds %v after the run", key, v)
+		}
+	}
+}
+
+// TestCacheShardedCapacity checks the per-shard capacity split: total
+// stored entries never exceed the effective capacity even when inserts
+// concentrate wherever the hash sends them.
+func TestCacheShardedCapacity(t *testing.T) {
+	c, err := NewCache(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10*64; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+	st := c.Stats()
+	// inserts == survivors + evictions (no refreshes occurred).
+	if uint64(st.Len)+st.Evictions != 640 {
+		t.Fatalf("len %d + evictions %d != 640 inserts", st.Len, st.Evictions)
+	}
+}

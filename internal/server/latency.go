@@ -1,0 +1,60 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRecorder tracks per-endpoint request latencies in a fixed-size
+// ring of recent samples. Quantiles over a sliding window of the last
+// latWindow requests are what an operator actually watches (a daemon that
+// has been up for a week should report current p99, not lifetime p99),
+// and the fixed footprint avoids unbounded growth under sustained load.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	samples [latWindow]time.Duration
+	count   uint64 // total observations; ring position is count % latWindow
+}
+
+const latWindow = 2048
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.count%latWindow] = d
+	l.count++
+	l.mu.Unlock()
+}
+
+// LatencyStats reports request count and latency quantiles (milliseconds)
+// over the recorder's sample window.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+func (l *latencyRecorder) stats() LatencyStats {
+	l.mu.Lock()
+	n := int(l.count)
+	if n > latWindow {
+		n = latWindow
+	}
+	window := make([]time.Duration, n)
+	copy(window, l.samples[:n])
+	st := LatencyStats{Count: l.count}
+	l.mu.Unlock()
+	if n == 0 {
+		return st
+	}
+	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return float64(window[i]) / float64(time.Millisecond)
+	}
+	st.P50Ms = q(0.50)
+	st.P90Ms = q(0.90)
+	st.P99Ms = q(0.99)
+	return st
+}

@@ -1,0 +1,533 @@
+// Package server is CloudWalker's online serving tier: an HTTP/JSON front
+// end over core.Querier and simstore.Store. The paper's offline
+// D-estimation exists precisely so online queries become cheap enough to
+// serve interactively (MCSP/MCSS cost is independent of graph size); this
+// package supplies the remaining production plumbing — a sharded LRU
+// result cache, singleflight coalescing so a thundering herd on one hot
+// query runs the Monte Carlo estimate once, and a bounded-concurrency
+// admission gate that sheds overload with 429 instead of queueing
+// unboundedly.
+//
+// Endpoints:
+//
+//	GET  /pair?i=..&j=..                      single-pair SimRank (MCSP)
+//	POST /pairs   {"pairs":[[i,j],...]}       batched MCSP
+//	GET  /source?node=..&mode=walk|pull&k=..  single-source top-k (MCSS)
+//	GET  /topk?node=..&k=..                   precomputed MCAP lookup
+//	GET  /healthz                             liveness + dataset shape
+//	GET  /stats                               cache/shed/latency counters
+//
+// Consistency caveat: cached entries are frozen Monte Carlo estimates.
+// Because the estimator is deterministic in (pair, seed), a hit is
+// bit-identical to recomputing — caching changes latency, never answers.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/simstore"
+)
+
+// Config tunes a Server around a core.Querier (passed to New). Zero
+// values are serving-ready defaults.
+type Config struct {
+	// CacheSize is the total result-cache capacity in entries. 0 means
+	// DefaultCacheSize; negative disables caching (every request
+	// recomputes — the uncached arm of the serving benchmark).
+	CacheSize int
+	// CacheShards is the shard count of the result cache. 0 means
+	// DefaultCacheShards.
+	CacheShards int
+	// MaxInFlight bounds concurrently-served query requests; excess
+	// requests are shed with 429. 0 means 4×GOMAXPROCS; negative
+	// disables admission control.
+	MaxInFlight int
+	// MaxBatch bounds the pair count of one /pairs request. 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// Store serves /topk point lookups (optional; /topk answers 503
+	// without it).
+	Store *simstore.Store
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultCacheSize   = 4096
+	DefaultCacheShards = 16
+	DefaultMaxBatch    = 1024
+	defaultTopK        = 20
+	maxTopK            = 1000
+)
+
+// Server is the HTTP serving tier. Create with New, expose with Handler.
+type Server struct {
+	q     *core.Querier
+	store *simstore.Store
+	cache *Cache // nil when caching is disabled
+	mux   *http.ServeMux
+
+	flight   flightGroup
+	gate     chan struct{} // nil when admission control is disabled
+	maxBatch int
+	start    time.Time
+
+	inFlight  atomic.Int64
+	shed      atomic.Uint64
+	computes  atomic.Uint64 // underlying query computations (cache+coalesce misses)
+	coalesced atomic.Uint64 // requests that piggybacked on another's computation
+	latency   map[string]*latencyRecorder
+
+	// testComputeHook, when set, runs at the start of every underlying
+	// computation (inside the singleflight, outside the cache). Tests use
+	// it to hold computations open and observe coalescing and shedding.
+	testComputeHook func(kind string)
+}
+
+// New validates cfg and builds a Server.
+func New(q *core.Querier, cfg Config) (*Server, error) {
+	if q == nil {
+		return nil, fmt.Errorf("server: nil querier")
+	}
+	if cfg.Store != nil && cfg.Store.NumNodes() != q.Graph().NumNodes() {
+		return nil, fmt.Errorf("server: store has %d nodes, graph has %d",
+			cfg.Store.NumNodes(), q.Graph().NumNodes())
+	}
+	s := &Server{
+		q:        q,
+		store:    cfg.Store,
+		maxBatch: cfg.MaxBatch,
+		start:    time.Now(),
+		latency:  make(map[string]*latencyRecorder),
+	}
+	if s.maxBatch == 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	if s.maxBatch < 0 {
+		return nil, fmt.Errorf("server: negative max batch %d", cfg.MaxBatch)
+	}
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		shards := cfg.CacheShards
+		if shards == 0 {
+			shards = DefaultCacheShards
+		}
+		cache, err := NewCache(size, shards)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
+	if cfg.MaxInFlight >= 0 {
+		slots := cfg.MaxInFlight
+		if slots == 0 {
+			slots = 4 * runtime.GOMAXPROCS(0)
+		}
+		s.gate = make(chan struct{}, slots)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/pair", s.gated("/pair", http.MethodGet, s.handlePair))
+	s.mux.Handle("/pairs", s.gated("/pairs", http.MethodPost, s.handlePairs))
+	s.mux.Handle("/source", s.gated("/source", http.MethodGet, s.handleSource))
+	s.mux.Handle("/topk", s.gated("/topk", http.MethodGet, s.handleTopK))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the root http.Handler (mountable under httptest or an
+// http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// gated wraps a query handler with method filtering, the admission gate,
+// and latency recording. Health and stats endpoints bypass it: they must
+// answer even when the query path is saturated.
+func (s *Server) gated(path, method string, h http.HandlerFunc) http.Handler {
+	rec := &latencyRecorder{}
+	s.latency[path] = rec
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, path)
+			return
+		}
+		if s.gate != nil {
+			select {
+			case s.gate <- struct{}{}:
+				defer func() { <-s.gate }()
+			default:
+				s.shed.Add(1)
+				writeError(w, http.StatusTooManyRequests, "server saturated (%d in flight), retry later", cap(s.gate))
+				return
+			}
+		}
+		s.inFlight.Add(1)
+		start := time.Now()
+		// Deferred so a handler panic (recovered by net/http) cannot
+		// leak an in-flight count or drop the latency sample.
+		defer func() {
+			rec.observe(time.Since(start))
+			s.inFlight.Add(-1)
+		}()
+		h(w, r)
+	})
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// parseNode reads an integer query parameter and range-checks it.
+func (s *Server) parseNode(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, raw)
+	}
+	if n := s.q.Graph().NumNodes(); v < 0 || v >= n {
+		return 0, fmt.Errorf("node %d out of range [0,%d)", v, n)
+	}
+	return v, nil
+}
+
+// parseK reads an optional top-k parameter with a default and a cap.
+func parseK(r *http.Request, def int) (int, error) {
+	raw := r.URL.Query().Get("k")
+	if raw == "" {
+		return def, nil
+	}
+	k, err := strconv.Atoi(raw)
+	if err != nil || k <= 0 {
+		return 0, fmt.Errorf("parameter \"k\": %q is not a positive integer", raw)
+	}
+	if k > maxTopK {
+		k = maxTopK
+	}
+	return k, nil
+}
+
+// cached runs fn under the cache and the singleflight group. Every
+// distinct in-flight key computes once; every completed key is served
+// from the cache until evicted.
+func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, fromCache bool, err error) {
+	if s.cache != nil {
+		if v, ok := s.cache.Get(key); ok {
+			return v, true, nil
+		}
+	}
+	v, shared, err := s.flight.Do(key, func() (any, error) {
+		if s.testComputeHook != nil {
+			s.testComputeHook(kind)
+		}
+		s.computes.Add(1)
+		out, err := fn()
+		if err == nil && s.cache != nil {
+			s.cache.Put(key, out)
+		}
+		return out, err
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	return v, false, err
+}
+
+// pairResponse is the /pair reply. Score is the MCSP estimate for the
+// canonicalized pair; Cached reports whether it came from the result
+// cache (the value is bit-identical either way).
+type pairResponse struct {
+	I      int     `json:"i"`
+	J      int     `json:"j"`
+	Score  float64 `json:"score"`
+	Cached bool    `json:"cached"`
+}
+
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	i, err := s.parseNode(r, "i")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.parseNode(r, "j")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ci, cj := core.CanonicalPair(i, j)
+	val, hit, err := s.cached(pairKey(ci, cj), "pair", func() (any, error) {
+		return s.q.SinglePair(ci, cj)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, pairResponse{I: i, J: j, Score: val.(float64), Cached: hit})
+}
+
+func pairKey(ci, cj int) string {
+	return "p/" + strconv.Itoa(ci) + "/" + strconv.Itoa(cj)
+}
+
+// pairsRequest is the /pairs body; pairsResponse aligns Scores with the
+// request's pair order.
+type pairsRequest struct {
+	Pairs [][2]int `json:"pairs"`
+}
+
+type pairsResponse struct {
+	Scores []float64 `json:"scores"`
+	Hits   int       `json:"cache_hits"`
+}
+
+// handlePairs serves batched MCSP. Cached pairs are answered from the
+// cache; the remainder run through Querier.SinglePairs, which fans the
+// batch across worker goroutines. Batches bypass the singleflight group
+// (coalescing whole batches would rarely match), but their results still
+// land in the cache for later point queries.
+func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
+	var req pairsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty pair list")
+		return
+	}
+	if len(req.Pairs) > s.maxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d pairs exceeds limit %d", len(req.Pairs), s.maxBatch)
+		return
+	}
+	n := s.q.Graph().NumNodes()
+	scores := make([]float64, len(req.Pairs))
+	hits := 0
+	// Misses dedupe by canonical pair: a batch hammering one hot pair
+	// (or listing both orders of it) costs one estimate, fanned back out
+	// to every requesting index.
+	var missing [][2]int
+	missSlot := make(map[[2]int]int)
+	slotAt := make([]int, len(req.Pairs)) // request index -> missing slot, -1 if cached
+	for idx, p := range req.Pairs {
+		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
+			writeError(w, http.StatusBadRequest, "pair %d: node out of range [0,%d): [%d,%d]", idx, n, p[0], p[1])
+			return
+		}
+		ci, cj := core.CanonicalPair(p[0], p[1])
+		cp := [2]int{ci, cj}
+		if _, dup := missSlot[cp]; !dup && s.cache != nil {
+			if v, ok := s.cache.Get(pairKey(ci, cj)); ok {
+				scores[idx] = v.(float64)
+				slotAt[idx] = -1
+				hits++
+				continue
+			}
+		}
+		slot, ok := missSlot[cp]
+		if !ok {
+			slot = len(missing)
+			missSlot[cp] = slot
+			missing = append(missing, cp)
+		}
+		slotAt[idx] = slot
+	}
+	if len(missing) > 0 {
+		if s.testComputeHook != nil {
+			s.testComputeHook(fmt.Sprintf("pairs:%d", len(missing)))
+		}
+		s.computes.Add(1)
+		out, err := s.q.SinglePairs(missing)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		for k, cp := range missing {
+			if s.cache != nil {
+				s.cache.Put(pairKey(cp[0], cp[1]), out[k])
+			}
+		}
+		for idx, slot := range slotAt {
+			if slot >= 0 {
+				scores[idx] = out[slot]
+			}
+		}
+	}
+	writeJSON(w, pairsResponse{Scores: scores, Hits: hits})
+}
+
+// neighborJSON is one top-k entry on the wire.
+type neighborJSON struct {
+	Node  int32   `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// sourceResponse is the /source reply: the k most similar nodes to Node
+// (descending score, Node itself excluded).
+type sourceResponse struct {
+	Node    int            `json:"node"`
+	Mode    string         `json:"mode"`
+	K       int            `json:"k"`
+	Cached  bool           `json:"cached"`
+	Results []neighborJSON `json:"results"`
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	node, err := s.parseNode(r, "node")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "walk"
+	}
+	var ssMode core.SingleSourceMode
+	switch mode {
+	case "walk":
+		ssMode = core.WalkSS
+	case "pull":
+		ssMode = core.PullSS
+	default:
+		writeError(w, http.StatusBadRequest, "parameter \"mode\": want walk or pull, got %q", mode)
+		return
+	}
+	k, err := parseK(r, defaultTopK)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := "s/" + mode + "/" + strconv.Itoa(k) + "/" + strconv.Itoa(node)
+	val, hit, err := s.cached(key, "source", func() (any, error) {
+		v, err := s.q.SingleSource(node, ssMode)
+		if err != nil {
+			return nil, err
+		}
+		return toNeighborJSON(core.TopKNeighbors(v, node, k)), nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, sourceResponse{
+		Node: node, Mode: mode, K: k, Cached: hit,
+		Results: val.([]neighborJSON),
+	})
+}
+
+func toNeighborJSON(ns []core.Neighbor) []neighborJSON {
+	out := make([]neighborJSON, len(ns))
+	for i, nb := range ns {
+		out[i] = neighborJSON{Node: nb.Node, Score: nb.Score}
+	}
+	return out
+}
+
+// topkResponse is the /topk reply: a point lookup into the preloaded
+// all-pair (MCAP) store.
+type topkResponse struct {
+	Node    int            `json:"node"`
+	K       int            `json:"k"`
+	Results []neighborJSON `json:"results"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, "no similarity store loaded (start the daemon with -store)")
+		return
+	}
+	node, err := s.parseNode(r, "node")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := parseK(r, s.store.K())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	list, err := s.store.Get(node)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(list) > k {
+		list = list[:k]
+	}
+	writeJSON(w, topkResponse{Node: node, K: k, Results: toNeighborJSON(list)})
+}
+
+// healthzResponse reports liveness and the loaded dataset's shape.
+type healthzResponse struct {
+	Status string `json:"status"`
+	Nodes  int    `json:"nodes"`
+	Edges  int    `json:"edges"`
+	Store  bool   `json:"store"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, healthzResponse{
+		Status: "ok",
+		Nodes:  s.q.Graph().NumNodes(),
+		Edges:  s.q.Graph().NumEdges(),
+		Store:  s.store != nil,
+	})
+}
+
+// Stats is the /stats payload: a point-in-time snapshot of the serving
+// counters.
+type Stats struct {
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	InFlight      int64                   `json:"in_flight"`
+	Shed          uint64                  `json:"shed"`
+	Computations  uint64                  `json:"computations"`
+	Coalesced     uint64                  `json:"coalesced"`
+	Cache         *CacheStats             `json:"cache,omitempty"`
+	Endpoints     map[string]LatencyStats `json:"endpoints"`
+}
+
+// StatsSnapshot returns the current serving counters (what /stats serves).
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inFlight.Load(),
+		Shed:          s.shed.Load(),
+		Computations:  s.computes.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Endpoints:     make(map[string]LatencyStats, len(s.latency)),
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &cs
+	}
+	for path, rec := range s.latency {
+		st.Endpoints[path] = rec.stats()
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.StatsSnapshot())
+}

@@ -1,0 +1,505 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/simstore"
+)
+
+// testQuerier builds a small deterministic graph + index once; the suite
+// shares it (queriers are read-only and safe for concurrent use).
+var (
+	tqOnce sync.Once
+	tq     *core.Querier
+)
+
+func querier(t *testing.T) *core.Querier {
+	t.Helper()
+	tqOnce.Do(func() {
+		g, err := gen.RMAT(300, 2400, gen.DefaultRMAT, 11)
+		if err != nil {
+			panic(err)
+		}
+		opts := core.DefaultOptions()
+		opts.T = 5
+		opts.R = 40
+		opts.RPrime = 300
+		idx, _, err := core.BuildIndex(g, opts)
+		if err != nil {
+			panic(err)
+		}
+		tq, err = core.NewQuerier(g, idx)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return tq
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(querier(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// getJSON fetches a path, requires the given status, and decodes into v.
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d; body %s", path, resp.StatusCode, wantStatus, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q, want application/json", path, ct)
+	}
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("GET %s: decoding %s: %v", path, body, err)
+		}
+	}
+}
+
+func TestPairEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var first pairResponse
+	getJSON(t, ts, "/pair?i=10&j=11", http.StatusOK, &first)
+	if first.Cached {
+		t.Fatal("first query reported cached")
+	}
+	if first.Score < 0 || first.Score > 1 {
+		t.Fatalf("score %g outside [0,1]", first.Score)
+	}
+
+	// The repeat must be a hit with a bit-identical score.
+	var hit pairResponse
+	getJSON(t, ts, "/pair?i=10&j=11", http.StatusOK, &hit)
+	if !hit.Cached {
+		t.Fatal("repeat query missed the cache")
+	}
+	if hit.Score != first.Score {
+		t.Fatalf("cache hit score %v != miss score %v", hit.Score, first.Score)
+	}
+
+	// SimRank is symmetric: the reversed pair shares the cache entry.
+	var rev pairResponse
+	getJSON(t, ts, "/pair?i=11&j=10", http.StatusOK, &rev)
+	if !rev.Cached || rev.Score != first.Score {
+		t.Fatalf("reversed pair: cached=%v score=%v, want hit with score %v",
+			rev.Cached, rev.Score, first.Score)
+	}
+
+	// Self-pair is 1 by definition.
+	var self pairResponse
+	getJSON(t, ts, "/pair?i=7&j=7", http.StatusOK, &self)
+	if self.Score != 1 {
+		t.Fatalf("s(7,7) = %v, want 1", self.Score)
+	}
+}
+
+func TestPairsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Seed the cache with one pair so the batch sees a mixed hit/miss set.
+	var single pairResponse
+	getJSON(t, ts, "/pair?i=3&j=4", http.StatusOK, &single)
+
+	body := `{"pairs":[[3,4],[5,6],[9,9]]}`
+	resp, err := ts.Client().Post(ts.URL+"/pairs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got pairsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got.Scores) != 3 {
+		t.Fatalf("got %d scores, want 3", len(got.Scores))
+	}
+	if got.Scores[0] != single.Score {
+		t.Fatalf("batch score %v != point score %v for the same pair", got.Scores[0], single.Score)
+	}
+	if got.Scores[2] != 1 {
+		t.Fatalf("self pair scored %v, want 1", got.Scores[2])
+	}
+	if got.Hits != 1 {
+		t.Fatalf("cache_hits = %d, want 1", got.Hits)
+	}
+
+	// Point queries must agree bit-for-bit with the batch's fills.
+	var after pairResponse
+	getJSON(t, ts, "/pair?i=6&j=5", http.StatusOK, &after)
+	if !after.Cached || after.Score != got.Scores[1] {
+		t.Fatalf("point after batch: cached=%v score=%v, want hit with %v",
+			after.Cached, after.Score, got.Scores[1])
+	}
+}
+
+// TestPairsBatchDedupes: repeated canonical pairs in one batch (same
+// order, flipped order) run one estimate, fanned out to every index.
+func TestPairsBatchDedupes(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheSize: -1})
+	var kinds []string
+	srv.testComputeHook = func(kind string) { kinds = append(kinds, kind) }
+	resp, err := ts.Client().Post(ts.URL+"/pairs", "application/json",
+		bytes.NewBufferString(`{"pairs":[[20,21],[21,20],[20,21],[22,23]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got pairsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(got.Scores) != 4 {
+		t.Fatalf("status %d, %d scores", resp.StatusCode, len(got.Scores))
+	}
+	if got.Scores[0] != got.Scores[1] || got.Scores[0] != got.Scores[2] {
+		t.Fatalf("duplicate pairs scored differently: %v", got.Scores)
+	}
+	// 4 request entries, 2 distinct canonical pairs → one batch of 2.
+	if len(kinds) != 1 || kinds[0] != "pairs:2" {
+		t.Fatalf("compute hook saw %v, want [pairs:2]", kinds)
+	}
+}
+
+func TestSourceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for _, mode := range []string{"walk", "pull"} {
+		var got sourceResponse
+		getJSON(t, ts, "/source?node=12&k=5&mode="+mode, http.StatusOK, &got)
+		if got.Mode != mode || got.K != 5 || got.Node != 12 {
+			t.Fatalf("echoed query mismatch: %+v", got)
+		}
+		if len(got.Results) > 5 {
+			t.Fatalf("%d results exceed k=5", len(got.Results))
+		}
+		for i, nb := range got.Results {
+			if nb.Node == 12 {
+				t.Fatal("source node listed among its own neighbors")
+			}
+			if i > 0 && nb.Score > got.Results[i-1].Score {
+				t.Fatalf("results not sorted descending at %d", i)
+			}
+		}
+		var again sourceResponse
+		getJSON(t, ts, "/source?node=12&k=5&mode="+mode, http.StatusOK, &again)
+		if !again.Cached {
+			t.Fatal("repeat single-source query missed the cache")
+		}
+		for i := range got.Results {
+			if again.Results[i] != got.Results[i] {
+				t.Fatalf("cached result differs at %d: %+v vs %+v", i, again.Results[i], got.Results[i])
+			}
+		}
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	q := querier(t)
+	store, err := simstore.New(q.Graph().NumNodes(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Neighbor{{Node: 9, Score: 0.9}, {Node: 5, Score: 0.5}, {Node: 2, Score: 0.2}}
+	if err := store.Set(42, want); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Store: store})
+
+	var got topkResponse
+	getJSON(t, ts, "/topk?node=42", http.StatusOK, &got)
+	if len(got.Results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got.Results), len(want))
+	}
+	for i, nb := range got.Results {
+		if nb.Node != want[i].Node || nb.Score != want[i].Score {
+			t.Fatalf("result %d = %+v, want %+v", i, nb, want[i])
+		}
+	}
+
+	// k truncates further.
+	getJSON(t, ts, "/topk?node=42&k=1", http.StatusOK, &got)
+	if len(got.Results) != 1 || got.Results[0].Node != 9 {
+		t.Fatalf("k=1 returned %+v", got.Results)
+	}
+
+	// Unset node: empty list, not an error.
+	getJSON(t, ts, "/topk?node=1", http.StatusOK, &got)
+	if len(got.Results) != 0 {
+		t.Fatalf("unset node returned %+v", got.Results)
+	}
+
+	// Without a store the endpoint is unavailable.
+	_, bare := newTestServer(t, Config{})
+	var eb errorBody
+	getJSON(t, bare, "/topk?node=1", http.StatusServiceUnavailable, &eb)
+	if eb.Error == "" {
+		t.Fatal("missing error body")
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var hz healthzResponse
+	getJSON(t, ts, "/healthz", http.StatusOK, &hz)
+	if hz.Status != "ok" || hz.Nodes != querier(t).Graph().NumNodes() || hz.Store {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	getJSON(t, ts, "/pair?i=1&j=2", http.StatusOK, nil)
+	getJSON(t, ts, "/pair?i=1&j=2", http.StatusOK, nil)
+	var st Stats
+	getJSON(t, ts, "/stats", http.StatusOK, &st)
+	if st.Cache == nil || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v", st.Cache)
+	}
+	if st.Computations != 1 {
+		t.Fatalf("computations = %d, want 1", st.Computations)
+	}
+	lat, ok := st.Endpoints["/pair"]
+	if !ok || lat.Count != 2 {
+		t.Fatalf("endpoint latency stats = %+v", st.Endpoints)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 4})
+	n := querier(t).Graph().NumNodes()
+	cases := []struct {
+		path   string
+		status int
+	}{
+		{"/pair?i=0", http.StatusBadRequest},                         // missing j
+		{"/pair?i=0&j=zap", http.StatusBadRequest},                   // non-integer
+		{fmt.Sprintf("/pair?i=0&j=%d", n), http.StatusBadRequest},    // out of range
+		{"/pair?i=-1&j=0", http.StatusBadRequest},                    // negative
+		{"/source?node=0&mode=teleport", http.StatusBadRequest},      // bad mode
+		{"/source?node=0&k=-3", http.StatusBadRequest},               // bad k
+		{fmt.Sprintf("/source?node=%d", n+5), http.StatusBadRequest}, // out of range
+		{"/pairs", http.StatusMethodNotAllowed},                      // GET on POST route
+	}
+	for _, tc := range cases {
+		var eb errorBody
+		getJSON(t, ts, tc.path, tc.status, &eb)
+		if eb.Error == "" {
+			t.Fatalf("%s: error body missing", tc.path)
+		}
+	}
+
+	post := func(body string) (int, errorBody) {
+		resp, err := ts.Client().Post(ts.URL+"/pairs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var eb errorBody
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return resp.StatusCode, eb
+	}
+	for _, body := range []string{
+		"{not json",
+		`{"pairs":[]}`,
+		`{"pairs":[[0,1],[0,2],[0,3],[0,4],[0,5]]}`, // exceeds MaxBatch=4
+		fmt.Sprintf(`{"pairs":[[0,%d]]}`, n),        // out of range
+	} {
+		status, eb := post(body)
+		if status != http.StatusBadRequest || eb.Error == "" {
+			t.Fatalf("POST %s: status %d body %+v, want 400 with error", body, status, eb)
+		}
+	}
+}
+
+// TestCoalescing holds the underlying single-source computation open
+// while a herd of identical requests arrives, then releases it: exactly
+// one Monte Carlo estimate must run, and every response must carry the
+// same scores.
+func TestCoalescing(t *testing.T) {
+	const herd = 8
+	// Admission control off: the whole herd must be admitted so it can
+	// pile onto one flight (the gate's own behavior is TestShedding's).
+	srv, ts := newTestServer(t, Config{MaxInFlight: -1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce, releaseOnce sync.Once
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	srv.testComputeHook = func(string) {
+		hookOnce.Do(func() { close(entered) })
+		<-release
+	}
+
+	var wg sync.WaitGroup
+	responses := make([]sourceResponse, herd)
+	errs := make([]error, herd)
+	for c := 0; c < herd; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := ts.Client().Get(ts.URL + "/source?node=33&k=5")
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[c] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[c] = json.NewDecoder(resp.Body).Decode(&responses[c])
+		}(c)
+	}
+
+	<-entered
+	// Wait until every other request has joined the executor's flight
+	// (nothing is cached while it blocks, so they all must), then release
+	// the one computation.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.flight.pendingWaiters("s/walk/5/33") < herd-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never assembled: %d waiters",
+				srv.flight.pendingWaiters("s/walk/5/33"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	releaseOnce.Do(func() { close(release) })
+	wg.Wait()
+
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	if got := srv.computes.Load(); got != 1 {
+		t.Fatalf("herd of %d triggered %d computations, want 1", herd, got)
+	}
+	if got := srv.coalesced.Load(); got != herd-1 {
+		t.Fatalf("coalesced = %d, want %d", got, herd-1)
+	}
+	for c := 1; c < herd; c++ {
+		if len(responses[c].Results) != len(responses[0].Results) {
+			t.Fatalf("client %d got %d results, client 0 got %d",
+				c, len(responses[c].Results), len(responses[0].Results))
+		}
+		for i := range responses[c].Results {
+			if responses[c].Results[i] != responses[0].Results[i] {
+				t.Fatalf("client %d result %d differs", c, i)
+			}
+		}
+	}
+}
+
+// TestShedding saturates a MaxInFlight=1 server with one blocked request
+// and checks that the next request is shed with 429 while /stats (which
+// bypasses the gate) still answers and counts the shed.
+func TestShedding(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: 1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce, releaseOnce sync.Once
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	srv.testComputeHook = func(string) {
+		hookOnce.Do(func() { close(entered) })
+		<-release
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Get(ts.URL + "/pair?i=1&j=2")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("blocked request finished with status %d", resp.StatusCode)
+			}
+		}
+		done <- err
+	}()
+	<-entered
+
+	var eb errorBody
+	getJSON(t, ts, "/pair?i=5&j=6", http.StatusTooManyRequests, &eb)
+	if eb.Error == "" {
+		t.Fatal("shed response missing error body")
+	}
+
+	var st Stats
+	getJSON(t, ts, "/stats", http.StatusOK, &st)
+	if st.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", st.Shed)
+	}
+	if st.InFlight != 1 {
+		t.Fatalf("in_flight = %d, want 1", st.InFlight)
+	}
+
+	releaseOnce.Do(func() { close(release) })
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	q := querier(t)
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil querier accepted")
+	}
+	if _, err := New(q, Config{MaxBatch: -1}); err == nil {
+		t.Fatal("negative max batch accepted")
+	}
+	store, err := simstore.New(q.Graph().NumNodes()+1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(q, Config{Store: store}); err == nil {
+		t.Fatal("store/graph node-count mismatch accepted")
+	}
+}
+
+// TestCacheDisabled checks the uncached arm used by the serving
+// benchmark: every request recomputes, none report cached.
+func TestCacheDisabled(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheSize: -1})
+	var a, b pairResponse
+	getJSON(t, ts, "/pair?i=1&j=2", http.StatusOK, &a)
+	getJSON(t, ts, "/pair?i=1&j=2", http.StatusOK, &b)
+	if a.Cached || b.Cached {
+		t.Fatal("cache-disabled server reported a cache hit")
+	}
+	if a.Score != b.Score {
+		t.Fatalf("deterministic estimator returned %v then %v", a.Score, b.Score)
+	}
+	if got := srv.computes.Load(); got != 2 {
+		t.Fatalf("computations = %d, want 2", got)
+	}
+	var st Stats
+	getJSON(t, ts, "/stats", http.StatusOK, &st)
+	if st.Cache != nil {
+		t.Fatal("stats reported cache counters with caching disabled")
+	}
+}

@@ -17,12 +17,18 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"cloudwalker/internal/core"
 )
 
-// Store holds per-node top-k similarity lists.
+// Store holds per-node top-k similarity lists. It is safe for concurrent
+// use: lookups take a read lock, so a serving tier can answer point
+// queries from many goroutines while a background job installs or merges
+// lists. The common production shape — Load once, Get forever — runs with
+// zero write-lock contention.
 type Store struct {
+	mu    sync.RWMutex
 	k     int
 	lists [][]core.Neighbor
 }
@@ -69,17 +75,24 @@ func (s *Store) Set(i int, list []core.Neighbor) error {
 	if len(cp) > s.k {
 		cp = cp[:s.k]
 	}
+	s.mu.Lock()
 	s.lists[i] = cp
+	s.mu.Unlock()
 	return nil
 }
 
 // Get returns node i's list (nil if unset). The returned slice must not
-// be modified.
+// be modified: Set and Merge replace lists wholesale rather than mutating
+// them, so a slice handed out here stays valid (a frozen snapshot) even if
+// the entry is concurrently replaced.
 func (s *Store) Get(i int) ([]core.Neighbor, error) {
 	if i < 0 || i >= len(s.lists) {
 		return nil, fmt.Errorf("simstore: node %d out of range [0,%d)", i, len(s.lists))
 	}
-	return s.lists[i], nil
+	s.mu.RLock()
+	lst := s.lists[i]
+	s.mu.RUnlock()
+	return lst, nil
 }
 
 // Merge folds another store into this one, keeping the k best-scoring
@@ -90,15 +103,27 @@ func (s *Store) Merge(other *Store) error {
 		return fmt.Errorf("simstore: merging %d-node store into %d-node store",
 			other.NumNodes(), s.NumNodes())
 	}
+	// Snapshot other's list headers under its own lock, then release it
+	// before taking s's: never holding both locks rules out AB-BA
+	// deadlock when two stores merge into each other concurrently. The
+	// headers stay valid after release because lists are replaced
+	// wholesale, never mutated; a Set racing this Merge lands either
+	// before or after the snapshot, both fine.
+	theirs := make([][]core.Neighbor, len(other.lists))
+	other.mu.RLock()
+	copy(theirs, other.lists)
+	other.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.lists {
-		if len(other.lists[i]) == 0 {
+		if len(theirs[i]) == 0 {
 			continue
 		}
-		best := make(map[int32]float64, len(s.lists[i])+len(other.lists[i]))
+		best := make(map[int32]float64, len(s.lists[i])+len(theirs[i]))
 		for _, nb := range s.lists[i] {
 			best[nb.Node] = nb.Score
 		}
-		for _, nb := range other.lists[i] {
+		for _, nb := range theirs[i] {
 			if sc, ok := best[nb.Node]; !ok || nb.Score > sc {
 				best[nb.Node] = nb.Score
 			}
@@ -128,6 +153,8 @@ const (
 
 // Save writes the store in the compact binary format.
 func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	header := []uint64{storeMagic, storeVersion, uint64(len(s.lists)), uint64(s.k)}
 	for _, h := range header {

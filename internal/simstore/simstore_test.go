@@ -2,9 +2,12 @@ package simstore
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"cloudwalker/internal/core"
 	"cloudwalker/internal/xrand"
@@ -179,5 +182,156 @@ func TestQuickRoundtrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// savedStore serializes a small populated store and returns the bytes.
+func savedStore(t *testing.T) []byte {
+	t.Helper()
+	s, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Set(0, []core.Neighbor{nb(1, 0.75), nb(3, 0.25)})
+	_ = s.Set(2, []core.Neighbor{nb(0, 1), nb(4, 0.5), nb(1, 0.125)})
+	_ = s.Set(4, []core.Neighbor{nb(2, 0.0625)})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreSaveLoadSaveByteEqual: the store format must be canonical —
+// load followed by save reproduces the file byte for byte. (All seed
+// scores above are exact in float32, so no rounding enters.)
+func TestStoreSaveLoadSaveByteEqual(t *testing.T) {
+	first := savedStore(t)
+	s, err := Load(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := s.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second.Bytes()) {
+		t.Fatalf("save→load→save changed bytes: %d vs %d", len(first), second.Len())
+	}
+}
+
+// TestStoreLoadTruncated: every proper prefix errors cleanly.
+func TestStoreLoadTruncated(t *testing.T) {
+	full := savedStore(t)
+	for _, cut := range []int{0, 3, 8, 31, 32, 36, len(full) / 2, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes loaded without error", cut, len(full))
+		}
+	}
+}
+
+func TestStoreLoadBadMagic(t *testing.T) {
+	corrupt := append([]byte(nil), savedStore(t)...)
+	corrupt[0] ^= 0xff
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bad magic loaded without error")
+	}
+}
+
+func TestStoreLoadWrongVersion(t *testing.T) {
+	corrupt := append([]byte(nil), savedStore(t)...)
+	binary.LittleEndian.PutUint64(corrupt[8:16], 999)
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("future version loaded without error")
+	}
+}
+
+// TestStoreLoadCorruptEntries: structurally valid headers with lying
+// payloads (oversized list, out-of-range neighbor id) must be rejected.
+func TestStoreLoadCorruptEntries(t *testing.T) {
+	full := savedStore(t)
+	// Node 0's list length lives right after the 32-byte header.
+	over := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(over[32:36], 99) // exceeds k=3
+	if _, err := Load(bytes.NewReader(over)); err == nil {
+		t.Fatal("list length beyond k loaded without error")
+	}
+	badID := append([]byte(nil), full...)
+	binary.LittleEndian.PutUint32(badID[36:40], 0x7fffffff) // node id 2^31-1 >> n=5
+	if _, err := Load(bytes.NewReader(badID)); err == nil {
+		t.Fatal("out-of-range neighbor id loaded without error")
+	}
+}
+
+// TestStoreConcurrentAccess exercises the store's read/write locking
+// under -race: readers serve point lookups while writers install and
+// merge lists.
+func TestStoreConcurrentAccess(t *testing.T) {
+	const n = 64
+	s, err := New(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := xrand.NewStream(5, uint64(w))
+			for i := 0; i < 2000; i++ {
+				node := src.Intn(n)
+				if w%2 == 0 {
+					if err := s.Set(node, []core.Neighbor{nb(src.Intn(n), src.Float64())}); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				lst, err := s.Get(node)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(lst) > s.K() {
+					t.Errorf("node %d list has %d entries, k=%d", node, len(lst), s.K())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestMergeOppositeDirectionsNoDeadlock: two stores merging into each
+// other concurrently must not AB-BA deadlock (Merge never holds both
+// stores' locks at once).
+func TestMergeOppositeDirectionsNoDeadlock(t *testing.T) {
+	a, _ := New(8, 2)
+	b, _ := New(8, 2)
+	for i := 0; i < 8; i++ {
+		_ = a.Set(i, []core.Neighbor{nb((i+1)%8, 0.5)})
+		_ = b.Set(i, []core.Neighbor{nb((i+2)%8, 0.25)})
+	}
+	done := make(chan error, 2)
+	for i := 0; i < 50; i++ {
+		go func() { done <- a.Merge(b) }()
+		go func() { done <- b.Merge(a) }()
+		for j := 0; j < 2; j++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("merge deadlocked")
+			}
+		}
+	}
+	// Self-merge stays a harmless no-op.
+	if err := a.Merge(a); err != nil {
+		t.Fatal(err)
 	}
 }
