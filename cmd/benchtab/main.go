@@ -34,6 +34,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+	jsonOut := flag.String("json-out", "", "bench-walk only: append the run to this JSON trajectory file")
+	label := flag.String("label", "", "bench-walk only: label for the appended run")
 	flag.Parse()
 
 	if *list {
@@ -47,6 +49,8 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Queries = *queries
 	cfg.Opts.Workers = *workers
+	cfg.WalkJSONOut = *jsonOut
+	cfg.WalkLabel = *label
 	if *profiles != "" {
 		cfg.Profiles = strings.Split(*profiles, ",")
 	}

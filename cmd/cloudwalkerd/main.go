@@ -50,6 +50,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	cacheShards := fs.Int("cache-shards", 0, "result cache shards (0 = default)")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrent queries before shedding 429s (0 = 4x cores, -1 = unlimited)")
 	maxBatch := fs.Int("max-batch", 0, "max pairs per /pairs request (0 = default)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for production profiling")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +81,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		CacheShards: *cacheShards,
 		MaxInFlight: *maxInFlight,
 		MaxBatch:    *maxBatch,
+		EnablePprof: *pprofOn,
+	}
+	if *pprofOn {
+		fmt.Fprintln(out, "pprof enabled at /debug/pprof/")
 	}
 	if *spath != "" {
 		sf, err := os.Open(*spath)

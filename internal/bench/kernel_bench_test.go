@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"testing"
+)
+
+// BenchmarkWalkKernels runs the same kernel micro-benchmarks that the
+// bench-walk experiment records into BENCH_walk.json, as ordinary go
+// benchmarks: `go test -bench WalkKernels -benchmem ./internal/bench`.
+// Sharing the closures with RunWalkBench keeps the smoke-tested code and
+// the recorded trajectory numbers from drifting apart.
+func BenchmarkWalkKernels(b *testing.B) {
+	cfg := DefaultConfig()
+	g, q, opts, err := walkBenchGraph(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kb := range walkKernelBenches(g, q, opts) {
+		b.Run(kb.name, kb.fn)
+	}
+}

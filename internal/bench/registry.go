@@ -24,6 +24,7 @@ var Experiments = map[string]Runner{
 	"fig-serving":       RunServing,
 	"fig-throughput":    RunThroughput,
 	"ablation":          RunAblation,
+	"bench-walk":        RunWalkBench,
 }
 
 // ExperimentNames returns the sorted experiment ids.

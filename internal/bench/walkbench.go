@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/walk"
+	"cloudwalker/internal/xrand"
+)
+
+// The walk-kernel benchmark runs on a fixed graph shape and parameter set
+// so that numbers recorded in BENCH_walk.json stay comparable across PRs.
+// Scale/profile knobs from Config deliberately do NOT apply here: the file
+// is a trajectory, and a trajectory is only meaningful against a fixed
+// workload.
+const (
+	walkBenchNodes  = 20000
+	walkBenchEdges  = 200000
+	walkBenchSeed   = 1
+	walkBenchR      = 50   // indexing walkers per row (estimate_row kernel)
+	walkBenchRPrime = 1000 // query walkers (pair/source kernels)
+	walkBenchT      = 10
+	walkBenchTopK   = 20
+)
+
+// WalkBenchMetric is one kernel's measurement in a walk-bench run.
+type WalkBenchMetric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// StepsPerSec is nominal walker-steps per second: each kernel has a
+	// fixed nominal step count per op (dead walkers still count), so the
+	// ratio between two runs is exactly the inverse ns/op ratio.
+	StepsPerSec float64 `json:"walker_steps_per_sec,omitempty"`
+}
+
+// WalkBenchRun is one recorded run (one row of the perf trajectory).
+type WalkBenchRun struct {
+	Label      string                     `json:"label"`
+	GoVersion  string                     `json:"go_version"`
+	GOOS       string                     `json:"goos"`
+	GOARCH     string                     `json:"goarch"`
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	Metrics    map[string]WalkBenchMetric `json:"metrics"`
+}
+
+// WalkBenchFile is the on-disk format of BENCH_walk.json: a fixed workload
+// descriptor plus an append-only list of runs. Every future perf PR
+// appends a run via `benchtab -exp bench-walk -json-out BENCH_walk.json
+// -label "<what changed>"`.
+type WalkBenchFile struct {
+	Schema string `json:"schema"`
+	Graph  struct {
+		Kind  string `json:"kind"`
+		Nodes int    `json:"nodes"`
+		Edges int    `json:"edges"`
+		Seed  uint64 `json:"seed"`
+	} `json:"graph"`
+	Opts struct {
+		C      float64 `json:"c"`
+		T      int     `json:"t"`
+		R      int     `json:"r"`
+		RPrime int     `json:"r_prime"`
+	} `json:"opts"`
+	Runs []WalkBenchRun `json:"runs"`
+}
+
+// walkBenchOpts returns the fixed parameter set of the kernel benchmark.
+func walkBenchOpts() core.Options {
+	opts := core.DefaultOptions()
+	opts.T = walkBenchT
+	opts.R = walkBenchR
+	opts.RPrime = walkBenchRPrime
+	opts.Workers = 1 // kernels are measured single-threaded
+	opts.Seed = 7
+	return opts
+}
+
+// kernelBench is one named micro-benchmark plus its nominal walker-step
+// count per op (0 = not a stepping kernel).
+type kernelBench struct {
+	name       string
+	stepsPerOp float64
+	fn         func(b *testing.B)
+}
+
+// walkKernelBenches builds the kernel micro-benchmark set against a
+// prepared querier. The same closures back both `go test -bench` (see
+// bench_test.go) and the bench-walk experiment, so the smoke-tested code
+// and the recorded numbers cannot drift apart.
+func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []kernelBench {
+	n := g.NumNodes()
+	// Query endpoints are fixed pseudo-random nodes so every run (and
+	// every PR) measures the same work.
+	src := xrand.New(99)
+	pairs := make([][2]int, 64)
+	for i := range pairs {
+		a, b := src.Intn(n), src.Intn(n)
+		if a == b {
+			b = (b + 1) % n
+		}
+		pairs[i] = [2]int{a, b}
+	}
+	T := float64(opts.T)
+	return []kernelBench{
+		{
+			name: "single_pair",
+			// Two endpoints, R' walkers, T steps each (nominal).
+			stepsPerOp: 2 * float64(opts.RPrime) * T,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					if _, err := q.SinglePair(p[0], p[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "single_source_walk",
+			// Phase 1: R'*T backward steps; phase 2: a forward walk of
+			// length t from every surviving (walker, step) pair —
+			// nominally R' * T(T+1)/2 more.
+			stepsPerOp: float64(opts.RPrime) * (T + T*(T+1)/2),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					node := pairs[i%len(pairs)][0]
+					if _, err := q.SingleSource(node, core.WalkSS); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			name: "source_topk",
+			// The /source serving path: a WalkSS estimate truncated to
+			// the top-k neighbors.
+			stepsPerOp: float64(opts.RPrime) * (T + T*(T+1)/2),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					node := pairs[i%len(pairs)][0]
+					v, err := q.SingleSource(node, core.WalkSS)
+					if err != nil {
+						b.Fatal(err)
+					}
+					core.TopKNeighbors(v, node, walkBenchTopK)
+				}
+			},
+		},
+		{
+			name:       "estimate_row",
+			stepsPerOp: float64(opts.R) * T,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				est := walk.NewRowEstimator(g, opts.R)
+				rsrc := xrand.NewStream(opts.Seed, 0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.BuildRowWith(est, i%n, opts, rsrc)
+				}
+			},
+		},
+	}
+}
+
+// walkBenchGraph generates the benchmark's fixed RMAT graph and its index.
+func walkBenchGraph(cfg Config) (*graph.Graph, *core.Querier, core.Options, error) {
+	opts := walkBenchOpts()
+	g, err := gen.RMAT(walkBenchNodes, walkBenchEdges, gen.DefaultRMAT, walkBenchSeed)
+	if err != nil {
+		return nil, nil, opts, err
+	}
+	cfg.logf("[bench-walk] rmat at %d nodes / %d edges; building index (R=%d)...",
+		g.NumNodes(), g.NumEdges(), opts.R)
+	buildOpts := opts
+	buildOpts.Workers = 0 // index build may use all cores; kernels stay 1-thread
+	idx, _, err := core.BuildIndex(g, buildOpts)
+	if err != nil {
+		return nil, nil, opts, err
+	}
+	q, err := core.NewQuerier(g, idx)
+	if err != nil {
+		return nil, nil, opts, err
+	}
+	return g, q, opts, nil
+}
+
+// RunWalkBench (experiment id "bench-walk") micro-benchmarks the Monte
+// Carlo walk kernels — single-pair, single-source, source+top-k, and row
+// estimation — reporting ns/op, allocs/op, and walker-steps/sec. When
+// Config.WalkJSONOut is set it appends the run to that JSON trajectory
+// file (BENCH_walk.json at the repo root is the canonical one).
+func RunWalkBench(cfg Config) ([]*Table, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	g, q, opts, err := walkBenchGraph(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	run := WalkBenchRun{
+		Label:      cfg.WalkLabel,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Metrics:    make(map[string]WalkBenchMetric),
+	}
+	if run.Label == "" {
+		run.Label = "unlabeled"
+	}
+
+	t := NewTable(
+		fmt.Sprintf("Walk kernels (rmat @ %d nodes / %d edges, T=%d, R=%d, R'=%d, 1 thread)",
+			g.NumNodes(), g.NumEdges(), opts.T, opts.R, opts.RPrime),
+		"Kernel", "ns/op", "allocs/op", "B/op", "Msteps/s")
+	for _, kb := range walkKernelBenches(g, q, opts) {
+		cfg.logf("[bench-walk] measuring %s...", kb.name)
+		res := testing.Benchmark(kb.fn)
+		// testing.Benchmark swallows b.Fatal and returns a zero result;
+		// refuse to record it as a measurement.
+		if res.N == 0 {
+			return nil, fmt.Errorf("bench: kernel %s failed to complete a single iteration", kb.name)
+		}
+		m := WalkBenchMetric{
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if kb.stepsPerOp > 0 && m.NsPerOp > 0 {
+			m.StepsPerSec = kb.stepsPerOp / m.NsPerOp * 1e9
+		}
+		run.Metrics[kb.name] = m
+		t.Add(kb.name,
+			fmt.Sprintf("%.0f", m.NsPerOp),
+			fmt.Sprintf("%d", m.AllocsPerOp),
+			fmt.Sprintf("%d", m.BytesPerOp),
+			fmt.Sprintf("%.2f", m.StepsPerSec/1e6))
+	}
+
+	if cfg.WalkJSONOut != "" {
+		if err := appendWalkBenchRun(cfg.WalkJSONOut, run); err != nil {
+			return nil, err
+		}
+		cfg.logf("[bench-walk] appended run %q to %s", run.Label, cfg.WalkJSONOut)
+	}
+	return []*Table{t}, nil
+}
+
+// appendWalkBenchRun loads (or creates) the trajectory file and appends
+// one run.
+func appendWalkBenchRun(path string, run WalkBenchRun) error {
+	var file WalkBenchFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("bench: parsing existing %s: %w", path, err)
+		}
+		// A trajectory is only meaningful against a fixed workload:
+		// refuse to mix runs recorded under different shapes.
+		opts := walkBenchOpts()
+		if file.Graph.Nodes != walkBenchNodes || file.Graph.Edges != walkBenchEdges ||
+			file.Graph.Seed != walkBenchSeed || file.Opts.C != opts.C ||
+			file.Opts.T != walkBenchT || file.Opts.R != walkBenchR ||
+			file.Opts.RPrime != walkBenchRPrime {
+			return fmt.Errorf("bench: %s was recorded for a different workload (graph %+v, opts %+v); start a new trajectory file",
+				path, file.Graph, file.Opts)
+		}
+	case os.IsNotExist(err):
+		file.Schema = "cloudwalker-bench/v1"
+		file.Graph.Kind = "rmat"
+		file.Graph.Nodes = walkBenchNodes
+		file.Graph.Edges = walkBenchEdges
+		file.Graph.Seed = walkBenchSeed
+		file.Opts.C = walkBenchOpts().C
+		file.Opts.T = walkBenchT
+		file.Opts.R = walkBenchR
+		file.Opts.RPrime = walkBenchRPrime
+	default:
+		return err
+	}
+	file.Runs = append(file.Runs, run)
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

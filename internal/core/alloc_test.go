@@ -1,0 +1,117 @@
+// Allocation-regression coverage for the zero-allocation query kernels.
+// Excluded under the race detector: race instrumentation inserts its own
+// allocations and would make the zero assertions meaningless.
+
+//go:build !race
+
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+)
+
+// allocGraph builds a small but non-trivial graph and querier for
+// allocation measurements.
+func allocQuerier(t *testing.T) (*graph.Graph, *Querier) {
+	t.Helper()
+	g, err := gen.RMAT(2000, 16000, gen.DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.T = 8
+	opts.R = 20
+	opts.RPrime = 200
+	opts.Seed = 11
+	idx, _, err := BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuerier(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, q
+}
+
+// measureAllocs settles the heap (finishing any in-flight GC cycle that
+// could snatch pooled scratch mid-measurement), then reports average
+// allocations per run. AllocsPerRun itself performs one warm-up call, so
+// a pool refilled by the preceding GC does not count.
+func measureAllocs(runs int, f func()) float64 {
+	runtime.GC()
+	runtime.GC()
+	return testing.AllocsPerRun(runs, f)
+}
+
+func TestSinglePairZeroSteadyStateAllocs(t *testing.T) {
+	g, q := allocQuerier(t)
+	n := g.NumNodes()
+	i := 0
+	avg := measureAllocs(100, func() {
+		a := (i * 131) % n
+		b := (i*197 + 7) % n
+		i++
+		if _, err := q.SinglePair(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm SinglePair allocates %g per op, want 0 (kernel rot: map accumulator or per-query buffers crept back in)", avg)
+	}
+}
+
+func TestSingleSourceZeroSteadyStateAllocs(t *testing.T) {
+	g, q := allocQuerier(t)
+	n := g.NumNodes()
+	// SingleSource must hand ownership of a fresh result to the caller,
+	// so the zero-allocation contract is on SingleSourceInto with a
+	// reused output vector — the form bulk sweeps (AllPairsTopK) use.
+	var out sparse.Vector
+	if err := q.SingleSourceInto(0, WalkSS, &out); err != nil {
+		t.Fatal(err) // warm the output vector's capacity
+	}
+	i := 0
+	avg := measureAllocs(100, func() {
+		node := (i * 211) % n
+		i++
+		if err := q.SingleSourceInto(node, WalkSS, &out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm SingleSourceInto allocates %g per op, want 0", avg)
+	}
+}
+
+func TestSingleSourceIntoMatchesSingleSource(t *testing.T) {
+	_, q := allocQuerier(t)
+	for _, mode := range []SingleSourceMode{WalkSS, PullSS} {
+		fresh, err := q.SingleSource(17, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reused sparse.Vector
+		// Dirty the reused vector first: Into must fully reset it.
+		if err := q.SingleSourceInto(3, mode, &reused); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.SingleSourceInto(17, mode, &reused); err != nil {
+			t.Fatal(err)
+		}
+		if len(fresh.Idx) != len(reused.Idx) {
+			t.Fatalf("mode %d: nnz %d vs %d", mode, len(fresh.Idx), len(reused.Idx))
+		}
+		for k := range fresh.Idx {
+			if fresh.Idx[k] != reused.Idx[k] || fresh.Val[k] != reused.Val[k] {
+				t.Fatalf("mode %d: entry %d differs: (%d,%g) vs (%d,%g)",
+					mode, k, fresh.Idx[k], fresh.Val[k], reused.Idx[k], reused.Val[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/walk"
+	"cloudwalker/internal/xrand"
+)
+
+// The zero-allocation kernel rewrite (walk.Scratch, graph.WalkView, the
+// pooled query scratch) carries a hard determinism contract: for a fixed
+// seed, every estimate must be bit-identical to the original
+// map-accumulator implementation — same RNG stream derivation, same
+// walker order, same per-index float64 accumulation order. These hashes
+// were captured from the pre-rewrite build (PR 2); any future kernel
+// change that shifts even a single ulp, walker, or vector entry fails
+// here and must either restore bit-identity or consciously re-capture
+// the goldens with a justification.
+const (
+	goldenDiag         = 0x105ada651029987f
+	goldenPairs        = 0x99c4441a75f306c6
+	goldenSSWalk       = 0xbefc215811c5dc01
+	goldenSSPull       = 0xe042729ca4b4e9ae
+	goldenDistParallel = 0x569a3603b49df895
+	goldenBuildRow     = 0x09c7ce883e61f3a5
+)
+
+// goldenHash accumulates float64 bit patterns.
+type goldenHash struct {
+	h interface{ Write([]byte) (int, error) }
+}
+
+func newGoldenHash() goldenHash { return goldenHash{fnv.New64a()} }
+
+func (g goldenHash) floats(vals ...float64) {
+	var buf [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		g.h.Write(buf[:])
+	}
+}
+
+func (g goldenHash) vec(v *sparse.Vector) {
+	var buf [4]byte
+	for _, idx := range v.Idx {
+		for i := 0; i < 4; i++ {
+			buf[i] = byte(uint32(idx) >> (8 * i))
+		}
+		g.h.Write(buf[:])
+	}
+	g.floats(v.Val...)
+}
+
+func (g goldenHash) sum() uint64 {
+	return g.h.(interface{ Sum64() uint64 }).Sum64()
+}
+
+func TestFixedSeedEstimatesBitIdentical(t *testing.T) {
+	g, err := gen.ErdosRenyi(120, 700, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{C: 0.6, T: 8, L: 3, R: 60, RPrime: 400, Workers: 2, Seed: 7}
+	idx, _, err := BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, want, got uint64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s hash %#016x, golden %#016x — fixed-seed output drifted from the pre-rewrite kernels", name, got, want)
+		}
+	}
+	{
+		h := newGoldenHash()
+		h.floats(idx.Diag...)
+		check("index diagonal", goldenDiag, h.sum())
+	}
+	q, err := NewQuerier(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	{
+		h := newGoldenHash()
+		for _, p := range [][2]int{{3, 17}, {0, 1}, {59, 100}, {7, 7}, {101, 44}} {
+			s, err := q.SinglePair(p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.floats(s)
+		}
+		check("single-pair scores", goldenPairs, h.sum())
+	}
+	{
+		v, err := q.SingleSource(5, WalkSS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := newGoldenHash()
+		h.vec(v)
+		check("single-source (walk)", goldenSSWalk, h.sum())
+	}
+	{
+		v, err := q.SingleSource(5, PullSS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := newGoldenHash()
+		h.vec(v)
+		check("single-source (pull)", goldenSSPull, h.sum())
+	}
+	{
+		h := newGoldenHash()
+		for _, d := range walk.DistributionsParallel(g, 3, 8, 1000, 3, 99) {
+			h.vec(d)
+		}
+		check("parallel distributions", goldenDistParallel, h.sum())
+	}
+	{
+		h := newGoldenHash()
+		h.vec(BuildRow(g, 9, opts, xrand.NewStream(opts.Seed, 9)))
+		check("indexing row", goldenBuildRow, h.sum())
+	}
+}

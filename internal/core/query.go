@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -12,11 +13,26 @@ import (
 )
 
 // Querier answers online SimRank queries against a built index. It is
-// safe for concurrent use: every query derives its own RNG stream.
+// safe for concurrent use: every query derives its own RNG stream, and
+// per-query working memory comes from an internal pool, so the warm query
+// path performs no steady-state allocation (the serving tier's cache-miss
+// path runs at kernel speed).
 type Querier struct {
 	g     *graph.Graph
 	index *Index
 	p     *sparse.Transition
+	vw    *graph.WalkView
+	ct    []float64 // ct[t] = C^t, built by repeated multiplication
+	pool  sync.Pool // *queryScratch
+}
+
+// queryScratch is the pooled per-query workspace: one dense walk scratch,
+// two distribution buffers (the two endpoints of a pair query), and two
+// in-place reseedable RNGs.
+type queryScratch struct {
+	sc         *walk.Scratch
+	bufA, bufB walk.DistBuf
+	srcA, srcB xrand.Source
 }
 
 // NewQuerier binds an index to its graph.
@@ -24,7 +40,25 @@ func NewQuerier(g *graph.Graph, index *Index) (*Querier, error) {
 	if err := index.Validate(g); err != nil {
 		return nil, err
 	}
-	return &Querier{g: g, index: index, p: sparse.NewTransition(g)}, nil
+	// The c^t table repeats the exact multiplication sequence of the
+	// previous per-query running product, so table lookups are
+	// bit-identical to the values they replace.
+	ct := make([]float64, index.Opts.T+1)
+	ct[0] = 1
+	for t := 1; t <= index.Opts.T; t++ {
+		ct[t] = ct[t-1] * index.Opts.C
+	}
+	q := &Querier{
+		g:     g,
+		index: index,
+		p:     sparse.NewTransition(g),
+		vw:    g.WalkView(),
+		ct:    ct,
+	}
+	q.pool.New = func() any {
+		return &queryScratch{sc: walk.NewScratch(g.NumNodes())}
+	}
+	return q, nil
 }
 
 // Graph returns the underlying graph.
@@ -47,18 +81,18 @@ func (q *Querier) SinglePair(i, j int) (float64, error) {
 		return 1, nil
 	}
 	opts := q.index.Opts
-	srcI := xrand.NewStream(opts.Seed, pairStream(i, j, 0))
-	srcJ := xrand.NewStream(opts.Seed, pairStream(i, j, 1))
-	di := walk.Distributions(q.g, i, opts.T, opts.RPrime, srcI)
-	dj := walk.Distributions(q.g, j, opts.T, opts.RPrime, srcJ)
+	qs := q.pool.Get().(*queryScratch)
+	defer q.pool.Put(qs)
+	qs.srcA.ReseedStream(opts.Seed, pairStream(i, j, 0))
+	qs.srcB.ReseedStream(opts.Seed, pairStream(i, j, 1))
+	di := qs.sc.DistributionsInto(&qs.bufA, q.vw, i, opts.T, opts.RPrime, &qs.srcA)
+	dj := qs.sc.DistributionsInto(&qs.bufB, q.vw, j, opts.T, opts.RPrime, &qs.srcB)
 	s := 0.0
-	ct := 1.0
 	for t := 1; t <= opts.T; t++ { // t = 0 term is 0 for i != j
-		ct *= opts.C
 		if t >= len(di) || t >= len(dj) {
 			break
 		}
-		s += ct * sparse.WeightedDot(di[t], dj[t], q.index.Diag)
+		s += q.ct[t] * sparse.WeightedDot(&di[t], &dj[t], q.index.Diag)
 	}
 	return clamp01(s), nil
 }
@@ -114,17 +148,29 @@ const (
 // SingleSource is MCSS: estimates s(q, ·) for every node, returning a
 // sparse vector (absent nodes have estimate 0). s(q,q) is pinned to 1.
 func (qr *Querier) SingleSource(q int, mode SingleSourceMode) (*sparse.Vector, error) {
-	if err := qr.checkNode(q); err != nil {
+	out := &sparse.Vector{}
+	if err := qr.SingleSourceInto(q, mode, out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// SingleSourceInto is SingleSource writing the estimate into out (reset
+// first, keeping its capacity). Loops that issue many single-source
+// queries — AllPairsTopK, bulk export — reuse one out vector per worker
+// so the warm WalkSS path performs zero steady-state allocations.
+func (qr *Querier) SingleSourceInto(q int, mode SingleSourceMode, out *sparse.Vector) error {
+	if err := qr.checkNode(q); err != nil {
+		return err
 	}
 	opts := qr.index.Opts
 	switch mode {
 	case WalkSS:
-		return qr.singleSourceWalk(q, opts)
+		return qr.singleSourceWalk(q, opts, out)
 	case PullSS:
-		return qr.singleSourcePull(q, opts)
+		return qr.singleSourcePull(q, opts, out)
 	default:
-		return nil, fmt.Errorf("core: unknown single-source mode %d", mode)
+		return fmt.Errorf("core: unknown single-source mode %d", mode)
 	}
 }
 
@@ -133,53 +179,60 @@ func (qr *Querier) SingleSource(q int, mode SingleSourceMode) (*sparse.Vector, e
 // (k_t, t) a phase-two walker runs t importance-weighted forward steps and
 // deposits c^t · x[k_t] / R' · (importance weight) at its endpoint j. The
 // deposit expectation at j is Σ_t c^t Σ_k Pr_t(q→k) x_k Pr_t(j→k) = s(q,j).
-func (qr *Querier) singleSourceWalk(q int, opts Options) (*sparse.Vector, error) {
-	acc := sparse.NewAccumulator()
-	src := xrand.NewStream(opts.Seed, uint64(q)*2654435761+17)
+func (qr *Querier) singleSourceWalk(q int, opts Options, out *sparse.Vector) error {
+	qs := qr.pool.Get().(*queryScratch)
+	defer qr.pool.Put(qs)
+	sc := qs.sc
+	src := &qs.srcA
+	src.ReseedStream(opts.Seed, uint64(q)*2654435761+17)
 	invR := 1.0 / float64(opts.RPrime)
 	// t = 0 term: c^0 · x_q deposited at q itself (before pinning below).
-	acc.Add(int32(q), qr.index.Diag[q])
+	sc.Add(int32(q), qr.index.Diag[q])
 	for r := 0; r < opts.RPrime; r++ {
-		cur := q
-		ct := 1.0
+		cur := int32(q)
 		for t := 1; t <= opts.T; t++ {
-			cur = walk.StepIn(qr.g, cur, src)
+			cur = walk.StepInView(qr.vw, cur, src)
 			if cur < 0 {
 				break
 			}
-			ct *= opts.C
-			w0 := ct * qr.index.Diag[cur] * invR
+			w0 := qr.ct[t] * qr.index.Diag[cur] * invR
 			if w0 == 0 {
 				continue
 			}
-			j, w := walk.ForwardWeighted(qr.g, cur, w0, t, src)
+			j, w := walk.ForwardWeightedView(qr.vw, cur, w0, t, src)
 			if j >= 0 && w != 0 {
-				acc.Add(int32(j), w)
+				sc.Add(j, w)
 			}
 		}
 	}
-	out := acc.ToVector()
+	sc.FlushInto(out)
 	clampVec(out)
 	pin(out, q)
-	return out, nil
+	return nil
 }
 
 // singleSourcePull estimates P^t e_q by Monte Carlo, then applies the
 // Horner recursion w_t = D v_t + c Pᵀ w_{t+1} with exact sparse pulls.
-func (qr *Querier) singleSourcePull(q int, opts Options) (*sparse.Vector, error) {
-	src := xrand.NewStream(opts.Seed, uint64(q)*2654435761+29)
-	v := walk.Distributions(qr.g, q, opts.T, opts.RPrime, src)
+// The pull stage builds sparse frontiers and is not allocation-free; its
+// value is determinism given the phase-one distributions, not kernel
+// throughput.
+func (qr *Querier) singleSourcePull(q int, opts Options, out *sparse.Vector) error {
+	qs := qr.pool.Get().(*queryScratch)
+	defer qr.pool.Put(qs)
+	qs.srcA.ReseedStream(opts.Seed, uint64(q)*2654435761+29)
+	v := qs.sc.DistributionsInto(&qs.bufA, qr.vw, q, opts.T, opts.RPrime, &qs.srcA)
 	w := &sparse.Vector{}
 	for t := opts.T; t >= 0; t-- {
-		w = sparse.AddScaled(qr.scaleByDiag(v[t]), opts.C, qr.p.ApplyT(w))
+		w = sparse.AddScaled(qr.scaleByDiag(&v[t]), opts.C, qr.p.ApplyT(w))
 		if opts.PruneEps > 0 {
 			w.Prune(opts.PruneEps)
 		}
 	}
-	out := w
+	out.Idx = append(out.Idx[:0], w.Idx...)
+	out.Val = append(out.Val[:0], w.Val...)
 	clampVec(out)
 	pin(out, q)
-	return out, nil
+	return nil
 }
 
 // scaleByDiag returns D·v as a new vector.
@@ -209,17 +262,20 @@ func (qr *Querier) AllPairsTopK(k int, mode SingleSourceMode) ([][]Neighbor, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable estimate vector per worker: the top-k
+			// truncation copies what it keeps, so the bulk sweep stays
+			// allocation-free outside its results.
+			var v sparse.Vector
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				v, err := qr.SingleSource(i, mode)
-				if err != nil {
+				if err := qr.SingleSourceInto(i, mode, &v); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
-				results[i] = TopKNeighbors(v, i, k)
+				results[i] = TopKNeighbors(&v, i, k)
 			}
 		}()
 	}
@@ -360,14 +416,19 @@ func clampVec(v *sparse.Vector) {
 	}
 }
 
-// pin sets entry q to exactly 1 (self-similarity by definition).
+// pin sets entry q to exactly 1 (self-similarity by definition),
+// inserting in place when q is absent (a shift within existing capacity
+// instead of a two-vector merge allocation).
 func pin(v *sparse.Vector, q int) {
-	for k, idx := range v.Idx {
-		if int(idx) == q {
-			v.Val[k] = 1
-			return
-		}
+	k := sort.Search(len(v.Idx), func(i int) bool { return v.Idx[i] >= int32(q) })
+	if k < len(v.Idx) && v.Idx[k] == int32(q) {
+		v.Val[k] = 1
+		return
 	}
-	// q absent: insert via merge with a unit vector scaled appropriately.
-	*v = *sparse.AddScaled(v, 1, sparse.Unit(q))
+	v.Idx = append(v.Idx, 0)
+	v.Val = append(v.Val, 0)
+	copy(v.Idx[k+1:], v.Idx[k:])
+	copy(v.Val[k+1:], v.Val[k:])
+	v.Idx[k] = int32(q)
+	v.Val[k] = 1
 }

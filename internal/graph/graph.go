@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is an immutable directed graph in CSR form.
@@ -26,6 +27,9 @@ type Graph struct {
 	// of edges entering v, sorted ascending.
 	inOff []int64
 	inAdj []int32
+
+	// view caches the lazily-built WalkView (see walkview.go).
+	view atomic.Pointer[WalkView]
 }
 
 // NumNodes returns the number of nodes n; valid node ids are [0, n).

@@ -1,0 +1,114 @@
+package graph
+
+// WalkView is the cache-friendly companion of a Graph for Monte Carlo
+// walk kernels. It serves the three memory accesses a walk step actually
+// performs with the fewest possible cache lines:
+//
+//   - InRow/OutRow return a row's adjacency base offset AND degree from
+//     one load pair (off[v] and off[v+1] share a cache line), so the
+//     stepping loop never does a separate degree lookup for the node it
+//     is standing on;
+//   - InDeg/OutDeg are dense int32 degree arrays (4 bytes/node instead
+//     of a 16-byte offset pair) for the frequent case of needing only a
+//     neighbor's degree — the MCSS importance-weight update reads
+//     |In(next)| without ever visiting next's in-adjacency;
+//   - RecipIn holds reciprocal in-degrees 1/|In(v)|.
+//
+// Determinism contract: kernels that must stay bit-identical with the
+// divide-based estimator definition (walk.ForwardWeighted and everything
+// built on it) convert the int32 degrees with float64(d) — exact for any
+// realistic degree — and keep the IEEE divide, so results match the CSR
+// formulation bit for bit. RecipIn trades that guarantee for a multiply
+// (x*(1/d) can differ from x/d in the last ulp) and is reserved for
+// estimators where last-ulp drift is acceptable.
+//
+// A WalkView is immutable after construction and safe for concurrent use.
+// Obtain one with Graph.WalkView, which builds it once and caches it.
+type WalkView struct {
+	g *Graph
+
+	inDeg, outDeg []int32
+	recipIn       []float64
+
+	// Aliases of the graph's CSR arrays so neighbor fetches don't chase
+	// the *Graph pointer.
+	inOff, outOff []int64
+	inAdj, outAdj []int32
+}
+
+// newWalkView precomputes the degree arrays of g.
+func newWalkView(g *Graph) *WalkView {
+	n := g.n
+	w := &WalkView{
+		g:       g,
+		inDeg:   make([]int32, n),
+		outDeg:  make([]int32, n),
+		recipIn: make([]float64, n),
+		inOff:   g.inOff,
+		outOff:  g.outOff,
+		inAdj:   g.inAdj,
+		outAdj:  g.outAdj,
+	}
+	for v := 0; v < n; v++ {
+		din := int32(g.inOff[v+1] - g.inOff[v])
+		w.inDeg[v] = din
+		w.outDeg[v] = int32(g.outOff[v+1] - g.outOff[v])
+		if din > 0 {
+			w.recipIn[v] = 1 / float64(din)
+		}
+	}
+	return w
+}
+
+// WalkView returns the graph's precomputed walk view, building it on
+// first use. Concurrent first calls may build it twice; the result is
+// identical and one copy wins, so the race is benign.
+func (g *Graph) WalkView() *WalkView {
+	if v := g.view.Load(); v != nil {
+		return v
+	}
+	g.view.CompareAndSwap(nil, newWalkView(g))
+	return g.view.Load()
+}
+
+// Graph returns the underlying graph.
+func (w *WalkView) Graph() *Graph { return w.g }
+
+// NumNodes returns the node count.
+func (w *WalkView) NumNodes() int { return w.g.n }
+
+// InRow returns the base index into the in-adjacency and the in-degree
+// of v; in-neighbor i of v is InAt(base + i).
+func (w *WalkView) InRow(v int32) (base int64, deg int32) {
+	base = w.inOff[v]
+	return base, int32(w.inOff[v+1] - base)
+}
+
+// OutRow returns the base index into the out-adjacency and the
+// out-degree of u; out-neighbor i of u is OutAt(base + i).
+func (w *WalkView) OutRow(u int32) (base int64, deg int32) {
+	base = w.outOff[u]
+	return base, int32(w.outOff[u+1] - base)
+}
+
+// InAt indexes the in-adjacency array (see InRow).
+func (w *WalkView) InAt(i int64) int32 { return w.inAdj[i] }
+
+// OutAt indexes the out-adjacency array (see OutRow).
+func (w *WalkView) OutAt(i int64) int32 { return w.outAdj[i] }
+
+// InDeg returns |In(v)| from the dense degree array (one 4-byte load).
+func (w *WalkView) InDeg(v int32) int32 { return w.inDeg[v] }
+
+// OutDeg returns |Out(u)| from the dense degree array (one 4-byte load).
+func (w *WalkView) OutDeg(u int32) int32 { return w.outDeg[u] }
+
+// RecipIn returns 1/|In(v)| (0 for dangling v). See the type comment for
+// when this may be used instead of dividing.
+func (w *WalkView) RecipIn(v int32) float64 { return w.recipIn[v] }
+
+// MemoryBytes reports the resident size of the precomputed arrays (the
+// CSR aliases are owned by the graph and not counted).
+func (w *WalkView) MemoryBytes() int64 {
+	return int64(len(w.inDeg)+len(w.outDeg))*4 + int64(len(w.recipIn))*8
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+func viewTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	// Diamond plus a dangling-in node 4: 0->1, 0->2, 1->3, 2->3, 4->0.
+	g, err := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWalkViewDegrees(t *testing.T) {
+	g := viewTestGraph(t)
+	vw := g.WalkView()
+	if vw.Graph() != g || vw.NumNodes() != g.NumNodes() {
+		t.Fatal("view not bound to its graph")
+	}
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		if int(vw.InDeg(v)) != g.InDegree(int(v)) {
+			t.Fatalf("InDeg(%d) = %d, graph says %d", v, vw.InDeg(v), g.InDegree(int(v)))
+		}
+		if int(vw.OutDeg(v)) != g.OutDegree(int(v)) {
+			t.Fatalf("OutDeg(%d) = %d, graph says %d", v, vw.OutDeg(v), g.OutDegree(int(v)))
+		}
+		if base, d := vw.InRow(v); int(d) != g.InDegree(int(v)) {
+			t.Fatalf("InRow(%d) degree %d", v, d)
+		} else {
+			for i := 0; i < int(d); i++ {
+				if vw.InAt(base+int64(i)) != g.InNeighborAt(int(v), i) {
+					t.Fatalf("InAt(%d,%d) mismatch", v, i)
+				}
+			}
+		}
+		if base, d := vw.OutRow(v); int(d) != g.OutDegree(int(v)) {
+			t.Fatalf("OutRow(%d) degree %d", v, d)
+		} else {
+			for i := 0; i < int(d); i++ {
+				if vw.OutAt(base+int64(i)) != g.OutNeighborAt(int(v), i) {
+					t.Fatalf("OutAt(%d,%d) mismatch", v, i)
+				}
+			}
+		}
+		switch din := g.InDegree(int(v)); din {
+		case 0:
+			if vw.RecipIn(v) != 0 {
+				t.Fatalf("RecipIn of dangling node %d = %g, want 0", v, vw.RecipIn(v))
+			}
+		default:
+			if vw.RecipIn(v) != 1/float64(din) {
+				t.Fatalf("RecipIn(%d) = %g", v, vw.RecipIn(v))
+			}
+		}
+	}
+	if vw.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes must be positive for a non-empty graph")
+	}
+}
+
+func TestWalkViewCachedAndConcurrent(t *testing.T) {
+	g := viewTestGraph(t)
+	const goroutines = 8
+	views := make([]*WalkView, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i] = g.WalkView()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if views[i] != views[0] {
+			t.Fatal("concurrent WalkView calls returned different instances")
+		}
+	}
+	if g.WalkView() != views[0] {
+		t.Fatal("WalkView not cached")
+	}
+}
+
+func TestWalkViewTransposeIndependent(t *testing.T) {
+	g := viewTestGraph(t)
+	vw := g.WalkView()
+	tr := g.Transpose()
+	tvw := tr.WalkView()
+	if tvw == vw {
+		t.Fatal("transpose shares the original's walk view")
+	}
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		if tvw.InDeg(v) != vw.OutDeg(v) || tvw.OutDeg(v) != vw.InDeg(v) {
+			t.Fatalf("transpose degrees not swapped at %d", v)
+		}
+	}
+}

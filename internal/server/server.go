@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -55,6 +56,12 @@ type Config struct {
 	// Store serves /topk point lookups (optional; /topk answers 503
 	// without it).
 	Store *simstore.Store
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ so serving
+	// hotspots (walk kernels, cache contention) are profilable in
+	// production. Off by default: the profile endpoints expose internals
+	// and cost CPU, so operators opt in per deployment (cloudwalkerd
+	// -pprof).
+	EnablePprof bool
 }
 
 // Defaults for Config zero values.
@@ -141,6 +148,16 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 	s.mux.Handle("/topk", s.gated("/topk", http.MethodGet, s.handleTopK))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	if cfg.EnablePprof {
+		// Registered on the server's own mux (not http.DefaultServeMux)
+		// and outside the admission gate: profiling must work precisely
+		// when the query path is saturated.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 

@@ -503,3 +503,31 @@ func TestCacheDisabled(t *testing.T) {
 		t.Fatal("stats reported cache counters with caching disabled")
 	}
 }
+
+func TestPprofDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnablePprof: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap?debug=1"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package walk
 
 import (
+	"slices"
+
 	"cloudwalker/internal/graph"
 	"cloudwalker/internal/sparse"
 	"cloudwalker/internal/xrand"
@@ -41,9 +43,8 @@ func (h *Histogram) ToVector(scale float64) *sparse.Vector {
 		Val: make([]float64, 0, len(h.touched)),
 	}
 	// Sort the touched list: insertion order is walker order, and sparse
-	// vectors need ascending indices. Touched lists are short (≤ R), so a
-	// simple in-place sort is fine and allocation-free.
-	sortInt32(h.touched)
+	// vectors need ascending indices.
+	slices.Sort(h.touched)
 	inv := 1.0 / scale
 	for _, k := range h.touched {
 		v.Idx = append(v.Idx, k)
@@ -54,48 +55,39 @@ func (h *Histogram) ToVector(scale float64) *sparse.Vector {
 	return v
 }
 
-// AddSquaredTo folds c^t · (count/scale)² for every touched slot into a
-// sparse accumulator row — the per-step contribution to an indexing row
-// a_i — and resets the histogram.
-func (h *Histogram) AddSquaredTo(acc *sparse.Accumulator, ct, scale float64) {
+// FoldSquaredInto folds c^t · (count/scale)² for every touched slot into
+// a dense Scratch row — the per-step contribution to an indexing row
+// a_i — and resets the histogram. (It replaced a map-accumulator fold
+// with identical per-slot contribution order, so accumulated float64
+// sums are bit-identical to the original implementation.)
+func (h *Histogram) FoldSquaredInto(s *Scratch, ct, scale float64) {
 	inv := 1.0 / scale
 	for _, k := range h.touched {
 		frac := float64(h.counts[k]) * inv
-		acc.Add(k, ct*frac*frac)
+		s.Add(k, ct*frac*frac)
 		h.counts[k] = 0
 	}
 	h.touched = h.touched[:0]
 }
 
-// sortInt32 is an in-place insertion/shell sort for short slices.
-func sortInt32(a []int32) {
-	for gap := len(a) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(a); i++ {
-			v := a[i]
-			j := i
-			for ; j >= gap && a[j-gap] > v; j -= gap {
-				a[j] = a[j-gap]
-			}
-			a[j] = v
-		}
-	}
-}
-
 // RowEstimator estimates indexing rows a_i = Σ_t c^t (P^t e_i)∘(P^t e_i)
 // with reusable buffers. It is the allocation-lean counterpart of calling
 // Distributions + SquareValues per node and is what the offline stage's
-// workers use.
+// workers use: after the first row, the only allocation per row is the
+// returned vector itself (which the caller stores).
 type RowEstimator struct {
-	g    *graph.Graph
+	vw   *graph.WalkView
 	hist *Histogram
-	cur  []int32 // current walker positions; -1 = dead
+	row  *Scratch // dense accumulation of the row across steps
+	cur  []int32  // current walker positions; -1 = dead
 }
 
 // NewRowEstimator creates an estimator for graph g with R walkers.
 func NewRowEstimator(g *graph.Graph, r int) *RowEstimator {
 	return &RowEstimator{
-		g:    g,
+		vw:   g.WalkView(),
 		hist: NewHistogram(g.NumNodes()),
+		row:  NewScratch(g.NumNodes()),
 		cur:  make([]int32, r),
 	}
 }
@@ -103,8 +95,7 @@ func NewRowEstimator(g *graph.Graph, r int) *RowEstimator {
 // EstimateRow runs R walkers for T steps from node i and returns the
 // Monte Carlo row (including the t = 0 unit diagonal term).
 func (re *RowEstimator) EstimateRow(i int, T int, c float64, src *xrand.Source) *sparse.Vector {
-	acc := sparse.NewAccumulator()
-	acc.Add(int32(i), 1) // t = 0
+	re.row.Add(int32(i), 1) // t = 0
 	r := len(re.cur)
 	for w := range re.cur {
 		re.cur[w] = int32(i)
@@ -119,17 +110,16 @@ func (re *RowEstimator) EstimateRow(i int, T int, c float64, src *xrand.Source) 
 			if v < 0 {
 				continue
 			}
-			d := re.g.InDegree(int(v))
-			if d == 0 {
+			next := StepInView(re.vw, v, src)
+			if next < 0 {
 				re.cur[w] = -1
 				alive--
 				continue
 			}
-			next := re.g.InNeighborAt(int(v), src.Intn(d))
 			re.cur[w] = next
 			re.hist.Add(next)
 		}
-		re.hist.AddSquaredTo(acc, ct, scale)
+		re.hist.FoldSquaredInto(re.row, ct, scale)
 	}
-	return acc.ToVector()
+	return re.row.TakeVector()
 }

@@ -47,38 +47,19 @@ func TestHistogramSortedOutput(t *testing.T) {
 	}
 }
 
-func TestHistogramAddSquaredTo(t *testing.T) {
+func TestHistogramFoldSquaredInto(t *testing.T) {
 	h := NewHistogram(5)
 	h.Add(2)
 	h.Add(2)
 	h.Add(4)
-	acc := sparse.NewAccumulator()
-	h.AddSquaredTo(acc, 0.5, 2) // (2/2)²·0.5 at 2; (1/2)²·0.5 at 4
-	v := acc.ToVector()
+	s := NewScratch(5)
+	h.FoldSquaredInto(s, 0.5, 2) // (2/2)²·0.5 at 2; (1/2)²·0.5 at 4
+	v := s.TakeVector()
 	if math.Abs(v.Get(2)-0.5) > 1e-12 || math.Abs(v.Get(4)-0.125) > 1e-12 {
 		t.Fatalf("squared fold %+v", v)
 	}
 	if h.Touched() != 0 {
-		t.Fatal("AddSquaredTo did not reset")
-	}
-}
-
-func TestSortInt32(t *testing.T) {
-	for _, in := range [][]int32{
-		{},
-		{1},
-		{3, 1, 2},
-		{5, 4, 3, 2, 1, 0},
-		{1, 1, 1},
-		{2, 9, 2, 9, 5},
-	} {
-		cp := append([]int32(nil), in...)
-		sortInt32(cp)
-		for i := 1; i < len(cp); i++ {
-			if cp[i-1] > cp[i] {
-				t.Fatalf("unsorted %v -> %v", in, cp)
-			}
-		}
+		t.Fatal("FoldSquaredInto did not reset")
 	}
 }
 

@@ -1,0 +1,189 @@
+package walk
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+func TestScratchAddFlush(t *testing.T) {
+	s := NewScratch(10)
+	s.Add(7, 0.5)
+	s.Add(2, 0.25)
+	s.Add(7, 0.5)
+	s.Add(4, 0) // explicit zero with no later deposit: dropped on flush
+	var v sparse.Vector
+	s.FlushInto(&v)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.NNZ() != 2 || v.Get(7) != 1 || v.Get(2) != 0.25 {
+		t.Fatalf("flushed %+v", v)
+	}
+	// Scratch is clean for reuse.
+	s.Add(1, 1)
+	w := s.TakeVector()
+	if w.NNZ() != 1 || w.Get(1) != 1 {
+		t.Fatalf("reuse leaked state: %+v", w)
+	}
+}
+
+func TestScratchFlushResetsOutput(t *testing.T) {
+	s := NewScratch(10)
+	out := sparse.Vector{Idx: []int32{1, 2, 3}, Val: []float64{9, 9, 9}}
+	s.Add(5, 2)
+	s.FlushInto(&out)
+	if out.NNZ() != 1 || out.Get(5) != 2 {
+		t.Fatalf("FlushInto must reset the output vector, got %+v", out)
+	}
+}
+
+func TestDistributionsIntoMatchesDistributions(t *testing.T) {
+	g, err := gen.RMAT(300, 2400, gen.DefaultRMAT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const start, T, R = 11, 6, 500
+	want := Distributions(g, start, T, R, xrand.NewStream(3, 0))
+	s := NewScratch(g.NumNodes())
+	var buf DistBuf
+	got := s.DistributionsInto(&buf, g.WalkView(), start, T, R, xrand.NewStream(3, 0))
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for tt := range want {
+		a, b := want[tt], got[tt]
+		if len(a.Idx) != len(b.Idx) {
+			t.Fatalf("t=%d nnz %d vs %d", tt, len(a.Idx), len(b.Idx))
+		}
+		for k := range a.Idx {
+			if a.Idx[k] != b.Idx[k] || a.Val[k] != b.Val[k] {
+				t.Fatalf("t=%d entry %d differs: (%d,%v) vs (%d,%v)",
+					tt, k, a.Idx[k], a.Val[k], b.Idx[k], b.Val[k])
+			}
+		}
+	}
+}
+
+func TestDistributionsIntoReuseIsClean(t *testing.T) {
+	g, err := gen.ErdosRenyi(80, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch(g.NumNodes())
+	var buf DistBuf
+	// Burn a different query through the shared scratch and buffer first.
+	s.DistributionsInto(&buf, g.WalkView(), 3, 5, 300, xrand.NewStream(1, 0))
+	got := s.DistributionsInto(&buf, g.WalkView(), 7, 5, 300, xrand.NewStream(2, 0))
+	want := Distributions(g, 7, 5, 300, xrand.NewStream(2, 0))
+	for tt := range want {
+		if len(got[tt].Idx) != len(want[tt].Idx) {
+			t.Fatalf("t=%d nnz %d vs %d", tt, len(got[tt].Idx), len(want[tt].Idx))
+		}
+		for k := range want[tt].Idx {
+			if got[tt].Idx[k] != want[tt].Idx[k] || got[tt].Val[k] != want[tt].Val[k] {
+				t.Fatalf("t=%d entry %d differs after reuse", tt, k)
+			}
+		}
+	}
+}
+
+func TestDistributionsIntoDegenerate(t *testing.T) {
+	g, err := gen.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch(g.NumNodes())
+	var buf DistBuf
+	// R <= 0 degenerates to the unit vector, like Distributions.
+	got := s.DistributionsInto(&buf, g.WalkView(), 2, 3, 0, xrand.New(1))
+	if len(got) != 1 || got[0].NNZ() != 1 || got[0].Get(2) != 1 {
+		t.Fatalf("degenerate result %+v", got)
+	}
+	// T = 0 keeps only the start distribution.
+	got = s.DistributionsInto(&buf, g.WalkView(), 1, 0, 50, xrand.New(2))
+	if len(got) != 1 || got[0].NNZ() != 1 {
+		t.Fatalf("T=0 result %+v", got)
+	}
+}
+
+func TestStepViewVariantsMatch(t *testing.T) {
+	g, err := gen.RMAT(100, 600, gen.DefaultRMAT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw := g.WalkView()
+	a, b := xrand.New(5), xrand.New(5)
+	for v := 0; v < g.NumNodes(); v++ {
+		if got, want := StepInView(vw, int32(v), a), StepIn(g, v, b); int(got) != want {
+			t.Fatalf("StepInView(%d) = %d, StepIn = %d", v, got, want)
+		}
+	}
+	// ForwardWeighted delegates to the view, so comparing the two would
+	// be tautological; check the view against an independent CSR
+	// formulation of the importance-weighted step instead.
+	csrForward := func(k int, w float64, steps int, src *xrand.Source) (int, float64) {
+		cur := k
+		for s := 0; s < steps; s++ {
+			dOut := g.OutDegree(cur)
+			if dOut == 0 {
+				return -1, 0
+			}
+			next := int(g.OutNeighborAt(cur, src.Intn(dOut)))
+			w *= float64(dOut) / float64(g.InDegree(next))
+			cur = next
+		}
+		return cur, w
+	}
+	a, b = xrand.New(6), xrand.New(6)
+	for v := 0; v < g.NumNodes(); v++ {
+		jv, wv := ForwardWeightedView(vw, int32(v), 1.0, 3, a)
+		j, w := csrForward(v, 1.0, 3, b)
+		if int(jv) != j || wv != w {
+			t.Fatalf("ForwardWeightedView(%d) = (%d,%v), CSR reference = (%d,%v)", v, jv, wv, j, w)
+		}
+	}
+}
+
+// Property: sortTouched (radix for long lists, comparison for short) is a
+// correct sort for any list of node ids, across the one-pass (max < 256)
+// and multi-pass byte widths, including the odd-pass copy-back.
+func TestQuickSortTouched(t *testing.T) {
+	f := func(seed uint64, big bool) bool {
+		src := xrand.New(seed)
+		n := src.Intn(400) + 1
+		limit := 200 // one radix pass
+		if big {
+			limit = 1 << 20 // three radix passes
+		}
+		s := NewScratch(1)
+		s.touched = make([]int32, n)
+		for i := range s.touched {
+			s.touched[i] = int32(src.Intn(limit))
+		}
+		want := append([]int32(nil), s.touched...)
+		slices.Sort(want)
+		s.sortTouched()
+		return slices.Equal(s.touched, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionsIntoNegativeT(t *testing.T) {
+	g, err := gen.Cycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch(g.NumNodes())
+	var buf DistBuf
+	got := s.DistributionsInto(&buf, g.WalkView(), 1, -1, 10, xrand.New(3))
+	if len(got) != 1 || got[0].NNZ() != 1 || got[0].Get(1) != 1 {
+		t.Fatalf("negative T result %+v", got)
+	}
+}

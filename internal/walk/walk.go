@@ -10,6 +10,7 @@
 package walk
 
 import (
+	"math"
 	"sync"
 
 	"cloudwalker/internal/graph"
@@ -55,32 +56,35 @@ func Path(g *graph.Graph, start, T int, src *xrand.Source) []int32 {
 // Distributions runs R backward walkers from start for T steps and returns
 // the empirical distributions p̂_t ≈ P^t e_start for t = 0..T. Each
 // distribution sums to (walkers still alive at t)/R ≤ 1.
+//
+// This convenience wrapper draws working memory from a package pool and
+// copies the results out; query loops should hold their own Scratch and
+// call DistributionsInto instead (same output, zero steady-state
+// allocation, no copies).
 func Distributions(g *graph.Graph, start, T, R int, src *xrand.Source) []*sparse.Vector {
 	if R <= 0 || T < 0 {
 		return []*sparse.Vector{sparse.Unit(start)}
 	}
-	accs := make([]*sparse.Accumulator, T+1)
-	for t := range accs {
-		accs[t] = sparse.NewAccumulator()
-	}
-	w := 1.0 / float64(R)
-	for r := 0; r < R; r++ {
-		cur := start
-		accs[0].Add(int32(start), w)
-		for t := 1; t <= T; t++ {
-			cur = StepIn(g, cur, src)
-			if cur < 0 {
-				break
-			}
-			accs[t].Add(int32(cur), w)
-		}
-	}
-	out := make([]*sparse.Vector, T+1)
-	for t := range out {
-		out[t] = accs[t].ToVector()
+	ds := distPool.Get().(*distScratch)
+	defer distPool.Put(ds)
+	vecs := ds.sc.DistributionsInto(&ds.buf, g.WalkView(), start, T, R, src)
+	out := make([]*sparse.Vector, len(vecs))
+	for t := range vecs {
+		out[t] = vecs[t].Clone()
 	}
 	return out
 }
+
+// distScratch pools the transient workspace of the Distributions
+// convenience wrapper, so callers that loop over it (DistributionsParallel
+// workers, the LIN-style pull estimator's tests) don't allocate and zero
+// an O(n) histogram per call. A zero-value Scratch grows on first use.
+type distScratch struct {
+	sc  Scratch
+	buf DistBuf
+}
+
+var distPool = sync.Pool{New: func() any { return new(distScratch) }}
 
 // DistributionsParallel is Distributions with the R walkers split across
 // `workers` goroutines, each with an independent RNG stream derived from
@@ -89,40 +93,81 @@ func DistributionsParallel(g *graph.Graph, start, T, R, workers int, seed uint64
 	if workers <= 1 || R < 2*workers {
 		return Distributions(g, start, T, R, xrand.NewStream(seed, 0))
 	}
+	// Shares and merge scales are computed once, up front (each chunk's
+	// distributions are normalized by its own share, so the merge
+	// reweights by share/R before summing).
+	shares := make([]int, workers)
+	scales := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		shares[w] = R / workers
+		if w < R%workers {
+			shares[w]++
+		}
+		scales[w] = float64(shares[w]) / float64(R)
+	}
 	chunks := make([][]*sparse.Vector, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		share := R / workers
-		if w < R%workers {
-			share++
-		}
 		wg.Add(1)
-		go func(w, share int) {
+		go func(w int) {
 			defer wg.Done()
 			src := xrand.NewStream(seed, uint64(w))
-			chunks[w] = Distributions(g, start, T, share, src)
-		}(w, share)
+			chunks[w] = Distributions(g, start, T, shares[w], src)
+		}(w)
 	}
 	wg.Wait()
-	// Merge: each chunk's distributions are normalized by its own share,
-	// so reweight by share/R before summing.
 	out := make([]*sparse.Vector, T+1)
+	step := make([]*sparse.Vector, workers)
+	ptr := make([]int, workers)
 	for t := 0; t <= T; t++ {
-		acc := sparse.NewAccumulator()
 		for w := 0; w < workers; w++ {
-			share := R / workers
-			if w < R%workers {
-				share++
-			}
-			scale := float64(share) / float64(R)
-			d := chunks[w][t]
-			for k, idx := range d.Idx {
-				acc.Add(idx, d.Val[k]*scale)
-			}
+			step[w] = chunks[w][t]
 		}
-		out[t] = acc.ToVector()
+		clear(ptr)
+		out[t] = mergeScaled(step, scales, ptr)
 	}
 	return out
+}
+
+// mergeScaled k-way merges already-sorted chunk vectors into one sorted
+// vector, accumulating scales[w]*val contributions per index in worker
+// order (which keeps the float64 sums bit-identical to the accumulator-
+// based merge it replaces). ptr is the caller-owned cursor slice, one
+// zeroed entry per vector.
+func mergeScaled(vecs []*sparse.Vector, scales []float64, ptr []int) *sparse.Vector {
+	total := 0
+	for _, v := range vecs {
+		total += v.NNZ()
+	}
+	out := &sparse.Vector{
+		Idx: make([]int32, 0, total),
+		Val: make([]float64, 0, total),
+	}
+	for {
+		const none = int32(math.MaxInt32)
+		min := none
+		for w, v := range vecs {
+			if ptr[w] < len(v.Idx) && v.Idx[ptr[w]] < min {
+				min = v.Idx[ptr[w]]
+			}
+		}
+		if min == none {
+			return out
+		}
+		s := 0.0
+		for w, v := range vecs {
+			if ptr[w] < len(v.Idx) && v.Idx[ptr[w]] == min {
+				s += v.Val[ptr[w]] * scales[w]
+				ptr[w]++
+			}
+		}
+		// Drop exact zeros, matching Accumulator.ToVector (cannot occur
+		// for probability mass, but keep the invariant explicit).
+		if s != 0 {
+			out.Idx = append(out.Idx, min)
+			out.Val = append(out.Val, s)
+		}
+	}
 }
 
 // ForwardWeighted performs the importance-weighted forward walk of the
@@ -133,17 +178,8 @@ func DistributionsParallel(g *graph.Graph, start, T, R, workers int, seed uint64
 // out-links. The expectation of the deposited weight at node j equals
 // w * Pr[t-step backward walk from j ends at k].
 func ForwardWeighted(g *graph.Graph, k int, w float64, steps int, src *xrand.Source) (int, float64) {
-	cur := k
-	for s := 0; s < steps; s++ {
-		dOut := g.OutDegree(cur)
-		if dOut == 0 {
-			return -1, 0
-		}
-		next := int(g.OutNeighborAt(cur, src.Intn(dOut)))
-		w *= float64(dOut) / float64(g.InDegree(next))
-		cur = next
-	}
-	return cur, w
+	j, wt := ForwardWeightedView(g.WalkView(), int32(k), w, steps, src)
+	return int(j), wt
 }
 
 // MeetingTime runs two coupled backward walks from i and j (independent

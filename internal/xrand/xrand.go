@@ -31,8 +31,16 @@ func splitmix64(state *uint64) uint64 {
 // New returns a Source derived from seed. Distinct seeds yield streams that
 // are independent for all practical purposes.
 func New(seed uint64) *Source {
-	sm := seed
 	s := &Source{}
+	s.Reseed(seed)
+	return s
+}
+
+// Reseed reinitializes the receiver in place exactly as New(seed) would.
+// Pooled query scratch uses it so deriving a per-query generator does not
+// allocate; the resulting output stream is bit-identical to New's.
+func (s *Source) Reseed(seed uint64) {
+	sm := seed
 	s.s0 = splitmix64(&sm)
 	s.s1 = splitmix64(&sm)
 	s.s2 = splitmix64(&sm)
@@ -42,19 +50,26 @@ func New(seed uint64) *Source {
 	if s.s0|s.s1|s.s2|s.s3 == 0 {
 		s.s0 = 0x9e3779b97f4a7c15
 	}
-	return s
 }
 
 // NewStream returns a Source for stream id derived from seed. It is the
 // canonical way to give worker i its own generator: NewStream(seed, i) and
 // NewStream(seed, j) are independent for i != j.
 func NewStream(seed, stream uint64) *Source {
+	s := &Source{}
+	s.ReseedStream(seed, stream)
+	return s
+}
+
+// ReseedStream reinitializes the receiver in place exactly as
+// NewStream(seed, stream) would, without allocating.
+func (s *Source) ReseedStream(seed, stream uint64) {
 	// Mix the stream id through SplitMix64 so that adjacent stream ids
 	// land far apart in seed space.
 	sm := seed
 	base := splitmix64(&sm)
 	sm2 := base ^ (stream+1)*0xd1342543de82ef95
-	return New(splitmix64(&sm2))
+	s.Reseed(splitmix64(&sm2))
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

@@ -284,3 +284,26 @@ func BenchmarkAliasSample(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	// In-place reseeding must reproduce New/NewStream's streams exactly —
+	// the pooled query scratch depends on it for bit-identical queries.
+	s := New(123)
+	for i := 0; i < 10; i++ {
+		s.Uint64() // dirty the state
+	}
+	s.Reseed(77)
+	fresh := New(77)
+	for i := 0; i < 100; i++ {
+		if a, b := s.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("Reseed output %d: %x != New's %x", i, a, b)
+		}
+	}
+	s.ReseedStream(9, 4)
+	freshStream := NewStream(9, 4)
+	for i := 0; i < 100; i++ {
+		if a, b := s.Uint64(), freshStream.Uint64(); a != b {
+			t.Fatalf("ReseedStream output %d: %x != NewStream's %x", i, a, b)
+		}
+	}
+}
