@@ -9,6 +9,13 @@
 //	benchtab -exp table-compare -csv       # CSV output
 //	benchtab -list                         # list experiment ids
 //
+// Regression-gate mode (CI): parse `go test -bench` output (stdin, or
+// -input FILE) and fail when any walk kernel's walker-steps/s drops more
+// than -tolerance below the latest run recorded in the trajectory file:
+//
+//	go test -run '^$' -bench WalkKernels -count 3 ./internal/bench |
+//	    benchtab -compare BENCH_walk.json -tolerance 0.25
+//
 // Scale multiplies the synthetic dataset sizes (and the simulated
 // per-machine memory, keeping the paper's broadcast-model memory wall at
 // the same relative position). Scale 1.0 runs the full synthetic profile
@@ -19,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,7 +44,28 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
 	jsonOut := flag.String("json-out", "", "bench-walk only: append the run to this JSON trajectory file")
 	label := flag.String("label", "", "bench-walk only: label for the appended run")
+	compare := flag.String("compare", "", "regression gate: trajectory JSON to compare `go test -bench` output against (exits 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "compare mode: tolerated fractional walker-steps/s drop")
+	input := flag.String("input", "-", "compare mode: bench output file ('-' = stdin)")
 	flag.Parse()
+
+	if *compare != "" {
+		in := io.Reader(os.Stdin)
+		if *input != "-" {
+			f, err := os.Open(*input)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			in = f
+		}
+		if err := bench.RunWalkCompare(*compare, in, *tolerance, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, name := range bench.ExperimentNames() {

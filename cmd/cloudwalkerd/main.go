@@ -8,9 +8,12 @@
 //	cloudwalker gen   -out graph.bin -kind rmat -n 10000 -m 120000
 //	cloudwalker index -graph graph.bin -out index.cw
 //	cloudwalkerd -graph graph.bin -index index.cw [-store topk.cw] [-addr :8089]
+//	cloudwalkerd -graph graph.bin -index index.cw -dynamic -refresh-after 1000
 //
 // Endpoints: /pair, /pairs, /source, /topk, /healthz, /stats (see
-// internal/server). SIGINT/SIGTERM drain in-flight requests before exit.
+// internal/server); with -dynamic also POST /edges (incremental edge
+// updates) and POST /refresh (compaction + hot-swap to a fresh
+// snapshot). SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
 import (
@@ -50,6 +53,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	cacheShards := fs.Int("cache-shards", 0, "result cache shards (0 = default)")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrent queries before shedding 429s (0 = 4x cores, -1 = unlimited)")
 	maxBatch := fs.Int("max-batch", 0, "max pairs per /pairs request (0 = default)")
+	dynamic := fs.Bool("dynamic", false, "accept incremental edge updates (POST /edges) with background compaction + hot-swap (POST /refresh)")
+	refreshAfter := fs.Int("refresh-after", 0, "auto-compact after this many pending updates (0 = manual refresh only; needs -dynamic)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for production profiling")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
@@ -57,6 +62,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	if *gpath == "" || *ipath == "" {
 		return fmt.Errorf("-graph and -index are required")
+	}
+	if *refreshAfter != 0 && !*dynamic {
+		return fmt.Errorf("-refresh-after requires -dynamic")
 	}
 
 	g, err := loadGraph(*gpath)
@@ -85,6 +93,23 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	if *pprofOn {
 		fmt.Fprintln(out, "pprof enabled at /debug/pprof/")
+	}
+	if *dynamic {
+		// The overlay wraps the loaded graph; every hot-swap rebuilds the
+		// index on the compacted snapshot with the same options the
+		// loaded index was built with, so post-swap estimates are exactly
+		// what an offline rebuild would have produced.
+		cfg.Dynamic = cloudwalker.NewDynamicGraph(g)
+		cfg.RefreshAfter = *refreshAfter
+		buildOpts := idx.Opts
+		cfg.Reindex = func(ng *cloudwalker.Graph) (*cloudwalker.Querier, error) {
+			idx2, _, err := cloudwalker.BuildIndex(ng, buildOpts)
+			if err != nil {
+				return nil, err
+			}
+			return cloudwalker.NewQuerier(ng, idx2)
+		}
+		fmt.Fprintf(out, "dynamic updates enabled (POST /edges, POST /refresh, refresh-after=%d)\n", *refreshAfter)
 	}
 	if *spath != "" {
 		sf, err := os.Open(*spath)

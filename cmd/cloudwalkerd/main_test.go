@@ -14,6 +14,14 @@ import (
 	"cloudwalker"
 )
 
+func TestRefreshAfterRequiresDynamic(t *testing.T) {
+	if err := run([]string{
+		"-graph", "g.bin", "-index", "x.cw", "-refresh-after", "10",
+	}, new(bytes.Buffer), nil); err == nil || !strings.Contains(err.Error(), "-dynamic") {
+		t.Fatalf("err = %v, want -refresh-after/-dynamic complaint", err)
+	}
+}
+
 func TestRunRequiresFlags(t *testing.T) {
 	if err := run(nil, new(bytes.Buffer), nil); err == nil {
 		t.Fatal("missing -graph/-index accepted")
@@ -119,5 +127,133 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "drained") {
 		t.Fatalf("missing drain log:\n%s", out.String())
+	}
+}
+
+// TestDaemonDynamicEndToEnd boots the daemon in -dynamic mode, streams
+// edge updates at it, forces a compaction/hot-swap, and checks queries
+// flip to the new snapshot without the daemon missing a beat.
+func TestDaemonDynamicEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	g, err := cloudwalker.GenerateRMAT(150, 1200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cloudwalker.DefaultOptions()
+	opts.T = 4
+	opts.R = 20
+	opts.RPrime = 150
+	idx, _, err := cloudwalker.BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpath := filepath.Join(dir, "graph.bin")
+	ipath := filepath.Join(dir, "index.cw")
+	gf, err := os.Create(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cloudwalker.SaveBinaryGraph(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	xf, err := os.Create(ipath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cloudwalker.SaveIndex(xf, idx); err != nil {
+		t.Fatal(err)
+	}
+	xf.Close()
+
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-graph", gpath, "-index", ipath, "-addr", "127.0.0.1:0", "-dynamic",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	// Apply updates: two fresh nodes, both cited by 1 and 2 (shared
+	// in-neighbors drive SimRank, which walks backward).
+	resp, err := http.Post(base+"/edges", "application/json",
+		strings.NewReader(`{"insert":[[1,150],[2,150],[1,151],[2,151]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er struct {
+		Inserted int    `json:"inserted"`
+		Pending  int    `json:"pending"`
+		Gen      uint64 `json:"gen"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || er.Inserted != 4 || er.Pending != 4 {
+		t.Fatalf("edges: status %d, %+v", resp.StatusCode, er)
+	}
+
+	// Synchronous refresh: compaction + index rebuild + hot-swap.
+	resp, err = http.Post(base+"/refresh?wait=1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr struct {
+		Swapped bool   `json:"swapped"`
+		Gen     uint64 `json:"gen"`
+		Nodes   int    `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !rr.Swapped || rr.Gen != er.Gen || rr.Nodes != 152 {
+		t.Fatalf("refresh: status %d, %+v (want swap to gen %d, 152 nodes)", resp.StatusCode, rr, er.Gen)
+	}
+
+	// The new nodes are queryable, served from the swapped snapshot.
+	resp, err = http.Get(base + "/pair?i=150&j=151")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		Score float64 `json:"score"`
+		Gen   uint64  `json:"gen"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Gen != er.Gen {
+		t.Fatalf("pair: status %d, %+v", resp.StatusCode, pr)
+	}
+	if pr.Score <= 0 {
+		t.Fatalf("pair score %v, want > 0 (150 and 151 share both in-neighbor sets)", pr.Score)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	if !strings.Contains(out.String(), "dynamic updates enabled") {
+		t.Fatalf("missing dynamic log:\n%s", out.String())
 	}
 }

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// This file is the CI benchmark-regression gate: it parses raw `go test
+// -bench` output for the walk-kernel micro-benchmarks, converts each
+// kernel's median ns/op into walker-steps/s using the same nominal step
+// counts the trajectory was recorded with, and fails when any kernel
+// lost more than the tolerated fraction versus the latest run recorded
+// in BENCH_walk.json. CI runs the benchmark a few times with a short
+// benchtime and feeds all samples in, so a single noisy run cannot flake
+// the gate (the median absorbs it).
+
+// benchLine matches one `go test -bench` result line for a sub-benchmark
+// of the walk-kernel suite, e.g.
+//
+//	BenchmarkWalkKernels/single_pair-16  2664  464825 ns/op  0 B/op  0 allocs/op
+//
+// Capture 1 is the sub-benchmark (kernel) name, capture 2 the ns/op
+// value (go emits floats below 1ns; accept them).
+var benchLine = regexp.MustCompile(`^Benchmark[A-Za-z0-9_]+/([A-Za-z0-9_]+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// ParseGoBench reads `go test -bench` text output and returns the ns/op
+// samples per kernel name (multiple runs of the same benchmark — e.g.
+// -count=3 — yield multiple samples). Non-benchmark lines are ignored.
+func ParseGoBench(r io.Reader) (map[string][]float64, error) {
+	samples := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bench: unparseable ns/op %q on line %q", m[2], sc.Text())
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// median returns the statistical median of xs (xs is not modified).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// CompareResult is one kernel's verdict in a regression comparison.
+type CompareResult struct {
+	Kernel        string
+	Samples       int
+	MedianNsPerOp float64
+	// Measured and Recorded are walker-steps/s (higher is better).
+	Measured float64
+	Recorded float64
+	// Ratio = Measured / Recorded; Pass when Ratio >= 1 - tolerance.
+	Ratio float64
+	Pass  bool
+}
+
+// CompareWalkBench compares measured ns/op samples against the latest
+// run recorded in the trajectory file. Every stepping kernel of the
+// recorded run must have at least one sample — a kernel that silently
+// stopped being measured would otherwise pass the gate forever. A kernel
+// fails when its median walker-steps/s drops more than tolerance
+// (fraction, e.g. 0.25) below the recorded value; running faster than
+// recorded always passes.
+func CompareWalkBench(file *WalkBenchFile, samples map[string][]float64, tolerance float64) ([]CompareResult, error) {
+	if tolerance < 0 || tolerance >= 1 {
+		return nil, fmt.Errorf("bench: tolerance %g outside [0,1)", tolerance)
+	}
+	if len(file.Runs) == 0 {
+		return nil, fmt.Errorf("bench: trajectory file has no recorded runs")
+	}
+	baseline := file.Runs[len(file.Runs)-1]
+	opts := walkBenchOpts()
+	// The trajectory header pins the whole workload — parameters AND the
+	// benchmark graph; verify both match what this binary's benchmark
+	// runs before converting ns/op, or the comparison is between
+	// different amounts of work, not different kernel speeds.
+	if file.Opts.T != opts.T || file.Opts.R != opts.R || file.Opts.RPrime != opts.RPrime {
+		return nil, fmt.Errorf("bench: trajectory recorded for T=%d R=%d R'=%d, comparator built for T=%d R=%d R'=%d",
+			file.Opts.T, file.Opts.R, file.Opts.RPrime, opts.T, opts.R, opts.RPrime)
+	}
+	if file.Graph.Nodes != walkBenchNodes || file.Graph.Edges != walkBenchEdges ||
+		file.Graph.Seed != walkBenchSeed {
+		return nil, fmt.Errorf("bench: trajectory recorded on graph %+v, benchmark now runs %d nodes / %d edges (seed %d); re-record the trajectory",
+			file.Graph, walkBenchNodes, walkBenchEdges, walkBenchSeed)
+	}
+	steps := nominalStepsPerOp(opts)
+
+	kernels := make([]string, 0, len(baseline.Metrics))
+	for name, m := range baseline.Metrics {
+		if m.StepsPerSec > 0 {
+			kernels = append(kernels, name)
+		}
+	}
+	sort.Strings(kernels)
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("bench: latest recorded run %q has no stepping kernels", baseline.Label)
+	}
+
+	results := make([]CompareResult, 0, len(kernels))
+	for _, name := range kernels {
+		stepsPerOp := steps[name]
+		if stepsPerOp <= 0 {
+			return nil, fmt.Errorf("bench: recorded kernel %q has no nominal step count (renamed or removed?)", name)
+		}
+		xs := samples[name]
+		if len(xs) == 0 {
+			return nil, fmt.Errorf("bench: no measurement for kernel %q in the bench output (did the benchmark run?)", name)
+		}
+		med := median(xs)
+		res := CompareResult{
+			Kernel:        name,
+			Samples:       len(xs),
+			MedianNsPerOp: med,
+			Measured:      stepsPerOp / med * 1e9,
+			Recorded:      baseline.Metrics[name].StepsPerSec,
+		}
+		res.Ratio = res.Measured / res.Recorded
+		res.Pass = res.Ratio >= 1-tolerance
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// LoadWalkBenchFile reads a trajectory file written by appendWalkBenchRun.
+func LoadWalkBenchFile(path string) (*WalkBenchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file WalkBenchFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &file, nil
+}
+
+// RunWalkCompare is the `benchtab -compare` entry point: read bench
+// output from in, compare against the trajectory at trajPath, print a
+// verdict table to w, and return an error naming the regressed kernels
+// (callers exit nonzero on it).
+func RunWalkCompare(trajPath string, in io.Reader, tolerance float64, w io.Writer) error {
+	file, err := LoadWalkBenchFile(trajPath)
+	if err != nil {
+		return err
+	}
+	samples, err := ParseGoBench(in)
+	if err != nil {
+		return err
+	}
+	results, err := CompareWalkBench(file, samples, tolerance)
+	if err != nil {
+		return err
+	}
+
+	baseline := file.Runs[len(file.Runs)-1]
+	t := NewTable(
+		fmt.Sprintf("Walk-kernel regression gate vs %q (tolerance %.0f%%)", baseline.Label, tolerance*100),
+		"Kernel", "runs", "median ns/op", "Msteps/s", "recorded", "ratio", "verdict")
+	var failed []string
+	for _, r := range results {
+		verdict := "ok"
+		if !r.Pass {
+			verdict = "REGRESSED"
+			failed = append(failed, fmt.Sprintf("%s (%.0f%% of recorded)", r.Kernel, r.Ratio*100))
+		}
+		t.Add(r.Kernel,
+			strconv.Itoa(r.Samples),
+			fmt.Sprintf("%.0f", r.MedianNsPerOp),
+			fmt.Sprintf("%.2f", r.Measured/1e6),
+			fmt.Sprintf("%.2f", r.Recorded/1e6),
+			fmt.Sprintf("%.2f", r.Ratio),
+			verdict)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("bench: walker-steps/s regression beyond %.0f%% tolerance: %v", tolerance*100, failed)
+	}
+	return nil
+}

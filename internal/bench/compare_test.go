@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeTrajectory builds a WalkBenchFile whose latest run records the
+// given ns/op per kernel (steps/s derived with the shared nominal step
+// table, exactly as RunWalkBench records them).
+func fakeTrajectory(nsPerOp map[string]float64) *WalkBenchFile {
+	opts := walkBenchOpts()
+	steps := nominalStepsPerOp(opts)
+	file := &WalkBenchFile{Schema: "cloudwalker-bench/v1"}
+	file.Graph.Kind = "rmat"
+	file.Graph.Nodes = walkBenchNodes
+	file.Graph.Edges = walkBenchEdges
+	file.Graph.Seed = walkBenchSeed
+	file.Opts.C = opts.C
+	file.Opts.T = opts.T
+	file.Opts.R = opts.R
+	file.Opts.RPrime = opts.RPrime
+	run := WalkBenchRun{Label: "recorded baseline", Metrics: map[string]WalkBenchMetric{}}
+	for name, ns := range nsPerOp {
+		run.Metrics[name] = WalkBenchMetric{
+			NsPerOp:     ns,
+			StepsPerSec: steps[name] / ns * 1e9,
+		}
+	}
+	file.Runs = []WalkBenchRun{run}
+	return file
+}
+
+// benchOutput renders fake `go test -bench` text: count lines per kernel
+// with the given ns/op values.
+func benchOutput(lines map[string][]float64) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: cloudwalker/internal/bench\n")
+	for name, vals := range lines {
+		for _, ns := range vals {
+			fmt.Fprintf(&b, "BenchmarkWalkKernels/%s-16   \t     100\t   %.0f ns/op\t       0 B/op\t       0 allocs/op\n", name, ns)
+		}
+	}
+	b.WriteString("PASS\nok  \tcloudwalker/internal/bench\t12.3s\n")
+	return b.String()
+}
+
+var baselineNs = map[string]float64{
+	"single_pair":        464825,
+	"single_source_walk": 911235,
+	"source_topk":        910354,
+	"estimate_row":       9428,
+}
+
+func TestParseGoBench(t *testing.T) {
+	out := benchOutput(map[string][]float64{
+		"single_pair":  {100, 120, 110},
+		"estimate_row": {50},
+	})
+	samples, err := ParseGoBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples["single_pair"]) != 3 || len(samples["estimate_row"]) != 1 {
+		t.Fatalf("samples: %v", samples)
+	}
+	if samples["single_pair"][1] != 120 {
+		t.Fatalf("sample order not preserved: %v", samples["single_pair"])
+	}
+	// Sub-µs float ns/op values and missing -N suffixes both parse.
+	extra, err := ParseGoBench(strings.NewReader(
+		"BenchmarkX/tiny_kernel 1000000000 0.25 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := extra["tiny_kernel"]; len(got) != 1 || got[0] != 0.25 {
+		t.Fatalf("float parse: %v", extra)
+	}
+}
+
+func TestCompareWalkBenchPassesAtRecordedSpeed(t *testing.T) {
+	file := fakeTrajectory(baselineNs)
+	// Identical speed, and 20% slower: both inside the 25% tolerance.
+	for _, factor := range []float64{1.0, 1.20, 0.5} {
+		measured := map[string][]float64{}
+		for name, ns := range baselineNs {
+			measured[name] = []float64{ns * factor}
+		}
+		samples, err := ParseGoBench(strings.NewReader(benchOutput(measured)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := CompareWalkBench(file, samples, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(baselineNs) {
+			t.Fatalf("factor %v: %d results, want %d", factor, len(results), len(baselineNs))
+		}
+		for _, r := range results {
+			if !r.Pass {
+				t.Fatalf("factor %v: kernel %s failed (ratio %.2f)", factor, r.Kernel, r.Ratio)
+			}
+		}
+	}
+}
+
+// TestCompareWalkBenchFailsOnDoctoredRegression is the acceptance check:
+// a doctored bench output with a 2x walker-steps/s regression (2x ns/op)
+// must fail the gate.
+func TestCompareWalkBenchFailsOnDoctoredRegression(t *testing.T) {
+	file := fakeTrajectory(baselineNs)
+	measured := map[string][]float64{}
+	for name, ns := range baselineNs {
+		measured[name] = []float64{ns}
+	}
+	// Doctor one kernel to half speed.
+	measured["single_pair"] = []float64{baselineNs["single_pair"] * 2}
+	samples, err := ParseGoBench(strings.NewReader(benchOutput(measured)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareWalkBench(file, samples, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Kernel == "single_pair" {
+			if r.Pass {
+				t.Fatalf("2x regression passed the gate: %+v", r)
+			}
+			if r.Ratio > 0.51 || r.Ratio < 0.49 {
+				t.Fatalf("ratio %.3f, want ~0.5", r.Ratio)
+			}
+			failed++
+		} else if !r.Pass {
+			t.Fatalf("undoctored kernel %s failed: %+v", r.Kernel, r)
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("doctored kernel missing from results")
+	}
+}
+
+// TestCompareWalkBenchMedianAbsorbsOutlier: with 3 runs per kernel, one
+// pathological sample must not flip the verdict — CI's 3-run median is
+// the anti-flake mechanism.
+func TestCompareWalkBenchMedianAbsorbsOutlier(t *testing.T) {
+	file := fakeTrajectory(baselineNs)
+	measured := map[string][]float64{}
+	for name, ns := range baselineNs {
+		// Two honest samples, one 10x outlier (GC pause, noisy neighbor).
+		measured[name] = []float64{ns, ns * 10, ns * 1.05}
+	}
+	samples, err := ParseGoBench(strings.NewReader(benchOutput(measured)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareWalkBench(file, samples, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Samples != 3 {
+			t.Fatalf("kernel %s: %d samples, want 3", r.Kernel, r.Samples)
+		}
+		if !r.Pass {
+			t.Fatalf("outlier flipped the median verdict: %+v", r)
+		}
+	}
+}
+
+func TestCompareWalkBenchRequiresEveryKernel(t *testing.T) {
+	file := fakeTrajectory(baselineNs)
+	measured := map[string][]float64{}
+	for name, ns := range baselineNs {
+		measured[name] = []float64{ns}
+	}
+	delete(measured, "estimate_row")
+	samples, err := ParseGoBench(strings.NewReader(benchOutput(measured)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareWalkBench(file, samples, 0.25); err == nil ||
+		!strings.Contains(err.Error(), "estimate_row") {
+		t.Fatalf("missing kernel not rejected: %v", err)
+	}
+}
+
+func TestCompareWalkBenchValidation(t *testing.T) {
+	file := fakeTrajectory(baselineNs)
+	samples := map[string][]float64{"single_pair": {1}}
+	if _, err := CompareWalkBench(file, samples, 1.5); err == nil {
+		t.Fatal("tolerance 1.5 accepted")
+	}
+	if _, err := CompareWalkBench(&WalkBenchFile{}, samples, 0.25); err == nil {
+		t.Fatal("empty trajectory accepted")
+	}
+	skewed := fakeTrajectory(baselineNs)
+	skewed.Opts.RPrime = 999 // parameter mismatch
+	if _, err := CompareWalkBench(skewed, samples, 0.25); err == nil {
+		t.Fatal("parameter mismatch accepted")
+	}
+	shrunk := fakeTrajectory(baselineNs)
+	shrunk.Graph.Nodes = 5000 // benchmark graph mismatch: different work, not speed
+	if _, err := CompareWalkBench(shrunk, samples, 0.25); err == nil {
+		t.Fatal("graph-shape mismatch accepted")
+	}
+}
+
+// TestRunWalkCompareEndToEnd exercises the benchtab entry point against
+// a trajectory file on disk, both verdicts.
+func TestRunWalkCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_walk.json")
+	raw, err := json.Marshal(fakeTrajectory(baselineNs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	healthy := map[string][]float64{}
+	doctored := map[string][]float64{}
+	for name, ns := range baselineNs {
+		healthy[name] = []float64{ns * 1.1}
+		doctored[name] = []float64{ns * 2} // 2x walker-steps/s regression
+	}
+	var out bytes.Buffer
+	if err := RunWalkCompare(path, strings.NewReader(benchOutput(healthy)), 0.25, &out); err != nil {
+		t.Fatalf("healthy run failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("verdict table missing:\n%s", out.String())
+	}
+	out.Reset()
+	err = RunWalkCompare(path, strings.NewReader(benchOutput(doctored)), 0.25, &out)
+	if err == nil {
+		t.Fatalf("doctored 2x regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("verdict table lacks REGRESSED:\n%s", out.String())
+	}
+	// The real repo trajectory must be loadable and well-formed for the
+	// CI job to work at all.
+	real, err := LoadWalkBenchFile("../../BENCH_walk.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(real.Runs) == 0 {
+		t.Fatal("repo BENCH_walk.json has no runs")
+	}
+}

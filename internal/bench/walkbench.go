@@ -90,6 +90,25 @@ type kernelBench struct {
 	fn         func(b *testing.B)
 }
 
+// nominalStepsPerOp returns every kernel's fixed nominal walker-step
+// count per op for the given parameters. It is shared by the recording
+// path (RunWalkBench) and the CI regression comparator (CompareWalkBench)
+// so the two can never disagree about what a ns/op measurement means in
+// walker-steps/s.
+func nominalStepsPerOp(opts core.Options) map[string]float64 {
+	T := float64(opts.T)
+	// Phase 1 of a single-source walk: R'·T backward steps; phase 2: a
+	// forward walk of length t from every surviving (walker, step) pair —
+	// nominally R'·T(T+1)/2 more.
+	ss := float64(opts.RPrime) * (T + T*(T+1)/2)
+	return map[string]float64{
+		"single_pair":        2 * float64(opts.RPrime) * T, // two endpoints, R' walkers, T steps
+		"single_source_walk": ss,
+		"source_topk":        ss,
+		"estimate_row":       float64(opts.R) * T,
+	}
+}
+
 // walkKernelBenches builds the kernel micro-benchmark set against a
 // prepared querier. The same closures back both `go test -bench` (see
 // bench_test.go) and the bench-walk experiment, so the smoke-tested code
@@ -107,12 +126,11 @@ func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []ker
 		}
 		pairs[i] = [2]int{a, b}
 	}
-	T := float64(opts.T)
+	steps := nominalStepsPerOp(opts)
 	return []kernelBench{
 		{
-			name: "single_pair",
-			// Two endpoints, R' walkers, T steps each (nominal).
-			stepsPerOp: 2 * float64(opts.RPrime) * T,
+			name:       "single_pair",
+			stepsPerOp: steps["single_pair"],
 			fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -124,11 +142,8 @@ func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []ker
 			},
 		},
 		{
-			name: "single_source_walk",
-			// Phase 1: R'*T backward steps; phase 2: a forward walk of
-			// length t from every surviving (walker, step) pair —
-			// nominally R' * T(T+1)/2 more.
-			stepsPerOp: float64(opts.RPrime) * (T + T*(T+1)/2),
+			name:       "single_source_walk",
+			stepsPerOp: steps["single_source_walk"],
 			fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -140,10 +155,10 @@ func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []ker
 			},
 		},
 		{
-			name: "source_topk",
 			// The /source serving path: a WalkSS estimate truncated to
 			// the top-k neighbors.
-			stepsPerOp: float64(opts.RPrime) * (T + T*(T+1)/2),
+			name:       "source_topk",
+			stepsPerOp: steps["source_topk"],
 			fn: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -158,7 +173,7 @@ func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []ker
 		},
 		{
 			name:       "estimate_row",
-			stepsPerOp: float64(opts.R) * T,
+			stepsPerOp: steps["estimate_row"],
 			fn: func(b *testing.B) {
 				b.ReportAllocs()
 				est := walk.NewRowEstimator(g, opts.R)

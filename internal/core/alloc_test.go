@@ -66,6 +66,53 @@ func TestSinglePairZeroSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestSinglePairZeroAllocsOnCompactedDynamic pins the acceptance
+// criterion of the dynamic-graph PR: threading the graph.View interface
+// through the read path must not regress the warm 0 allocs/op query on a
+// compacted snapshot — the graph every hot-swap serves from.
+func TestSinglePairZeroAllocsOnCompactedDynamic(t *testing.T) {
+	base, err := gen.RMAT(2000, 16000, gen.DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDynamic(base)
+	for k := 0; k < 500; k++ {
+		if _, err := d.InsertEdge((k*37)%2000, (k*53+11)%2000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, _, err := d.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.T = 8
+	opts.R = 20
+	opts.RPrime = 200
+	opts.Seed = 11
+	idx, _, err := BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuerier(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	i := 0
+	avg := measureAllocs(100, func() {
+		a := (i * 131) % n
+		b := (i*197 + 7) % n
+		i++
+		if _, err := q.SinglePair(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm SinglePair on a compacted dynamic graph allocates %g per op, want 0", avg)
+	}
+}
+
 func TestSingleSourceZeroSteadyStateAllocs(t *testing.T) {
 	g, q := allocQuerier(t)
 	n := g.NumNodes()

@@ -8,6 +8,110 @@ import (
 	"testing"
 )
 
+// FuzzDynamicApply feeds random insert/delete/compact sequences to a
+// Dynamic overlay and checks it stays consistent with a from-scratch CSR
+// rebuild of the same edge set: identical shape, identical merged reads,
+// and a compaction whose CSR passes Validate and matches the rebuild
+// bit-for-bit. This is the safety net under the serving tier's update
+// path — any divergence here would become a wrong (and cached) SimRank
+// answer after a hot-swap.
+//
+// Encoding: ops are consumed 3 bytes at a time — op = b0 % 4 (0,1 =
+// insert, 2 = delete, 3 = compact mid-sequence, exercising the rebase),
+// u = b1 % 16, v = b2 % 16. Self-loops must be rejected with an error.
+func FuzzDynamicApply(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})                               // one insert
+	f.Add([]byte{0, 1, 2, 2, 1, 2})                      // insert then delete it
+	f.Add([]byte{0, 1, 2, 0, 1, 2})                      // duplicate insert
+	f.Add([]byte{0, 1, 1})                               // self-loop insert
+	f.Add([]byte{0, 1, 2, 3, 0, 0, 2, 1, 2})             // insert, compact, delete
+	f.Add([]byte{0, 15, 0, 0, 0, 15, 3, 9, 9, 2, 15, 0}) // growth + compact + delete
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nodeSpace = 16
+		d := NewDynamic(nil)
+		ref := map[[2]int32]bool{}
+		maxNode := -1
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 4
+			u := int(data[i+1] % nodeSpace)
+			v := int(data[i+2] % nodeSpace)
+			switch op {
+			case 0, 1:
+				ok, err := d.InsertEdge(u, v)
+				if u == v {
+					if err == nil {
+						t.Fatalf("self-loop insert (%d,%d) accepted", u, v)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("insert (%d,%d): %v", u, v, err)
+				}
+				if ok == ref[[2]int32{int32(u), int32(v)}] {
+					t.Fatalf("insert (%d,%d) applied=%v, reference disagrees", u, v, ok)
+				}
+				ref[[2]int32{int32(u), int32(v)}] = true
+				if u > maxNode {
+					maxNode = u
+				}
+				if v > maxNode {
+					maxNode = v
+				}
+			case 2:
+				ok, err := d.DeleteEdge(u, v)
+				if u == v {
+					if err == nil {
+						t.Fatalf("self-loop delete (%d,%d) accepted", u, v)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("delete (%d,%d): %v", u, v, err)
+				}
+				if ok != ref[[2]int32{int32(u), int32(v)}] {
+					t.Fatalf("delete (%d,%d) applied=%v, reference disagrees", u, v, ok)
+				}
+				delete(ref, [2]int32{int32(u), int32(v)})
+			case 3:
+				if _, _, err := d.Compact(); err != nil {
+					t.Fatalf("mid-sequence compact: %v", err)
+				}
+			}
+		}
+
+		// Live-count consistency against the reference set.
+		if d.NumEdges() != len(ref) {
+			t.Fatalf("NumEdges = %d, reference has %d", d.NumEdges(), len(ref))
+		}
+		if d.NumNodes() != maxNode+1 {
+			t.Fatalf("NumNodes = %d, max seen id %d", d.NumNodes(), maxNode)
+		}
+
+		// From-scratch rebuild of the surviving edge set.
+		b := NewBuilder(d.NumNodes())
+		for e := range ref {
+			if err := b.AddEdge(int(e[0]), int(e[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkViewMatches(t, d, want)
+
+		got, _, err := d.Compact()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("compacted CSR invalid: %v", err)
+		}
+		checkSameGraph(t, got, want)
+	})
+}
+
 // FuzzReadEdgeList hardens the text parser that now sits on the query
 // daemon's startup path for user-supplied files: arbitrary input must
 // either produce a clean error or a graph whose CSR invariants hold —

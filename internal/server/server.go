@@ -14,7 +14,9 @@
 //	POST /pairs   {"pairs":[[i,j],...]}       batched MCSP
 //	GET  /source?node=..&mode=walk|pull&k=..  single-source top-k (MCSS)
 //	GET  /topk?node=..&k=..                   precomputed MCAP lookup
-//	GET  /healthz                             liveness + dataset shape
+//	POST /edges   {"insert":[[u,v],...],...}  incremental edge updates (dynamic mode)
+//	POST /refresh[?wait=1]                    compaction + snapshot hot-swap (dynamic mode)
+//	GET  /healthz                             liveness + dataset shape + generation
 //	GET  /stats                               cache/shed/latency counters
 //
 // Consistency caveat: cached entries are frozen Monte Carlo estimates.
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"cloudwalker/internal/core"
+	"cloudwalker/internal/graph"
 	"cloudwalker/internal/simstore"
 )
 
@@ -62,6 +65,23 @@ type Config struct {
 	// and cost CPU, so operators opt in per deployment (cloudwalkerd
 	// -pprof).
 	EnablePprof bool
+
+	// Dynamic enables the mutable-graph serving path: POST /edges applies
+	// incremental edge updates to this overlay, and a background
+	// compaction + Store.Swap periodically flips queries to a fresh
+	// snapshot. The overlay's base must be the graph the initial querier
+	// was built on. Nil = static serving (updates answer 503).
+	Dynamic *graph.Dynamic
+	// Reindex rebuilds a querier for a freshly compacted snapshot; it
+	// runs on the background refresh goroutine and decides the index
+	// policy (full rebuild, reduced walkers, warm-started diagonal —
+	// cloudwalkerd rebuilds with the loaded index's options). Required
+	// when Dynamic is set.
+	Reindex func(*graph.Graph) (*core.Querier, error)
+	// RefreshAfter automatically starts a background refresh once this
+	// many updates are pending since the last compaction. 0 = manual
+	// (POST /refresh only); ignored without Dynamic.
+	RefreshAfter int
 }
 
 // Defaults for Config zero values.
@@ -75,10 +95,15 @@ const (
 
 // Server is the HTTP serving tier. Create with New, expose with Handler.
 type Server struct {
-	q     *core.Querier
-	store *simstore.Store
+	snaps *Store // current serving snapshot (hot-swapped by refresh)
 	cache *Cache // nil when caching is disabled
 	mux   *http.ServeMux
+
+	// Dynamic-graph plumbing (nil/zero for a static server).
+	dyn          *graph.Dynamic
+	reindex      func(*graph.Graph) (*core.Querier, error)
+	refreshAfter int
+	refreshMu    chan struct{} // 1-slot semaphore serializing refreshes
 
 	flight   flightGroup
 	gate     chan struct{} // nil when admission control is disabled
@@ -89,6 +114,8 @@ type Server struct {
 	shed      atomic.Uint64
 	computes  atomic.Uint64 // underlying query computations (cache+coalesce misses)
 	coalesced atomic.Uint64 // requests that piggybacked on another's computation
+	updates   atomic.Uint64 // edge deltas applied through POST /edges
+	swaps     atomic.Uint64 // completed compaction hot-swaps
 	latency   map[string]*latencyRecorder
 
 	// testComputeHook, when set, runs at the start of every underlying
@@ -106,12 +133,25 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: store has %d nodes, graph has %d",
 			cfg.Store.NumNodes(), q.Graph().NumNodes())
 	}
+	initial := &Snapshot{Q: q, TopK: cfg.Store}
 	s := &Server{
-		q:        q,
-		store:    cfg.Store,
-		maxBatch: cfg.MaxBatch,
-		start:    time.Now(),
-		latency:  make(map[string]*latencyRecorder),
+		snaps:        NewStore(initial),
+		dyn:          cfg.Dynamic,
+		reindex:      cfg.Reindex,
+		refreshAfter: cfg.RefreshAfter,
+		refreshMu:    make(chan struct{}, 1),
+		maxBatch:     cfg.MaxBatch,
+		start:        time.Now(),
+		latency:      make(map[string]*latencyRecorder),
+	}
+	if cfg.Dynamic != nil {
+		if cfg.Reindex == nil {
+			return nil, fmt.Errorf("server: Dynamic serving requires a Reindex function")
+		}
+		if cfg.Dynamic.Base() != q.Graph() {
+			return nil, fmt.Errorf("server: Dynamic overlay's base is not the querier's graph")
+		}
+		initial.Gen = cfg.Dynamic.BaseGen()
 	}
 	if s.maxBatch == 0 {
 		s.maxBatch = DefaultMaxBatch
@@ -146,6 +186,11 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 	s.mux.Handle("/pairs", s.gated("/pairs", http.MethodPost, s.handlePairs))
 	s.mux.Handle("/source", s.gated("/source", http.MethodGet, s.handleSource))
 	s.mux.Handle("/topk", s.gated("/topk", http.MethodGet, s.handleTopK))
+	// Update and refresh run outside the admission gate: a query storm
+	// must not shed graph maintenance (they are cheap O(degree) appends
+	// and an async trigger, respectively).
+	s.mux.HandleFunc("/edges", s.handleEdges)
+	s.mux.HandleFunc("/refresh", s.handleRefresh)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	if cfg.EnablePprof {
@@ -215,8 +260,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// parseNode reads an integer query parameter and range-checks it.
-func (s *Server) parseNode(r *http.Request, name string) (int, error) {
+// parseNode reads an integer query parameter and range-checks it against
+// the snapshot being served (node counts change across hot-swaps, so the
+// check must use the same snapshot the query will run on).
+func parseNode(snap *Snapshot, r *http.Request, name string) (int, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return 0, fmt.Errorf("missing required parameter %q", name)
@@ -225,7 +272,7 @@ func (s *Server) parseNode(r *http.Request, name string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, raw)
 	}
-	if n := s.q.Graph().NumNodes(); v < 0 || v >= n {
+	if n := snap.Q.Graph().NumNodes(); v < 0 || v >= n {
 		return 0, fmt.Errorf("node %d out of range [0,%d)", v, n)
 	}
 	return v, nil
@@ -275,38 +322,51 @@ func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, from
 
 // pairResponse is the /pair reply. Score is the MCSP estimate for the
 // canonicalized pair; Cached reports whether it came from the result
-// cache (the value is bit-identical either way).
+// cache (the value is bit-identical either way); Gen is the graph
+// generation the estimate was computed against.
 type pairResponse struct {
 	I      int     `json:"i"`
 	J      int     `json:"j"`
 	Score  float64 `json:"score"`
 	Cached bool    `json:"cached"`
+	Gen    uint64  `json:"gen"`
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
-	i, err := s.parseNode(r, "i")
+	snap := s.snaps.Load()
+	i, err := parseNode(snap, r, "i")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, err := s.parseNode(r, "j")
+	j, err := parseNode(snap, r, "j")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ci, cj := core.CanonicalPair(i, j)
-	val, hit, err := s.cached(pairKey(ci, cj), "pair", func() (any, error) {
-		return s.q.SinglePair(ci, cj)
+	val, hit, err := s.cached(pairKey(snap.Gen, ci, cj), "pair", func() (any, error) {
+		return snap.Q.SinglePair(ci, cj)
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, pairResponse{I: i, J: j, Score: val.(float64), Cached: hit})
+	writeJSON(w, pairResponse{I: i, J: j, Score: val.(float64), Cached: hit, Gen: snap.Gen})
 }
 
-func pairKey(ci, cj int) string {
-	return "p/" + strconv.Itoa(ci) + "/" + strconv.Itoa(cj)
+// genKey prefixes a cache/singleflight key with the snapshot generation:
+// entries computed against an old snapshot can never answer a query
+// against a new one (stale entries age out of the LRU instead of being
+// swept). EVERY query key must be built through this helper — an
+// unprefixed key would leak answers across hot-swaps.
+func genKey(gen uint64, suffix string) string {
+	return "g" + strconv.FormatUint(gen, 36) + "/" + suffix
+}
+
+// pairKey is the /pair key for a canonicalized pair under a generation.
+func pairKey(gen uint64, ci, cj int) string {
+	return genKey(gen, "p/"+strconv.Itoa(ci)+"/"+strconv.Itoa(cj))
 }
 
 // pairsRequest is the /pairs body; pairsResponse aligns Scores with the
@@ -326,6 +386,7 @@ type pairsResponse struct {
 // (coalescing whole batches would rarely match), but their results still
 // land in the cache for later point queries.
 func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
+	snap := s.snaps.Load()
 	var req pairsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
@@ -339,7 +400,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch of %d pairs exceeds limit %d", len(req.Pairs), s.maxBatch)
 		return
 	}
-	n := s.q.Graph().NumNodes()
+	n := snap.Q.Graph().NumNodes()
 	scores := make([]float64, len(req.Pairs))
 	hits := 0
 	// Misses dedupe by canonical pair: a batch hammering one hot pair
@@ -356,7 +417,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		ci, cj := core.CanonicalPair(p[0], p[1])
 		cp := [2]int{ci, cj}
 		if _, dup := missSlot[cp]; !dup && s.cache != nil {
-			if v, ok := s.cache.Get(pairKey(ci, cj)); ok {
+			if v, ok := s.cache.Get(pairKey(snap.Gen, ci, cj)); ok {
 				scores[idx] = v.(float64)
 				slotAt[idx] = -1
 				hits++
@@ -376,14 +437,14 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			s.testComputeHook(fmt.Sprintf("pairs:%d", len(missing)))
 		}
 		s.computes.Add(1)
-		out, err := s.q.SinglePairs(missing)
+		out, err := snap.Q.SinglePairs(missing)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		for k, cp := range missing {
 			if s.cache != nil {
-				s.cache.Put(pairKey(cp[0], cp[1]), out[k])
+				s.cache.Put(pairKey(snap.Gen, cp[0], cp[1]), out[k])
 			}
 		}
 		for idx, slot := range slotAt {
@@ -408,11 +469,13 @@ type sourceResponse struct {
 	Mode    string         `json:"mode"`
 	K       int            `json:"k"`
 	Cached  bool           `json:"cached"`
+	Gen     uint64         `json:"gen"`
 	Results []neighborJSON `json:"results"`
 }
 
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
-	node, err := s.parseNode(r, "node")
+	snap := s.snaps.Load()
+	node, err := parseNode(snap, r, "node")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -436,9 +499,9 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := "s/" + mode + "/" + strconv.Itoa(k) + "/" + strconv.Itoa(node)
+	key := genKey(snap.Gen, "s/"+mode+"/"+strconv.Itoa(k)+"/"+strconv.Itoa(node))
 	val, hit, err := s.cached(key, "source", func() (any, error) {
-		v, err := s.q.SingleSource(node, ssMode)
+		v, err := snap.Q.SingleSource(node, ssMode)
 		if err != nil {
 			return nil, err
 		}
@@ -449,7 +512,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, sourceResponse{
-		Node: node, Mode: mode, K: k, Cached: hit,
+		Node: node, Mode: mode, K: k, Cached: hit, Gen: snap.Gen,
 		Results: val.([]neighborJSON),
 	})
 }
@@ -471,21 +534,22 @@ type topkResponse struct {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
-		writeError(w, http.StatusServiceUnavailable, "no similarity store loaded (start the daemon with -store)")
+	snap := s.snaps.Load()
+	if snap.TopK == nil {
+		writeError(w, http.StatusServiceUnavailable, "no similarity store loaded (start the daemon with -store; hot-swaps drop it)")
 		return
 	}
-	node, err := s.parseNode(r, "node")
+	node, err := parseNode(snap, r, "node")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	k, err := parseK(r, s.store.K())
+	k, err := parseK(r, snap.TopK.K())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	list, err := s.store.Get(node)
+	list, err := snap.TopK.Get(node)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -496,21 +560,32 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, topkResponse{Node: node, K: k, Results: toNeighborJSON(list)})
 }
 
-// healthzResponse reports liveness and the loaded dataset's shape.
+// healthzResponse reports liveness, the served snapshot's shape, and —
+// for dynamic servers — the update/compaction state.
 type healthzResponse struct {
-	Status string `json:"status"`
-	Nodes  int    `json:"nodes"`
-	Edges  int    `json:"edges"`
-	Store  bool   `json:"store"`
+	Status  string `json:"status"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Store   bool   `json:"store"`
+	Dynamic bool   `json:"dynamic"`
+	Gen     uint64 `json:"gen"`
+	Pending int    `json:"pending,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, healthzResponse{
-		Status: "ok",
-		Nodes:  s.q.Graph().NumNodes(),
-		Edges:  s.q.Graph().NumEdges(),
-		Store:  s.store != nil,
-	})
+	snap := s.snaps.Load()
+	resp := healthzResponse{
+		Status:  "ok",
+		Nodes:   snap.Q.Graph().NumNodes(),
+		Edges:   snap.Q.Graph().NumEdges(),
+		Store:   snap.TopK != nil,
+		Dynamic: s.dyn != nil,
+		Gen:     snap.Gen,
+	}
+	if s.dyn != nil {
+		resp.Pending = s.dyn.Pending()
+	}
+	writeJSON(w, resp)
 }
 
 // Stats is the /stats payload: a point-in-time snapshot of the serving
@@ -521,6 +596,9 @@ type Stats struct {
 	Shed          uint64                  `json:"shed"`
 	Computations  uint64                  `json:"computations"`
 	Coalesced     uint64                  `json:"coalesced"`
+	Updates       uint64                  `json:"updates"`
+	Swaps         uint64                  `json:"swaps"`
+	Gen           uint64                  `json:"gen"`
 	Cache         *CacheStats             `json:"cache,omitempty"`
 	Endpoints     map[string]LatencyStats `json:"endpoints"`
 }
@@ -533,6 +611,9 @@ func (s *Server) StatsSnapshot() Stats {
 		Shed:          s.shed.Load(),
 		Computations:  s.computes.Load(),
 		Coalesced:     s.coalesced.Load(),
+		Updates:       s.updates.Load(),
+		Swaps:         s.swaps.Load(),
+		Gen:           s.snaps.Load().Gen,
 		Endpoints:     make(map[string]LatencyStats, len(s.latency)),
 	}
 	if s.cache != nil {

@@ -382,10 +382,10 @@ func TestCoalescing(t *testing.T) {
 	// (nothing is cached while it blocks, so they all must), then release
 	// the one computation.
 	deadline := time.Now().Add(5 * time.Second)
-	for srv.flight.pendingWaiters("s/walk/5/33") < herd-1 {
+	for srv.flight.pendingWaiters("g0/s/walk/5/33") < herd-1 {
 		if time.Now().After(deadline) {
 			t.Fatalf("herd never assembled: %d waiters",
-				srv.flight.pendingWaiters("s/walk/5/33"))
+				srv.flight.pendingWaiters("g0/s/walk/5/33"))
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/simstore"
+)
+
+// Snapshot is one immutable serving state: a compacted graph bound to
+// its querier, the generation that graph content corresponds to, and the
+// optional precomputed all-pair store. Handlers load one snapshot at
+// request start and use it throughout, so a hot-swap mid-request is
+// invisible: the request finishes on the state it started with, and the
+// next request sees the new one.
+type Snapshot struct {
+	// Gen identifies the graph content (graph.Dynamic's generation
+	// counter; 0 for a static server). Cache and singleflight keys are
+	// prefixed with it, so entries computed against an older snapshot
+	// can never answer a query against a newer one.
+	Gen uint64
+	// Q answers queries against the snapshot's graph.
+	Q *core.Querier
+	// TopK is the optional precomputed all-pair store. It is only ever
+	// populated on the initial snapshot: a hot-swap drops it, because
+	// MCAP results precomputed for an older graph would be silently
+	// stale (the /topk endpoint then answers 503 until re-provisioned).
+	TopK *simstore.Store
+}
+
+// Store holds the server's current Snapshot behind an atomic pointer and
+// is the hot-swap point of the dynamic-graph flow: a background
+// compaction builds the next snapshot off to the side, then Swap flips
+// queries over to it in one atomic store. In-flight requests keep the
+// snapshot pointer they loaded, so nothing is dropped or torn.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// NewStore returns a Store serving the given initial snapshot.
+func NewStore(initial *Snapshot) *Store {
+	s := &Store{}
+	s.cur.Store(initial)
+	return s
+}
+
+// Load returns the current snapshot.
+func (s *Store) Load() *Snapshot { return s.cur.Load() }
+
+// Swap atomically installs next as the current snapshot and returns the
+// previous one (which stays valid for requests still holding it).
+func (s *Store) Swap(next *Snapshot) *Snapshot { return s.cur.Swap(next) }

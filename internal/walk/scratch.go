@@ -167,28 +167,14 @@ func (b *DistBuf) prep(T int) {
 func (s *Scratch) DistributionsInto(buf *DistBuf, vw *graph.WalkView, start, T, R int, src *xrand.Source) []sparse.Vector {
 	s.grow(vw.NumNodes())
 	if R <= 0 || T < 0 {
-		buf.prep(0) // T may be negative; the degenerate result is one unit vector
-		buf.idx[0] = append(buf.idx[0][:0], int32(start))
-		buf.val[0] = append(buf.val[0][:0], 1)
-		buf.vecs = buf.vecs[:1]
-		buf.vecs[0] = sparse.Vector{Idx: buf.idx[0], Val: buf.val[0]}
-		return buf.vecs
+		return s.degenerateInto(buf, start)
 	}
 	buf.prep(T)
 
 	// Phase 1: run the walkers in walker-major order (the RNG contract),
 	// recording positions. pos is O(R·T), independent of graph size.
 	stride := T + 1
-	if need := R * stride; cap(s.pos) < need {
-		s.pos = make([]int32, need)
-	} else {
-		s.pos = s.pos[:need]
-	}
-	if cap(s.end) < R {
-		s.end = make([]int32, R)
-	} else {
-		s.end = s.end[:R]
-	}
+	s.prepWalkers(T, R)
 	for r := 0; r < R; r++ {
 		base := r * stride
 		cur := int32(start)
@@ -204,11 +190,86 @@ func (s *Scratch) DistributionsInto(buf *DistBuf, vw *graph.WalkView, start, T, 
 		}
 		s.end[r] = last
 	}
+	return s.emitInto(buf, T, R)
+}
 
-	// Phase 2: per step, scatter the surviving walkers' positions into
-	// the dense histogram (walker order — preserving the per-index
-	// accumulation order of the map implementation) and emit the sorted
-	// sparse vector.
+// DistributionsViewInto is DistributionsInto against any graph.View. It
+// dispatches to the zero-allocation dense kernel when the view can serve
+// a WalkView (a *Graph, or a *Dynamic with no pending updates) and falls
+// back to interface stepping otherwise. Both paths consume randomness
+// identically (one Intn per live step, walker-major), so the output for
+// a dirty overlay is bit-identical to compacting it first and walking
+// the CSR.
+func (s *Scratch) DistributionsViewInto(buf *DistBuf, g graph.View, start, T, R int, src *xrand.Source) []sparse.Vector {
+	if vw := graph.FastWalkView(g); vw != nil {
+		return s.DistributionsInto(buf, vw, start, T, R, src)
+	}
+	if R <= 0 || T < 0 {
+		s.grow(g.NumNodes())
+		return s.degenerateInto(buf, start)
+	}
+	buf.prep(T)
+	stride := T + 1
+	s.prepWalkers(T, R)
+	// On a LIVE overlay the node count can grow mid-walk (a concurrent
+	// insert naming a fresh id lands in a row we then step into), so the
+	// histogram cannot be sized from a NumNodes() read taken at entry.
+	// Track the highest id the walkers actually visited and size for
+	// that before scattering.
+	maxSeen := int32(start)
+	for r := 0; r < R; r++ {
+		base := r * stride
+		cur := int(start)
+		s.pos[base] = int32(cur)
+		last := int32(0)
+		for t := 1; t <= T; t++ {
+			cur = StepIn(g, cur, src)
+			if cur < 0 {
+				break
+			}
+			if int32(cur) > maxSeen {
+				maxSeen = int32(cur)
+			}
+			s.pos[base+t] = int32(cur)
+			last = int32(t)
+		}
+		s.end[r] = last
+	}
+	s.grow(int(maxSeen) + 1)
+	return s.emitInto(buf, T, R)
+}
+
+// degenerateInto emits the single unit vector of a degenerate request
+// (R <= 0 or T < 0).
+func (s *Scratch) degenerateInto(buf *DistBuf, start int) []sparse.Vector {
+	buf.prep(0) // T may be negative; the degenerate result is one unit vector
+	buf.idx[0] = append(buf.idx[0][:0], int32(start))
+	buf.val[0] = append(buf.val[0][:0], 1)
+	buf.vecs = buf.vecs[:1]
+	buf.vecs[0] = sparse.Vector{Idx: buf.idx[0], Val: buf.val[0]}
+	return buf.vecs
+}
+
+// prepWalkers sizes the position matrix for R walkers over T steps.
+func (s *Scratch) prepWalkers(T, R int) {
+	if need := R * (T + 1); cap(s.pos) < need {
+		s.pos = make([]int32, need)
+	} else {
+		s.pos = s.pos[:need]
+	}
+	if cap(s.end) < R {
+		s.end = make([]int32, R)
+	} else {
+		s.end = s.end[:R]
+	}
+}
+
+// emitInto is phase 2 of the distribution kernels: per step, scatter the
+// surviving walkers' positions into the dense histogram (walker order —
+// preserving the per-index accumulation order of the map implementation)
+// and emit the sorted sparse vector.
+func (s *Scratch) emitInto(buf *DistBuf, T, R int) []sparse.Vector {
+	stride := T + 1
 	w := 1.0 / float64(R)
 	for t := 0; t <= T; t++ {
 		for r := 0; r < R; r++ {

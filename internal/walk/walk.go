@@ -19,28 +19,33 @@ import (
 )
 
 // StepIn moves one step backward from v: a uniform random in-neighbor,
-// or -1 if v has none.
-func StepIn(g *graph.Graph, v int, src *xrand.Source) int {
-	d := g.InDegree(v)
-	if d == 0 {
+// or -1 if v has none. It accepts any graph.View (immutable CSR or a
+// dynamic overlay) and consumes one Intn call iff v has in-links, the
+// same randomness contract as the dense StepInView kernel. The degree
+// and the chosen neighbor come from ONE row snapshot (the View contract
+// guarantees the returned slice is stable), so a concurrent mutation of
+// a live overlay can never tear the (degree, index) pair.
+func StepIn(g graph.View, v int, src *xrand.Source) int {
+	row := g.InNeighbors(v)
+	if len(row) == 0 {
 		return -1
 	}
-	return int(g.InNeighborAt(v, src.Intn(d)))
+	return int(row[src.Intn(len(row))])
 }
 
 // StepOut moves one step forward from u: a uniform random out-neighbor,
-// or -1 if u has none.
-func StepOut(g *graph.Graph, u int, src *xrand.Source) int {
-	d := g.OutDegree(u)
-	if d == 0 {
+// or -1 if u has none (same row-snapshot discipline as StepIn).
+func StepOut(g graph.View, u int, src *xrand.Source) int {
+	row := g.OutNeighbors(u)
+	if len(row) == 0 {
 		return -1
 	}
-	return int(g.OutNeighborAt(u, src.Intn(d)))
+	return int(row[src.Intn(len(row))])
 }
 
 // Path walks T backward steps from start and returns the node visited at
 // each step t = 0..T; entries after termination are -1.
-func Path(g *graph.Graph, start, T int, src *xrand.Source) []int32 {
+func Path(g graph.View, start, T int, src *xrand.Source) []int32 {
 	path := make([]int32, T+1)
 	cur := start
 	path[0] = int32(start)
@@ -61,13 +66,18 @@ func Path(g *graph.Graph, start, T int, src *xrand.Source) []int32 {
 // copies the results out; query loops should hold their own Scratch and
 // call DistributionsInto instead (same output, zero steady-state
 // allocation, no copies).
-func Distributions(g *graph.Graph, start, T, R int, src *xrand.Source) []*sparse.Vector {
+//
+// Distributions accepts any graph.View: the dense zero-allocation kernel
+// runs when the view can serve a WalkView (an immutable *Graph, or a
+// clean *Dynamic), and an interface-stepping path — bit-identical for
+// the same effective graph — covers dirty overlays.
+func Distributions(g graph.View, start, T, R int, src *xrand.Source) []*sparse.Vector {
 	if R <= 0 || T < 0 {
 		return []*sparse.Vector{sparse.Unit(start)}
 	}
 	ds := distPool.Get().(*distScratch)
 	defer distPool.Put(ds)
-	vecs := ds.sc.DistributionsInto(&ds.buf, g.WalkView(), start, T, R, src)
+	vecs := ds.sc.DistributionsViewInto(&ds.buf, g, start, T, R, src)
 	out := make([]*sparse.Vector, len(vecs))
 	for t := range vecs {
 		out[t] = vecs[t].Clone()
@@ -89,7 +99,7 @@ var distPool = sync.Pool{New: func() any { return new(distScratch) }}
 // DistributionsParallel is Distributions with the R walkers split across
 // `workers` goroutines, each with an independent RNG stream derived from
 // seed. Results are deterministic for a fixed (seed, workers) pair.
-func DistributionsParallel(g *graph.Graph, start, T, R, workers int, seed uint64) []*sparse.Vector {
+func DistributionsParallel(g graph.View, start, T, R, workers int, seed uint64) []*sparse.Vector {
 	if workers <= 1 || R < 2*workers {
 		return Distributions(g, start, T, R, xrand.NewStream(seed, 0))
 	}
@@ -177,9 +187,33 @@ func mergeScaled(vecs []*sparse.Vector, scales []float64, ptr []int) *sparse.Vec
 // node and weight, or (-1, 0) if the walk dies at a node with no
 // out-links. The expectation of the deposited weight at node j equals
 // w * Pr[t-step backward walk from j ends at k].
-func ForwardWeighted(g *graph.Graph, k int, w float64, steps int, src *xrand.Source) (int, float64) {
-	j, wt := ForwardWeightedView(g.WalkView(), int32(k), w, steps, src)
-	return int(j), wt
+func ForwardWeighted(g graph.View, k int, w float64, steps int, src *xrand.Source) (int, float64) {
+	if vw := graph.FastWalkView(g); vw != nil {
+		j, wt := ForwardWeightedView(vw, int32(k), w, steps, src)
+		return int(j), wt
+	}
+	cur := k
+	for s := 0; s < steps; s++ {
+		row := g.OutNeighbors(cur) // one stable row snapshot per step
+		dOut := len(row)
+		if dOut == 0 {
+			return -1, 0
+		}
+		next := int(row[src.Intn(dOut)])
+		// Same IEEE divide as the dense kernel, so the importance weight
+		// (and every estimate built on it) stays bit-identical across
+		// the overlay and CSR formulations. A concurrent delete on a
+		// live overlay can drop the edge we just walked and leave next
+		// with no in-links; treat that exactly like a dead walk instead
+		// of dividing by zero.
+		din := g.InDegree(next)
+		if din == 0 {
+			return -1, 0
+		}
+		w *= float64(dOut) / float64(din)
+		cur = next
+	}
+	return cur, w
 }
 
 // MeetingTime runs two coupled backward walks from i and j (independent
@@ -187,7 +221,7 @@ func ForwardWeighted(g *graph.Graph, k int, w float64, steps int, src *xrand.Sou
 // same node, or 0 if they never meet within T steps. This is the classic
 // first-meeting view of SimRank used by the naive MC baseline and by the
 // fingerprint index.
-func MeetingTime(g *graph.Graph, i, j, T int, src *xrand.Source) int {
+func MeetingTime(g graph.View, i, j, T int, src *xrand.Source) int {
 	a, b := i, j
 	for t := 1; t <= T; t++ {
 		a = StepIn(g, a, src)
