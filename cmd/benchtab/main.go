@@ -47,6 +47,7 @@ func main() {
 	compare := flag.String("compare", "", "regression gate: trajectory JSON to compare `go test -bench` output against (exits 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "compare mode: tolerated fractional walker-steps/s drop")
 	input := flag.String("input", "-", "compare mode: bench output file ('-' = stdin)")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "compare mode: match the baseline row recorded at this GOMAXPROCS (0 = latest run regardless)")
 	flag.Parse()
 
 	if *compare != "" {
@@ -60,7 +61,7 @@ func main() {
 			defer f.Close()
 			in = f
 		}
-		if err := bench.RunWalkCompare(*compare, in, *tolerance, os.Stdout); err != nil {
+		if err := bench.RunWalkCompare(*compare, in, *tolerance, *gomaxprocs, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

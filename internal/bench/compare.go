@@ -78,32 +78,42 @@ type CompareResult struct {
 }
 
 // CompareWalkBench compares measured ns/op samples against the latest
-// run recorded in the trajectory file. Every stepping kernel of the
-// recorded run must have at least one sample — a kernel that silently
-// stopped being measured would otherwise pass the gate forever. A kernel
-// fails when its median walker-steps/s drops more than tolerance
-// (fraction, e.g. 0.25) below the recorded value; running faster than
-// recorded always passes.
-func CompareWalkBench(file *WalkBenchFile, samples map[string][]float64, tolerance float64) ([]CompareResult, error) {
+// matching run recorded in the trajectory file. gomaxprocs selects the
+// baseline row: 0 takes the latest run regardless (the historical
+// behavior), any other value takes the latest run recorded at that
+// GOMAXPROCS — multi-core rows measure the same nominal work as
+// single-thread rows, so comparing a GOMAXPROCS=8 measurement against a
+// GOMAXPROCS=1 baseline would gate on the scaling factor instead of a
+// regression. Every stepping kernel of the recorded run must have at
+// least one sample — a kernel that silently stopped being measured
+// would otherwise pass the gate forever. A kernel fails when its median
+// walker-steps/s drops more than tolerance (fraction, e.g. 0.25) below
+// the recorded value; running faster than recorded always passes.
+// The selected baseline run is returned alongside the results so
+// callers render verdicts and headers from the same row.
+func CompareWalkBench(file *WalkBenchFile, samples map[string][]float64, tolerance float64, gomaxprocs int) ([]CompareResult, WalkBenchRun, error) {
 	if tolerance < 0 || tolerance >= 1 {
-		return nil, fmt.Errorf("bench: tolerance %g outside [0,1)", tolerance)
+		return nil, WalkBenchRun{}, fmt.Errorf("bench: tolerance %g outside [0,1)", tolerance)
 	}
 	if len(file.Runs) == 0 {
-		return nil, fmt.Errorf("bench: trajectory file has no recorded runs")
+		return nil, WalkBenchRun{}, fmt.Errorf("bench: trajectory file has no recorded runs")
 	}
-	baseline := file.Runs[len(file.Runs)-1]
+	baseline, err := latestRun(file, gomaxprocs)
+	if err != nil {
+		return nil, WalkBenchRun{}, err
+	}
 	opts := walkBenchOpts()
 	// The trajectory header pins the whole workload — parameters AND the
 	// benchmark graph; verify both match what this binary's benchmark
 	// runs before converting ns/op, or the comparison is between
 	// different amounts of work, not different kernel speeds.
 	if file.Opts.T != opts.T || file.Opts.R != opts.R || file.Opts.RPrime != opts.RPrime {
-		return nil, fmt.Errorf("bench: trajectory recorded for T=%d R=%d R'=%d, comparator built for T=%d R=%d R'=%d",
+		return nil, baseline, fmt.Errorf("bench: trajectory recorded for T=%d R=%d R'=%d, comparator built for T=%d R=%d R'=%d",
 			file.Opts.T, file.Opts.R, file.Opts.RPrime, opts.T, opts.R, opts.RPrime)
 	}
 	if file.Graph.Nodes != walkBenchNodes || file.Graph.Edges != walkBenchEdges ||
 		file.Graph.Seed != walkBenchSeed {
-		return nil, fmt.Errorf("bench: trajectory recorded on graph %+v, benchmark now runs %d nodes / %d edges (seed %d); re-record the trajectory",
+		return nil, baseline, fmt.Errorf("bench: trajectory recorded on graph %+v, benchmark now runs %d nodes / %d edges (seed %d); re-record the trajectory",
 			file.Graph, walkBenchNodes, walkBenchEdges, walkBenchSeed)
 	}
 	steps := nominalStepsPerOp(opts)
@@ -116,18 +126,18 @@ func CompareWalkBench(file *WalkBenchFile, samples map[string][]float64, toleran
 	}
 	sort.Strings(kernels)
 	if len(kernels) == 0 {
-		return nil, fmt.Errorf("bench: latest recorded run %q has no stepping kernels", baseline.Label)
+		return nil, baseline, fmt.Errorf("bench: latest recorded run %q has no stepping kernels", baseline.Label)
 	}
 
 	results := make([]CompareResult, 0, len(kernels))
 	for _, name := range kernels {
 		stepsPerOp := steps[name]
 		if stepsPerOp <= 0 {
-			return nil, fmt.Errorf("bench: recorded kernel %q has no nominal step count (renamed or removed?)", name)
+			return nil, baseline, fmt.Errorf("bench: recorded kernel %q has no nominal step count (renamed or removed?)", name)
 		}
 		xs := samples[name]
 		if len(xs) == 0 {
-			return nil, fmt.Errorf("bench: no measurement for kernel %q in the bench output (did the benchmark run?)", name)
+			return nil, baseline, fmt.Errorf("bench: no measurement for kernel %q in the bench output (did the benchmark run?)", name)
 		}
 		med := median(xs)
 		res := CompareResult{
@@ -141,7 +151,18 @@ func CompareWalkBench(file *WalkBenchFile, samples map[string][]float64, toleran
 		res.Pass = res.Ratio >= 1-tolerance
 		results = append(results, res)
 	}
-	return results, nil
+	return results, baseline, nil
+}
+
+// latestRun returns the newest recorded run, filtered to the requested
+// GOMAXPROCS when nonzero.
+func latestRun(file *WalkBenchFile, gomaxprocs int) (WalkBenchRun, error) {
+	for i := len(file.Runs) - 1; i >= 0; i-- {
+		if gomaxprocs == 0 || file.Runs[i].GOMAXPROCS == gomaxprocs {
+			return file.Runs[i], nil
+		}
+	}
+	return WalkBenchRun{}, fmt.Errorf("bench: trajectory has no run recorded at GOMAXPROCS=%d (record one with GOMAXPROCS=%d benchtab -exp bench-walk)", gomaxprocs, gomaxprocs)
 }
 
 // LoadWalkBenchFile reads a trajectory file written by appendWalkBenchRun.
@@ -158,10 +179,11 @@ func LoadWalkBenchFile(path string) (*WalkBenchFile, error) {
 }
 
 // RunWalkCompare is the `benchtab -compare` entry point: read bench
-// output from in, compare against the trajectory at trajPath, print a
-// verdict table to w, and return an error naming the regressed kernels
-// (callers exit nonzero on it).
-func RunWalkCompare(trajPath string, in io.Reader, tolerance float64, w io.Writer) error {
+// output from in, compare against the trajectory at trajPath (matching
+// the baseline row on gomaxprocs when nonzero), print a verdict table
+// to w, and return an error naming the regressed kernels (callers exit
+// nonzero on it).
+func RunWalkCompare(trajPath string, in io.Reader, tolerance float64, gomaxprocs int, w io.Writer) error {
 	file, err := LoadWalkBenchFile(trajPath)
 	if err != nil {
 		return err
@@ -170,14 +192,13 @@ func RunWalkCompare(trajPath string, in io.Reader, tolerance float64, w io.Write
 	if err != nil {
 		return err
 	}
-	results, err := CompareWalkBench(file, samples, tolerance)
+	results, baseline, err := CompareWalkBench(file, samples, tolerance, gomaxprocs)
 	if err != nil {
 		return err
 	}
 
-	baseline := file.Runs[len(file.Runs)-1]
 	t := NewTable(
-		fmt.Sprintf("Walk-kernel regression gate vs %q (tolerance %.0f%%)", baseline.Label, tolerance*100),
+		fmt.Sprintf("Walk-kernel regression gate vs %q (GOMAXPROCS=%d, tolerance %.0f%%)", baseline.Label, baseline.GOMAXPROCS, tolerance*100),
 		"Kernel", "runs", "median ns/op", "Msteps/s", "recorded", "ratio", "verdict")
 	var failed []string
 	for _, r := range results {

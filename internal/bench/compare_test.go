@@ -95,7 +95,7 @@ func TestCompareWalkBenchPassesAtRecordedSpeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		results, err := CompareWalkBench(file, samples, 0.25)
+		results, _, err := CompareWalkBench(file, samples, 0.25, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func TestCompareWalkBenchFailsOnDoctoredRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := CompareWalkBench(file, samples, 0.25)
+	results, _, err := CompareWalkBench(file, samples, 0.25, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestCompareWalkBenchMedianAbsorbsOutlier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := CompareWalkBench(file, samples, 0.25)
+	results, _, err := CompareWalkBench(file, samples, 0.25, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestCompareWalkBenchRequiresEveryKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := CompareWalkBench(file, samples, 0.25); err == nil ||
+	if _, _, err := CompareWalkBench(file, samples, 0.25, 0); err == nil ||
 		!strings.Contains(err.Error(), "estimate_row") {
 		t.Fatalf("missing kernel not rejected: %v", err)
 	}
@@ -196,21 +196,80 @@ func TestCompareWalkBenchRequiresEveryKernel(t *testing.T) {
 func TestCompareWalkBenchValidation(t *testing.T) {
 	file := fakeTrajectory(baselineNs)
 	samples := map[string][]float64{"single_pair": {1}}
-	if _, err := CompareWalkBench(file, samples, 1.5); err == nil {
+	if _, _, err := CompareWalkBench(file, samples, 1.5, 0); err == nil {
 		t.Fatal("tolerance 1.5 accepted")
 	}
-	if _, err := CompareWalkBench(&WalkBenchFile{}, samples, 0.25); err == nil {
+	if _, _, err := CompareWalkBench(&WalkBenchFile{}, samples, 0.25, 0); err == nil {
 		t.Fatal("empty trajectory accepted")
 	}
 	skewed := fakeTrajectory(baselineNs)
 	skewed.Opts.RPrime = 999 // parameter mismatch
-	if _, err := CompareWalkBench(skewed, samples, 0.25); err == nil {
+	if _, _, err := CompareWalkBench(skewed, samples, 0.25, 0); err == nil {
 		t.Fatal("parameter mismatch accepted")
 	}
 	shrunk := fakeTrajectory(baselineNs)
 	shrunk.Graph.Nodes = 5000 // benchmark graph mismatch: different work, not speed
-	if _, err := CompareWalkBench(shrunk, samples, 0.25); err == nil {
+	if _, _, err := CompareWalkBench(shrunk, samples, 0.25, 0); err == nil {
 		t.Fatal("graph-shape mismatch accepted")
+	}
+}
+
+// TestCompareWalkBenchMatchesGomaxprocsRow pins the baseline-selection
+// rule of the multi-core gate: a nonzero gomaxprocs selects the LATEST
+// run recorded at that GOMAXPROCS (not simply the last row), and a
+// GOMAXPROCS with no recorded row is an explicit error rather than a
+// silent cross-parallelism comparison.
+func TestCompareWalkBenchMatchesGomaxprocsRow(t *testing.T) {
+	file := fakeTrajectory(baselineNs)
+	file.Runs[0].GOMAXPROCS = 1
+	// Append a newer multi-core row that is 4x faster (as a real 8-core
+	// recording would be).
+	fast := fakeTrajectory(baselineNs).Runs[0]
+	fast.Label = "multicore row"
+	fast.GOMAXPROCS = 8
+	for name, m := range fast.Metrics {
+		m.NsPerOp /= 4
+		m.StepsPerSec *= 4
+		fast.Metrics[name] = m
+	}
+	file.Runs = append(file.Runs, fast)
+
+	// Measured at exactly the single-thread baseline speed: passes
+	// against the gomaxprocs=1 row, fails against the (newer, 4x) row
+	// that plain latest-run selection would pick.
+	measured := map[string][]float64{}
+	for name, ns := range baselineNs {
+		measured[name] = []float64{ns}
+	}
+	samples, err := ParseGoBench(strings.NewReader(benchOutput(measured)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := CompareWalkBench(file, samples, 0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Fatalf("single-thread speed failed against the gomaxprocs=1 row: %+v", r)
+		}
+	}
+	results, _, err = CompareWalkBench(file, samples, 0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passed := 0
+	for _, r := range results {
+		if r.Pass {
+			passed++
+		}
+	}
+	if passed == len(results) {
+		t.Fatal("single-thread speed passed against the 4x multicore row — gomaxprocs matching is not selecting the right baseline")
+	}
+	if _, _, err := CompareWalkBench(file, samples, 0.25, 4); err == nil ||
+		!strings.Contains(err.Error(), "GOMAXPROCS=4") {
+		t.Fatalf("missing gomaxprocs row not rejected: %v", err)
 	}
 }
 
@@ -234,14 +293,14 @@ func TestRunWalkCompareEndToEnd(t *testing.T) {
 		doctored[name] = []float64{ns * 2} // 2x walker-steps/s regression
 	}
 	var out bytes.Buffer
-	if err := RunWalkCompare(path, strings.NewReader(benchOutput(healthy)), 0.25, &out); err != nil {
+	if err := RunWalkCompare(path, strings.NewReader(benchOutput(healthy)), 0.25, 0, &out); err != nil {
 		t.Fatalf("healthy run failed the gate: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "ok") {
 		t.Fatalf("verdict table missing:\n%s", out.String())
 	}
 	out.Reset()
-	err = RunWalkCompare(path, strings.NewReader(benchOutput(doctored)), 0.25, &out)
+	err = RunWalkCompare(path, strings.NewReader(benchOutput(doctored)), 0.25, 0, &out)
 	if err == nil {
 		t.Fatalf("doctored 2x regression passed the gate:\n%s", out.String())
 	}

@@ -27,6 +27,11 @@ const (
 	walkBenchRPrime = 1000 // query walkers (pair/source kernels)
 	walkBenchT      = 10
 	walkBenchTopK   = 20
+	// walkBenchShardR is the walker count of the dist_sharded kernel,
+	// the multi-core scaling row: large enough that sharding across
+	// GOMAXPROCS workers dominates the merge, small enough to keep one
+	// op under a few milliseconds single-threaded.
+	walkBenchShardR = 20000
 )
 
 // WalkBenchMetric is one kernel's measurement in a walk-bench run.
@@ -106,6 +111,11 @@ func nominalStepsPerOp(opts core.Options) map[string]float64 {
 		"single_source_walk": ss,
 		"source_topk":        ss,
 		"estimate_row":       float64(opts.R) * T,
+		// The sharded driver runs walkBenchShardR walkers split across
+		// GOMAXPROCS workers; output is bit-identical at any worker
+		// count, so rows recorded at different GOMAXPROCS measure the
+		// same work and compare purely on throughput.
+		"dist_sharded": walkBenchShardR * T,
 	}
 }
 
@@ -177,10 +187,27 @@ func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []ker
 			fn: func(b *testing.B) {
 				b.ReportAllocs()
 				est := walk.NewRowEstimator(g, opts.R)
-				rsrc := xrand.NewStream(opts.Seed, 0)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					core.BuildRowWith(est, i%n, opts, rsrc)
+					core.BuildRowWith(est, i%n, opts)
+				}
+			},
+		},
+		{
+			// The multi-core scaling kernel: the level-synchronous
+			// engine sharded across all available cores. GOMAXPROCS=1
+			// rows measure the single-threaded batched kernel on the
+			// same work; comparing rows across gomaxprocs values is the
+			// recorded scaling curve.
+			name:       "dist_sharded",
+			stepsPerOp: steps["dist_sharded"],
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				workers := runtime.GOMAXPROCS(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					walk.DistributionsParallel(g, pairs[i%len(pairs)][0], opts.T,
+						walkBenchShardR, workers, uint64(i))
 				}
 			},
 		},
@@ -236,8 +263,8 @@ func RunWalkBench(cfg Config) ([]*Table, error) {
 	}
 
 	t := NewTable(
-		fmt.Sprintf("Walk kernels (rmat @ %d nodes / %d edges, T=%d, R=%d, R'=%d, 1 thread)",
-			g.NumNodes(), g.NumEdges(), opts.T, opts.R, opts.RPrime),
+		fmt.Sprintf("Walk kernels (rmat @ %d nodes / %d edges, T=%d, R=%d, R'=%d, GOMAXPROCS=%d; query kernels 1-thread, dist_sharded uses all procs)",
+			g.NumNodes(), g.NumEdges(), opts.T, opts.R, opts.RPrime, runtime.GOMAXPROCS(0)),
 		"Kernel", "ns/op", "allocs/op", "B/op", "Msteps/s")
 	for _, kb := range walkKernelBenches(g, q, opts) {
 		cfg.logf("[bench-walk] measuring %s...", kb.name)

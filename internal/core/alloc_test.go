@@ -13,6 +13,7 @@ import (
 	"cloudwalker/internal/gen"
 	"cloudwalker/internal/graph"
 	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/walk"
 )
 
 // allocGraph builds a small but non-trivial graph and querier for
@@ -160,5 +161,29 @@ func TestSingleSourceIntoMatchesSingleSource(t *testing.T) {
 					mode, k, fresh.Idx[k], fresh.Val[k], reused.Idx[k], reused.Val[k])
 			}
 		}
+	}
+}
+
+// TestEstimateRowIntoZeroSteadyStateAllocs pins the batched row
+// estimator's steady state: the offline stage's inner loop (and the
+// estimate_row benchmark kernel behind BENCH_walk.json) must not
+// regress into per-row allocation. Only the owned result vector of
+// EstimateRow is allowed to allocate; the Into form reuses everything.
+func TestEstimateRowIntoZeroSteadyStateAllocs(t *testing.T) {
+	g, err := gen.RMAT(2000, 16000, gen.DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := walk.NewRowEstimator(g, 50)
+	var out sparse.Vector
+	est.EstimateRowInto(0, 10, 0.6, 11, &out) // warm buffers and capacity
+	i := 0
+	avg := measureAllocs(200, func() {
+		node := (i * 173) % g.NumNodes()
+		i++
+		est.EstimateRowInto(node, 10, 0.6, 11, &out)
+	})
+	if avg != 0 {
+		t.Fatalf("warm EstimateRowInto allocates %g per op, want 0", avg)
 	}
 }

@@ -10,7 +10,6 @@ import (
 	"cloudwalker/internal/linsys"
 	"cloudwalker/internal/sparse"
 	"cloudwalker/internal/walk"
-	"cloudwalker/internal/xrand"
 )
 
 // Index is CloudWalker's offline artifact: the estimated correction
@@ -33,20 +32,25 @@ type IndexReport struct {
 // contributes exactly 1 at the diagonal. Exposed so the distributed
 // engines (internal/dist) can ship single-row tasks to simulated workers.
 // Callers estimating many rows should reuse one estimator per worker via
-// BuildRowWith to avoid the per-row histogram allocation.
-func BuildRow(g *graph.Graph, i int, opts Options, src *xrand.Source) *sparse.Vector {
-	return BuildRowWith(walk.NewRowEstimator(g, opts.R), i, opts, src)
+// BuildRowWith to avoid the per-row buffer allocation.
+func BuildRow(g *graph.Graph, i int, opts Options) *sparse.Vector {
+	return BuildRowWith(walk.NewRowEstimator(g, opts.R), i, opts)
 }
 
 // BuildRowWith is BuildRow against a reusable per-worker estimator. The
-// output is identical to BuildRow for the same (graph, i, opts, src).
-func BuildRowWith(est *walk.RowEstimator, i int, opts Options, src *xrand.Source) *sparse.Vector {
-	return est.EstimateRow(i, opts.T, opts.C, src)
+// output is identical to BuildRow for the same (graph, i, opts): walker
+// w of row i draws from stream opts.Seed/(i·R+w), so a row's value does
+// not depend on which worker — or which simulated machine — computes it.
+func BuildRowWith(est *walk.RowEstimator, i int, opts Options) *sparse.Vector {
+	return est.EstimateRow(i, opts.T, opts.C, opts.Seed)
 }
 
 // BuildSystem estimates every row of the linear system A x = 1 in
 // parallel; rows are independent, which is the paper's key scalability
-// claim for the offline stage.
+// claim for the offline stage. All per-row state — including the
+// per-walker RNG substreams — lives in the per-worker estimator and is
+// reseeded in place, so the row loop's only steady-state allocation is
+// the stored row itself.
 func BuildSystem(g *graph.Graph, opts Options) (*sparse.Matrix, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -66,8 +70,7 @@ func BuildSystem(g *graph.Graph, opts Options) (*sparse.Matrix, error) {
 				if i >= n {
 					return
 				}
-				src := xrand.NewStream(opts.Seed, uint64(i))
-				a.SetRow(i, BuildRowWith(est, i, opts, src))
+				a.SetRow(i, BuildRowWith(est, i, opts))
 			}
 		}()
 	}

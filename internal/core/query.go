@@ -26,13 +26,13 @@ type Querier struct {
 	pool  sync.Pool // *queryScratch
 }
 
-// queryScratch is the pooled per-query workspace: one dense walk scratch,
-// two distribution buffers (the two endpoints of a pair query), and two
-// in-place reseedable RNGs.
+// queryScratch is the pooled per-query workspace: one dense walk scratch
+// (which owns the batched engine's walker state and per-walker RNG
+// substreams) and two distribution buffers (the two endpoints of a pair
+// query).
 type queryScratch struct {
 	sc         *walk.Scratch
 	bufA, bufB walk.DistBuf
-	srcA, srcB xrand.Source
 }
 
 // NewQuerier binds an index to its graph.
@@ -83,10 +83,12 @@ func (q *Querier) SinglePair(i, j int) (float64, error) {
 	opts := q.index.Opts
 	qs := q.pool.Get().(*queryScratch)
 	defer q.pool.Put(qs)
-	qs.srcA.ReseedStream(opts.Seed, pairStream(i, j, 0))
-	qs.srcB.ReseedStream(opts.Seed, pairStream(i, j, 1))
-	di := qs.sc.DistributionsInto(&qs.bufA, q.vw, i, opts.T, opts.RPrime, &qs.srcA)
-	dj := qs.sc.DistributionsInto(&qs.bufB, q.vw, j, opts.T, opts.RPrime, &qs.srcB)
+	// Each endpoint gets its own walker-stream space: walker w of side s
+	// draws from xrand.NewStream(Mix(seed, pairStream(i,j,s)), w).
+	di := qs.sc.DistributionsInto(&qs.bufA, q.vw, i, opts.T, opts.RPrime,
+		xrand.Mix(opts.Seed, pairStream(i, j, 0)))
+	dj := qs.sc.DistributionsInto(&qs.bufB, q.vw, j, opts.T, opts.RPrime,
+		xrand.Mix(opts.Seed, pairStream(i, j, 1)))
 	s := 0.0
 	for t := 1; t <= opts.T; t++ { // t = 0 term is 0 for i != j
 		if t >= len(di) || t >= len(dj) {
@@ -179,33 +181,13 @@ func (qr *Querier) SingleSourceInto(q int, mode SingleSourceMode, out *sparse.Ve
 // (k_t, t) a phase-two walker runs t importance-weighted forward steps and
 // deposits c^t · x[k_t] / R' · (importance weight) at its endpoint j. The
 // deposit expectation at j is Σ_t c^t Σ_k Pr_t(q→k) x_k Pr_t(j→k) = s(q,j).
+// Both phases run on the batched level-synchronous engine
+// (walk.Scratch.SingleSourceWalkInto).
 func (qr *Querier) singleSourceWalk(q int, opts Options, out *sparse.Vector) error {
 	qs := qr.pool.Get().(*queryScratch)
 	defer qr.pool.Put(qs)
-	sc := qs.sc
-	src := &qs.srcA
-	src.ReseedStream(opts.Seed, uint64(q)*2654435761+17)
-	invR := 1.0 / float64(opts.RPrime)
-	// t = 0 term: c^0 · x_q deposited at q itself (before pinning below).
-	sc.Add(int32(q), qr.index.Diag[q])
-	for r := 0; r < opts.RPrime; r++ {
-		cur := int32(q)
-		for t := 1; t <= opts.T; t++ {
-			cur = walk.StepInView(qr.vw, cur, src)
-			if cur < 0 {
-				break
-			}
-			w0 := qr.ct[t] * qr.index.Diag[cur] * invR
-			if w0 == 0 {
-				continue
-			}
-			j, w := walk.ForwardWeightedView(qr.vw, cur, w0, t, src)
-			if j >= 0 && w != 0 {
-				sc.Add(j, w)
-			}
-		}
-	}
-	sc.FlushInto(out)
+	qs.sc.SingleSourceWalkInto(qr.vw, q, opts.T, opts.RPrime, qr.ct, qr.index.Diag,
+		xrand.Mix(opts.Seed, uint64(q)*2654435761+17), out)
 	clampVec(out)
 	pin(out, q)
 	return nil
@@ -219,8 +201,8 @@ func (qr *Querier) singleSourceWalk(q int, opts Options, out *sparse.Vector) err
 func (qr *Querier) singleSourcePull(q int, opts Options, out *sparse.Vector) error {
 	qs := qr.pool.Get().(*queryScratch)
 	defer qr.pool.Put(qs)
-	qs.srcA.ReseedStream(opts.Seed, uint64(q)*2654435761+29)
-	v := qs.sc.DistributionsInto(&qs.bufA, qr.vw, q, opts.T, opts.RPrime, &qs.srcA)
+	v := qs.sc.DistributionsInto(&qs.bufA, qr.vw, q, opts.T, opts.RPrime,
+		xrand.Mix(opts.Seed, uint64(q)*2654435761+29))
 	w := &sparse.Vector{}
 	for t := opts.T; t >= 0; t-- {
 		w = sparse.AddScaled(qr.scaleByDiag(&v[t]), opts.C, qr.p.ApplyT(w))

@@ -8,7 +8,6 @@ import (
 	"cloudwalker/internal/graph"
 	"cloudwalker/internal/sparse"
 	"cloudwalker/internal/walk"
-	"cloudwalker/internal/xrand"
 )
 
 // BroadcastEngine is the paper's broadcasting execution model: the whole
@@ -65,8 +64,7 @@ func (e *BroadcastEngine) buildIndex() (*core.Index, error) {
 		tasks[k] = func() error {
 			est := walk.NewRowEstimator(e.g, e.opts.R)
 			for i := rg[0]; i < rg[1]; i++ {
-				src := xrand.NewStream(e.opts.Seed, uint64(i))
-				a.SetRow(i, core.BuildRowWith(est, i, e.opts, src))
+				a.SetRow(i, core.BuildRowWith(est, i, e.opts))
 			}
 			return nil
 		}

@@ -381,10 +381,12 @@ type pairsResponse struct {
 }
 
 // handlePairs serves batched MCSP. Cached pairs are answered from the
-// cache; the remainder run through Querier.SinglePairs, which fans the
-// batch across worker goroutines. Batches bypass the singleflight group
-// (coalescing whole batches would rarely match), but their results still
-// land in the cache for later point queries.
+// cache; the remainder join the per-pair singleflight group: pairs
+// nobody else is computing are batched through Querier.SinglePairs
+// (which fans them across worker goroutines) with this request as the
+// flight leader, and pairs already in flight — under another batch or a
+// concurrent GET /pair — are awaited instead of recomputed. Either way
+// every result lands in the cache for later point queries.
 func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 	snap := s.snaps.Load()
 	var req pairsRequest
@@ -401,44 +403,94 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := snap.Q.Graph().NumNodes()
-	scores := make([]float64, len(req.Pairs))
-	hits := 0
-	// Misses dedupe by canonical pair: a batch hammering one hot pair
-	// (or listing both orders of it) costs one estimate, fanned back out
-	// to every requesting index.
-	var missing [][2]int
-	missSlot := make(map[[2]int]int)
-	slotAt := make([]int, len(req.Pairs)) // request index -> missing slot, -1 if cached
+	// Validate the whole batch BEFORE leading any flight: a malformed
+	// pair must reject only this request, never surface an error to
+	// well-formed point queries that coalesced onto a flight this batch
+	// opened and then abandoned.
 	for idx, p := range req.Pairs {
 		if p[0] < 0 || p[0] >= n || p[1] < 0 || p[1] >= n {
 			writeError(w, http.StatusBadRequest, "pair %d: node out of range [0,%d): [%d,%d]", idx, n, p[0], p[1])
 			return
 		}
+	}
+	scores := make([]float64, len(req.Pairs))
+	hits := 0
+	// Request index -> where its score comes from: resolved in scores
+	// already, a slot of the led batch, or a foreign flight to await.
+	const (
+		fromScores = -1
+		fromWait   = -2
+	)
+	slotAt := make([]int, len(req.Pairs))
+	waitAt := make([]int, len(req.Pairs))
+	var missing [][2]int // canonical pairs this request leads
+	var missingKeys []string
+	var waits []func() (any, error)
+	missSlot := make(map[[2]int]int) // canonical pair -> slotAt/waitAt encoding
+	for idx, p := range req.Pairs {
 		ci, cj := core.CanonicalPair(p[0], p[1])
 		cp := [2]int{ci, cj}
-		if _, dup := missSlot[cp]; !dup && s.cache != nil {
-			if v, ok := s.cache.Get(pairKey(snap.Gen, ci, cj)); ok {
+		if enc, dup := missSlot[cp]; dup {
+			// Duplicate canonical pair within the batch: share what the
+			// first occurrence decided (led slot or awaited flight).
+			if enc >= 0 {
+				slotAt[idx] = enc
+			} else {
+				slotAt[idx] = fromWait
+				waitAt[idx] = -enc - 3 // invert the waiter encoding below
+			}
+			continue
+		}
+		key := pairKey(snap.Gen, ci, cj)
+		if s.cache != nil {
+			// Cache-hit pairs are not recorded in missSlot: a duplicate
+			// re-probes the cache (and lands in the flight logic below on
+			// the off chance the entry was evicted in between — the
+			// estimator is deterministic per (pair, gen), so both
+			// occurrences still answer identically).
+			if v, ok := s.cache.Get(key); ok {
 				scores[idx] = v.(float64)
-				slotAt[idx] = -1
+				slotAt[idx] = fromScores
 				hits++
 				continue
 			}
 		}
-		slot, ok := missSlot[cp]
-		if !ok {
-			slot = len(missing)
-			missSlot[cp] = slot
+		if leader, wait := s.flight.Begin(key); leader {
+			slot := len(missing)
 			missing = append(missing, cp)
+			missingKeys = append(missingKeys, key)
+			slotAt[idx] = slot
+			missSlot[cp] = slot
+		} else {
+			s.coalesced.Add(1)
+			slotAt[idx] = fromWait
+			waitAt[idx] = len(waits)
+			missSlot[cp] = -len(waits) - 3
+			waits = append(waits, wait)
 		}
-		slotAt[idx] = slot
 	}
 	if len(missing) > 0 {
-		if s.testComputeHook != nil {
-			s.testComputeHook(fmt.Sprintf("pairs:%d", len(missing)))
-		}
-		s.computes.Add(1)
-		out, err := snap.Q.SinglePairs(missing)
+		out, err := func() (vals []float64, err error) {
+			// A panic converts to an error here so the error path below
+			// remains the ONE place that lands the led flights — every
+			// flight must land or waiters block forever, and it must land
+			// exactly once: a second Finish could tear down an unrelated
+			// flight opened under the same key in between.
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("server: batch computation panicked: %v", r)
+				}
+			}()
+			if s.testComputeHook != nil {
+				s.testComputeHook(fmt.Sprintf("pairs:%d", len(missing)))
+			}
+			s.computes.Add(1)
+			return snap.Q.SinglePairs(missing)
+		}()
 		if err != nil {
+			for _, key := range missingKeys {
+				s.flight.Finish(key, nil, err)
+			}
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
@@ -446,10 +498,27 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			if s.cache != nil {
 				s.cache.Put(pairKey(snap.Gen, cp[0], cp[1]), out[k])
 			}
+			s.flight.Finish(missingKeys[k], out[k], nil)
 		}
 		for idx, slot := range slotAt {
 			if slot >= 0 {
 				scores[idx] = out[slot]
+			}
+		}
+	}
+	if len(waits) > 0 {
+		vals := make([]float64, len(waits))
+		for k, wait := range waits {
+			v, err := wait()
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "coalesced pair: %v", err)
+				return
+			}
+			vals[k] = v.(float64)
+		}
+		for idx, slot := range slotAt {
+			if slot == fromWait {
+				scores[idx] = vals[waitAt[idx]]
 			}
 		}
 	}

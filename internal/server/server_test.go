@@ -531,3 +531,192 @@ func TestPprofEnabled(t *testing.T) {
 		}
 	}
 }
+
+// TestPairsBatchJoinsPointFlight pins the per-pair singleflight
+// integration of POST /pairs: a batch containing a pair that a GET
+// /pair is already computing must NOT recompute it — the batch leads
+// only its fresh pairs and awaits the point query's flight for the
+// shared one, and both answers are bit-identical.
+func TestPairsBatchJoinsPointFlight(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: -1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce, releaseOnce sync.Once
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	srv.testComputeHook = func(kind string) {
+		// Hold only the point query's computation open; the batch's own
+		// computation (kind "pairs:N") must run through.
+		if kind == "pair" {
+			hookOnce.Do(func() { close(entered) })
+			<-release
+		}
+	}
+
+	var pointResp pairResponse
+	var pointErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Get(ts.URL + "/pair?i=20&j=21")
+		if err != nil {
+			pointErr = err
+			return
+		}
+		defer resp.Body.Close()
+		pointErr = json.NewDecoder(resp.Body).Decode(&pointResp)
+	}()
+	<-entered
+
+	// The batch lists the in-flight pair in reversed order (canonical
+	// form must still match the flight) plus one fresh pair.
+	var batchResp pairsResponse
+	var batchErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Post(ts.URL+"/pairs", "application/json",
+			bytes.NewBufferString(`{"pairs":[[21,20],[22,23]]}`))
+		if err != nil {
+			batchErr = err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			batchErr = fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		batchErr = json.NewDecoder(resp.Body).Decode(&batchResp)
+	}()
+
+	// The batch must register as a waiter on the point query's flight
+	// before we release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.flight.pendingWaiters("g0/p/20/21") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never joined the point flight: %d waiters",
+				srv.flight.pendingWaiters("g0/p/20/21"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	releaseOnce.Do(func() { close(release) })
+	wg.Wait()
+
+	if pointErr != nil || batchErr != nil {
+		t.Fatalf("point err %v, batch err %v", pointErr, batchErr)
+	}
+	if batchResp.Scores[0] != pointResp.Score {
+		t.Fatalf("coalesced batch score %v != point score %v", batchResp.Scores[0], pointResp.Score)
+	}
+	// Two underlying computations: the point pair (led by /pair) and the
+	// fresh pair (led by the batch). The shared pair was coalesced.
+	if got := srv.computes.Load(); got != 2 {
+		t.Fatalf("%d computations, want 2", got)
+	}
+	if got := srv.coalesced.Load(); got != 1 {
+		t.Fatalf("%d coalesced, want 1", got)
+	}
+	if batchResp.Hits != 0 {
+		t.Fatalf("batch reported %d cache hits, want 0 (it waited on a flight)", batchResp.Hits)
+	}
+}
+
+// TestPairJoinsBatchFlight is the reverse direction: a GET /pair for a
+// pair that a /pairs batch is currently computing coalesces onto the
+// batch's flight instead of recomputing.
+func TestPairJoinsBatchFlight(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInFlight: -1})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var hookOnce, releaseOnce sync.Once
+	t.Cleanup(func() { releaseOnce.Do(func() { close(release) }) })
+	srv.testComputeHook = func(kind string) {
+		if kind == "pairs:2" {
+			hookOnce.Do(func() { close(entered) })
+			<-release
+		}
+	}
+
+	var batchResp pairsResponse
+	var batchErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Post(ts.URL+"/pairs", "application/json",
+			bytes.NewBufferString(`{"pairs":[[30,31],[32,33]]}`))
+		if err != nil {
+			batchErr = err
+			return
+		}
+		defer resp.Body.Close()
+		batchErr = json.NewDecoder(resp.Body).Decode(&batchResp)
+	}()
+	<-entered
+
+	var pointResp pairResponse
+	var pointErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := ts.Client().Get(ts.URL + "/pair?i=30&j=31")
+		if err != nil {
+			pointErr = err
+			return
+		}
+		defer resp.Body.Close()
+		pointErr = json.NewDecoder(resp.Body).Decode(&pointResp)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.flight.pendingWaiters("g0/p/30/31") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("point query never joined the batch flight: %d waiters",
+				srv.flight.pendingWaiters("g0/p/30/31"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	releaseOnce.Do(func() { close(release) })
+	wg.Wait()
+
+	if pointErr != nil || batchErr != nil {
+		t.Fatalf("point err %v, batch err %v", pointErr, batchErr)
+	}
+	if pointResp.Score != batchResp.Scores[0] {
+		t.Fatalf("point score %v != batch score %v", pointResp.Score, batchResp.Scores[0])
+	}
+	if got := srv.computes.Load(); got != 1 {
+		t.Fatalf("%d computations, want 1 (the batch)", got)
+	}
+	if got := srv.coalesced.Load(); got != 1 {
+		t.Fatalf("%d coalesced, want 1 (the point query)", got)
+	}
+}
+
+// TestPairsRejectedBatchLeavesNoFlight: a batch that fails validation
+// midway must not have led (and then error-finished) flights for its
+// earlier valid pairs — a following point query for one of those pairs
+// must compute normally instead of inheriting a rejection error.
+func TestPairsRejectedBatchLeavesNoFlight(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Post(ts.URL+"/pairs", "application/json",
+		bytes.NewBufferString(`{"pairs":[[40,41],[0,999999]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch: status %d, want 400", resp.StatusCode)
+	}
+	if got := srv.flight.pendingWaiters("g0/p/40/41"); got != 0 {
+		t.Fatalf("rejected batch left a flight with %d waiters", got)
+	}
+	var pr pairResponse
+	getJSON(t, ts, "/pair?i=40&j=41", http.StatusOK, &pr)
+	if pr.Score < 0 || pr.Score > 1 {
+		t.Fatalf("score %g outside [0,1]", pr.Score)
+	}
+	if got := srv.computes.Load(); got != 1 {
+		t.Fatalf("%d computations, want 1 (the rejected batch must compute nothing)", got)
+	}
+}

@@ -66,11 +66,11 @@ func TestWalkOverLiveOverlayNoTear(t *testing.T) {
 			defer walkers.Done()
 			src := xrand.NewStream(77, uint64(w))
 			for i := 0; i < 300; i++ {
-				for _, vec := range Distributions(d, 1, 6, 50, src) {
+				for _, vec := range Distributions(d, 1, 6, 50, uint64(w*1000+i)) {
 					for _, x := range vec.Val {
-						// 1+1e-9 allows the accumulation ulps of R
-						// deposits of 1/R; anything beyond means a torn
-						// read double-counted a walker.
+						// 1+1e-9 allows the count→float rounding of a
+						// count/R conversion; anything beyond means a
+						// torn read double-counted a walker.
 						if x < 0 || x > 1+1e-9 {
 							t.Errorf("distribution mass %v out of [0,1]", x)
 							return

@@ -1,0 +1,199 @@
+package walk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+func TestRowEstimatorMatchesReference(t *testing.T) {
+	// The estimator must produce the same row distributionally as the
+	// exact operator: compare expectations on a large walker budget.
+	g, err := gen.ErdosRenyi(30, 180, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sparse.NewTransition(g)
+	const (
+		T = 5
+		R = 40000
+		c = 0.6
+	)
+	// Exact row.
+	exactRow := sparse.Unit(3)
+	v := sparse.Unit(3)
+	ct := 1.0
+	for t := 1; t <= T; t++ {
+		v = p.Apply(v)
+		ct *= c
+		exactRow = sparse.AddScaled(exactRow, ct, v.SquareValues())
+	}
+	est := NewRowEstimator(g, R)
+	got := est.EstimateRow(3, T, c, 9)
+	diff := sparse.AddScaled(got, -1, exactRow)
+	if m := maxAbs(diff); m > 0.01 {
+		t.Fatalf("row estimator error %g", m)
+	}
+}
+
+func TestRowEstimatorReuseIsClean(t *testing.T) {
+	// Rows estimated after reuse must not leak state from prior rows.
+	g, err := gen.RMAT(40, 200, gen.DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRowEstimator(g, 200)
+	reused := NewRowEstimator(g, 200)
+	// Burn a row on the reused estimator first.
+	_ = reused.EstimateRow(11, 6, 0.6, 1)
+	a := fresh.EstimateRow(5, 6, 0.6, 2)
+	b := reused.EstimateRow(5, 6, 0.6, 2)
+	diff := sparse.AddScaled(a, -1, b)
+	if maxAbs(diff) != 0 {
+		t.Fatal("estimator reuse changed results")
+	}
+}
+
+func TestRowEstimatorIntoMatchesEstimateRow(t *testing.T) {
+	g, err := gen.RMAT(60, 360, gen.DefaultRMAT, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewRowEstimator(g, 120)
+	var out sparse.Vector
+	est.EstimateRowInto(9, 6, 0.6, 5, &out) // dirty the reused vector
+	est.EstimateRowInto(4, 6, 0.6, 5, &out)
+	want := NewRowEstimator(g, 120).EstimateRow(4, 6, 0.6, 5)
+	if len(out.Idx) != len(want.Idx) {
+		t.Fatalf("nnz %d vs %d", len(out.Idx), len(want.Idx))
+	}
+	for k := range want.Idx {
+		if out.Idx[k] != want.Idx[k] || out.Val[k] != want.Val[k] {
+			t.Fatalf("entry %d differs: (%d,%g) vs (%d,%g)",
+				k, out.Idx[k], out.Val[k], want.Idx[k], want.Val[k])
+		}
+	}
+}
+
+// rowReference recomputes an indexing row the naive way — walker w of
+// row i walks its whole trajectory on substream NewStream(seed, i·R+w),
+// counts aggregate per (level, node) in a map, and per-node deposits
+// accumulate in level order — exactly the estimator's definition with
+// none of the engine's batching, sorting, or mode switching.
+func rowReference(g *graph.Graph, i, T, R int, c float64, seed uint64) map[int32]float64 {
+	counts := make([]map[int32]int, T+1)
+	for t := range counts {
+		counts[t] = make(map[int32]int)
+	}
+	for w := 0; w < R; w++ {
+		src := xrand.NewStream(seed, uint64(i)*uint64(R)+uint64(w))
+		cur := i
+		for t := 1; t <= T; t++ {
+			cur = StepIn(g, cur, src)
+			if cur < 0 {
+				break
+			}
+			counts[t][int32(cur)]++
+		}
+	}
+	row := map[int32]float64{int32(i): 1}
+	ct := 1.0
+	invR := 1.0 / float64(R)
+	for t := 1; t <= T; t++ {
+		ct *= c
+		for k, n := range counts[t] {
+			frac := float64(n) * invR
+			row[k] += ct * frac * frac
+		}
+	}
+	return row
+}
+
+// TestRowEstimatorMatchesNaiveBitExact pins the engine's determinism
+// contract: batching, frontier sorting, the scatter fallback, and the
+// crossover between them must be invisible — the row is bit-identical
+// to walking every walker independently on its own substream. R is
+// chosen above the sort crossover so the first levels run sorted and
+// the tail (after walkers die off on the power-law graph) runs in
+// scatter mode, exercising both modes and the switch in one row.
+func TestRowEstimatorMatchesNaiveBitExact(t *testing.T) {
+	g, err := gen.RMAT(500, 4000, gen.DefaultRMAT, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const R = batchSortMin * 3
+	for _, i := range []int{0, 7, 499} {
+		row := NewRowEstimator(g, R).EstimateRow(i, 10, 0.6, 3)
+		want := rowReference(g, i, 10, R, 0.6, 3)
+		if row.NNZ() != len(want) {
+			t.Fatalf("row %d: nnz %d, reference %d", i, row.NNZ(), len(want))
+		}
+		for k, idx := range row.Idx {
+			if row.Val[k] != want[idx] {
+				t.Fatalf("row %d entry %d: %g, reference %g", i, idx, row.Val[k], want[idx])
+			}
+		}
+	}
+}
+
+func TestRowEstimatorDanglingStart(t *testing.T) {
+	g, err := gen.Star(5) // leaves have no in-links
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := NewRowEstimator(g, 50)
+	row := est.EstimateRow(1, 8, 0.6, 3)
+	// Walkers die instantly: row is just the unit diagonal.
+	if row.NNZ() != 1 || row.Get(1) != 1 {
+		t.Fatalf("dangling row %+v", row)
+	}
+}
+
+// Property: estimator rows always include the unit diagonal and have
+// non-negative entries bounded by 1 + c/(1-c).
+func TestQuickRowEstimatorInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := xrand.New(seed)
+		n := src.Intn(25) + 3
+		g, err := gen.ErdosRenyi(n, 3*n, seed)
+		if err != nil {
+			return false
+		}
+		est := NewRowEstimator(g, 60)
+		i := src.Intn(n)
+		row := est.EstimateRow(i, 6, 0.6, seed)
+		if row.Validate() != nil {
+			return false
+		}
+		if row.Get(i) < 1 {
+			return false
+		}
+		bound := 1 + 0.6/(1-0.6) + 1e-9
+		for _, val := range row.Val {
+			if val < 0 || val > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRowEstimator(b *testing.B) {
+	g, err := gen.RMAT(10000, 100000, gen.DefaultRMAT, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := NewRowEstimator(g, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.EstimateRow(i%g.NumNodes(), 10, 0.6, 1)
+	}
+}

@@ -3,32 +3,44 @@ package walk
 import (
 	"slices"
 
-	"cloudwalker/internal/graph"
 	"cloudwalker/internal/sparse"
 	"cloudwalker/internal/xrand"
 )
 
 // Scratch is the reusable per-worker workspace of the Monte Carlo query
-// kernels. It replaces the map accumulators (sparse.Accumulator) on every
-// hot path with a dense float64 histogram plus a touched list: O(1)
-// deposits, O(touched log touched) extraction, and — once warm — zero
-// allocations per query.
+// kernels: a dense float64 histogram plus touched list for weighted
+// deposits (MCSS endpoint weights, indexing-row accumulation), a dense
+// int32 count histogram for unweighted visit counts, and the
+// structure-of-arrays walker state of the batched level-synchronous walk
+// engine (see batch.go). Once warm, every kernel built on a Scratch runs
+// with zero allocations per query.
 //
-// Determinism: deposits are accumulated per index in exactly the order
-// the walkers produce them, so the per-index float64 sums (and therefore
-// the emitted vectors) are bit-identical to the map-accumulator
-// implementation this replaces.
+// Determinism: the distribution and row kernels accumulate integer visit
+// counts and convert each per-node total to float64 exactly once, so
+// their output is independent of walker batch order, frontier sorting,
+// and worker sharding. The weighted MCSS deposits are float64 sums in a
+// canonical engine-defined order, deterministic for a fixed seed.
 //
 // A Scratch is not safe for concurrent use; give each worker its own
 // (core.Querier pools them).
 type Scratch struct {
 	hist    []float64 // dense accumulation target; zero outside Add..Flush
-	touched []int32   // indices with nonzero hist entries, insertion order
+	touched []int32   // indices with nonzero entries; may contain duplicates
 
-	// Walker position matrix for Distributions: pos[r*(T+1)+t] is walker
-	// r's node at step t, valid for t <= end[r].
-	pos []int32
-	end []int32
+	// cnt is the dense per-level visit-count histogram of the scatter
+	// (small-frontier) walk mode; zero outside one level's count..emit.
+	cnt []int32
+
+	// Batched walk engine state: the live frontier as packed
+	// (node << 32 | walker) keys plus a swap buffer for the radix sort,
+	// and one RNG substream per walker.
+	keys, keysB []uint64
+	srcs        []xrand.Source
+
+	// Forward (phase-two) walker state of the MCSS estimator: packed
+	// keys plus importance weights.
+	fkeys []uint64
+	fwts  []float64
 
 	// tmp is the radix-sort swap buffer for sortTouched.
 	tmp []int32
@@ -39,10 +51,13 @@ func NewScratch(n int) *Scratch {
 	return &Scratch{hist: make([]float64, n)}
 }
 
-// grow ensures the dense histogram covers n nodes.
+// grow ensures the dense histograms cover n nodes.
 func (s *Scratch) grow(n int) {
 	if len(s.hist) < n {
 		s.hist = make([]float64, n)
+	}
+	if len(s.cnt) < n {
+		s.cnt = make([]int32, n)
 	}
 }
 
@@ -79,7 +94,37 @@ func (s *Scratch) sortTouched() {
 	if cap(s.tmp) < len(a) {
 		s.tmp = make([]int32, len(a))
 	}
-	b := s.tmp[:len(a)]
+	b := s.tmp[:len(a):len(a)]
+	a = a[:len(a):len(a)]
+	if max < 1<<16 {
+		// Two byte passes with both histograms built in one read (the
+		// common shape for node ids), ending back in s.touched.
+		var c0, c1 [256]int32
+		for _, v := range a {
+			c0[uint8(v)]++
+			c1[uint8(v>>8)]++
+		}
+		s0, s1 := int32(0), int32(0)
+		for i := 0; i < 256; i++ {
+			n0, n1 := c0[i], c1[i]
+			c0[i], c1[i] = s0, s1
+			s0 += n0
+			s1 += n1
+		}
+		for _, v := range a {
+			d := uint8(v)
+			pos := c0[d]
+			c0[d] = pos + 1
+			b[pos] = v
+		}
+		for _, v := range b {
+			d := uint8(v >> 8)
+			pos := c1[d]
+			c1[d] = pos + 1
+			a[pos] = v
+		}
+		return
+	}
 	var counts [256]int32
 	for shift := 0; max>>shift > 0; shift += 8 {
 		clear(counts[:])
@@ -93,8 +138,10 @@ func (s *Scratch) sortTouched() {
 			sum += c
 		}
 		for _, v := range a {
-			b[counts[(v>>shift)&0xff]] = v
-			counts[(v>>shift)&0xff]++
+			d := (v >> shift) & 0xff
+			pos := counts[d]
+			counts[d] = pos + 1
+			b[pos] = v
 		}
 		a, b = b, a
 	}
@@ -107,10 +154,11 @@ func (s *Scratch) sortTouched() {
 
 // FlushInto sorts the touched indices, appends the accumulated (index,
 // value) entries to v (which is reset first, keeping its capacity), and
-// clears the scratch for reuse. Entries whose accumulated value is
-// exactly zero (only possible for an explicit Add of 0 that was never
-// followed by a positive deposit — e.g. a zero diagonal term) are
-// dropped, matching sparse.Accumulator.ToVector.
+// clears the scratch for reuse. Duplicate touched entries (the batched
+// kernels append without a dedup branch) collapse here: the first
+// occurrence reads and zeroes the slot, later ones see zero and are
+// skipped — which also drops explicit Add(k, 0) deposits never followed
+// by a positive one, matching sparse.Accumulator.ToVector.
 func (s *Scratch) FlushInto(v *sparse.Vector) {
 	s.sortTouched()
 	v.Idx = v.Idx[:0]
@@ -139,9 +187,13 @@ func (s *Scratch) TakeVector() *sparse.Vector {
 
 // DistBuf owns the per-step output buffers of DistributionsInto. The
 // returned vectors alias its storage and stay valid until the next
-// DistributionsInto call with the same buffer.
+// DistributionsInto call with the same buffer. The cnt buffers hold the
+// raw integer visit counts the engine emits before the single
+// count→float conversion; the sharded driver merges those directly so
+// its sums stay integer (and therefore worker-count independent).
 type DistBuf struct {
 	idx  [][]int32
+	cnt  [][]int32
 	val  [][]float64
 	vecs []sparse.Vector
 }
@@ -150,7 +202,12 @@ type DistBuf struct {
 func (b *DistBuf) prep(T int) {
 	for len(b.idx) < T+1 {
 		b.idx = append(b.idx, nil)
+		b.cnt = append(b.cnt, nil)
 		b.val = append(b.val, nil)
+	}
+	for t := 0; t <= T; t++ {
+		b.idx[t] = b.idx[t][:0]
+		b.cnt[t] = b.cnt[t][:0]
 	}
 	if cap(b.vecs) < T+1 {
 		b.vecs = make([]sparse.Vector, T+1)
@@ -158,85 +215,22 @@ func (b *DistBuf) prep(T int) {
 	b.vecs = b.vecs[:T+1]
 }
 
-// DistributionsInto is the scratch-backed core of Distributions: it runs
-// R backward walkers from start for T steps over the walk view and fills
-// buf with the empirical distributions p̂_t for t = 0..T. The returned
-// slice aliases buf. Output is bit-identical to Distributions (same RNG
-// consumption order — walker-major — and same per-index accumulation
-// order), but the warm path performs zero allocations.
-func (s *Scratch) DistributionsInto(buf *DistBuf, vw *graph.WalkView, start, T, R int, src *xrand.Source) []sparse.Vector {
-	s.grow(vw.NumNodes())
-	if R <= 0 || T < 0 {
-		return s.degenerateInto(buf, start)
-	}
-	buf.prep(T)
-
-	// Phase 1: run the walkers in walker-major order (the RNG contract),
-	// recording positions. pos is O(R·T), independent of graph size.
-	stride := T + 1
-	s.prepWalkers(T, R)
-	for r := 0; r < R; r++ {
-		base := r * stride
-		cur := int32(start)
-		s.pos[base] = cur
-		last := int32(0)
-		for t := 1; t <= T; t++ {
-			cur = StepInView(vw, cur, src)
-			if cur < 0 {
-				break
-			}
-			s.pos[base+t] = cur
-			last = int32(t)
+// scale converts the integer step counts into empirical distributions:
+// val = count/R, one float64 conversion and rounding per entry, so the
+// result depends only on the per-node totals — not on the order walkers
+// were counted in.
+func (b *DistBuf) scale(T, R int) []sparse.Vector {
+	invR := 1.0 / float64(R)
+	for t := 0; t <= T; t++ {
+		idx, cnt := b.idx[t], b.cnt[t]
+		val := b.val[t][:0]
+		for i := range idx {
+			val = append(val, float64(cnt[i])*invR)
 		}
-		s.end[r] = last
+		b.val[t] = val
+		b.vecs[t] = sparse.Vector{Idx: idx, Val: val}
 	}
-	return s.emitInto(buf, T, R)
-}
-
-// DistributionsViewInto is DistributionsInto against any graph.View. It
-// dispatches to the zero-allocation dense kernel when the view can serve
-// a WalkView (a *Graph, or a *Dynamic with no pending updates) and falls
-// back to interface stepping otherwise. Both paths consume randomness
-// identically (one Intn per live step, walker-major), so the output for
-// a dirty overlay is bit-identical to compacting it first and walking
-// the CSR.
-func (s *Scratch) DistributionsViewInto(buf *DistBuf, g graph.View, start, T, R int, src *xrand.Source) []sparse.Vector {
-	if vw := graph.FastWalkView(g); vw != nil {
-		return s.DistributionsInto(buf, vw, start, T, R, src)
-	}
-	if R <= 0 || T < 0 {
-		s.grow(g.NumNodes())
-		return s.degenerateInto(buf, start)
-	}
-	buf.prep(T)
-	stride := T + 1
-	s.prepWalkers(T, R)
-	// On a LIVE overlay the node count can grow mid-walk (a concurrent
-	// insert naming a fresh id lands in a row we then step into), so the
-	// histogram cannot be sized from a NumNodes() read taken at entry.
-	// Track the highest id the walkers actually visited and size for
-	// that before scattering.
-	maxSeen := int32(start)
-	for r := 0; r < R; r++ {
-		base := r * stride
-		cur := int(start)
-		s.pos[base] = int32(cur)
-		last := int32(0)
-		for t := 1; t <= T; t++ {
-			cur = StepIn(g, cur, src)
-			if cur < 0 {
-				break
-			}
-			if int32(cur) > maxSeen {
-				maxSeen = int32(cur)
-			}
-			s.pos[base+t] = int32(cur)
-			last = int32(t)
-		}
-		s.end[r] = last
-	}
-	s.grow(int(maxSeen) + 1)
-	return s.emitInto(buf, T, R)
+	return b.vecs
 }
 
 // degenerateInto emits the single unit vector of a degenerate request
@@ -248,80 +242,4 @@ func (s *Scratch) degenerateInto(buf *DistBuf, start int) []sparse.Vector {
 	buf.vecs = buf.vecs[:1]
 	buf.vecs[0] = sparse.Vector{Idx: buf.idx[0], Val: buf.val[0]}
 	return buf.vecs
-}
-
-// prepWalkers sizes the position matrix for R walkers over T steps.
-func (s *Scratch) prepWalkers(T, R int) {
-	if need := R * (T + 1); cap(s.pos) < need {
-		s.pos = make([]int32, need)
-	} else {
-		s.pos = s.pos[:need]
-	}
-	if cap(s.end) < R {
-		s.end = make([]int32, R)
-	} else {
-		s.end = s.end[:R]
-	}
-}
-
-// emitInto is phase 2 of the distribution kernels: per step, scatter the
-// surviving walkers' positions into the dense histogram (walker order —
-// preserving the per-index accumulation order of the map implementation)
-// and emit the sorted sparse vector.
-func (s *Scratch) emitInto(buf *DistBuf, T, R int) []sparse.Vector {
-	stride := T + 1
-	w := 1.0 / float64(R)
-	for t := 0; t <= T; t++ {
-		for r := 0; r < R; r++ {
-			if s.end[r] >= int32(t) {
-				s.Add(s.pos[r*stride+t], w)
-			}
-		}
-		s.sortTouched()
-		idx, val := buf.idx[t][:0], buf.val[t][:0]
-		for _, k := range s.touched {
-			idx = append(idx, k)
-			val = append(val, s.hist[k])
-			s.hist[k] = 0
-		}
-		s.touched = s.touched[:0]
-		buf.idx[t], buf.val[t] = idx, val
-		buf.vecs[t] = sparse.Vector{Idx: idx, Val: val}
-	}
-	return buf.vecs
-}
-
-// StepInView is StepIn against a precomputed walk view: the offset base
-// and degree come from one load pair. It returns -1 if v has no in-links
-// (consuming no randomness, like StepIn).
-func StepInView(vw *graph.WalkView, v int32, src *xrand.Source) int32 {
-	row, d := vw.InRow(v)
-	if d == 0 {
-		return -1
-	}
-	return vw.InAt(row + int64(src.Intn(int(d))))
-}
-
-// ForwardWeightedView is ForwardWeighted against a precomputed walk view.
-// The current node's out-row offset pair (needed for the neighbor fetch
-// anyway) yields its degree for free, and the destination's in-degree
-// comes from the view's dense int32 array — 4 bytes instead of a 16-byte
-// offset pair, the one degree lookup a CSR graph cannot serve from an
-// already-loaded line. float64(d) conversion is exact, so the quotient —
-// and therefore every estimate built on it — is bit-identical to the CSR
-// formulation. (The view's reciprocal in-degrees would save the divide
-// too, but multiplying by a rounded reciprocal is not bit-identical to
-// dividing — see the WalkView determinism contract.)
-func ForwardWeightedView(vw *graph.WalkView, k int32, w float64, steps int, src *xrand.Source) (int32, float64) {
-	cur := k
-	for s := 0; s < steps; s++ {
-		row, dOut := vw.OutRow(cur)
-		if dOut == 0 {
-			return -1, 0
-		}
-		next := vw.OutAt(row + int64(src.Intn(int(dOut))))
-		w *= float64(dOut) / float64(vw.InDeg(next))
-		cur = next
-	}
-	return cur, w
 }

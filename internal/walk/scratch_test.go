@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
 	"cloudwalker/internal/sparse"
 	"cloudwalker/internal/xrand"
 )
@@ -42,30 +43,76 @@ func TestScratchFlushResetsOutput(t *testing.T) {
 	}
 }
 
-func TestDistributionsIntoMatchesDistributions(t *testing.T) {
+// distReference recomputes empirical distributions the naive way: every
+// walker walks its whole trajectory on its own substream
+// NewStream(seed, w), visit counts aggregate per (level, node), and each
+// count converts to float64 once. This is the engine's definition with
+// none of its batching — the bit-exactness oracle for every mode.
+func distReference(g graph.View, start, T, R int, seed uint64) []map[int32]float64 {
+	counts := make([]map[int32]int32, T+1)
+	for t := range counts {
+		counts[t] = make(map[int32]int32)
+	}
+	counts[0][int32(start)] = int32(R)
+	for w := 0; w < R; w++ {
+		src := xrand.NewStream(seed, uint64(w))
+		cur := start
+		for t := 1; t <= T; t++ {
+			cur = StepIn(g, cur, src)
+			if cur < 0 {
+				break
+			}
+			counts[t][int32(cur)]++
+		}
+	}
+	out := make([]map[int32]float64, T+1)
+	invR := 1.0 / float64(R)
+	for t := range counts {
+		out[t] = make(map[int32]float64, len(counts[t]))
+		for k, c := range counts[t] {
+			out[t][k] = float64(c) * invR
+		}
+	}
+	return out
+}
+
+// requireDistsMatch asserts vectors are sorted, deduplicated, and
+// bit-identical to the reference maps.
+func requireDistsMatch(t *testing.T, label string, got []sparse.Vector, want []map[int32]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d step vectors, want %d", label, len(got), len(want))
+	}
+	for tt := range got {
+		v := got[tt]
+		if err := v.Validate(); err != nil {
+			t.Fatalf("%s t=%d: %v", label, tt, err)
+		}
+		if len(v.Idx) != len(want[tt]) {
+			t.Fatalf("%s t=%d: nnz %d, reference %d", label, tt, len(v.Idx), len(want[tt]))
+		}
+		for k, idx := range v.Idx {
+			if v.Val[k] != want[tt][idx] {
+				t.Fatalf("%s t=%d node %d: %g, reference %g", label, tt, idx, v.Val[k], want[tt][idx])
+			}
+		}
+	}
+}
+
+// TestDistributionsIntoMatchesNaiveBitExact pins the engine against the
+// per-walker-substream definition across the crossover: R above the
+// sort threshold starts in sorted mode and (on the dying power-law
+// graph) finishes in scatter mode; R below it runs scatter throughout.
+func TestDistributionsIntoMatchesNaiveBitExact(t *testing.T) {
 	g, err := gen.RMAT(300, 2400, gen.DefaultRMAT, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	const start, T, R = 11, 6, 500
-	want := Distributions(g, start, T, R, xrand.NewStream(3, 0))
 	s := NewScratch(g.NumNodes())
 	var buf DistBuf
-	got := s.DistributionsInto(&buf, g.WalkView(), start, T, R, xrand.NewStream(3, 0))
-	if len(got) != len(want) {
-		t.Fatalf("length %d vs %d", len(got), len(want))
-	}
-	for tt := range want {
-		a, b := want[tt], got[tt]
-		if len(a.Idx) != len(b.Idx) {
-			t.Fatalf("t=%d nnz %d vs %d", tt, len(a.Idx), len(b.Idx))
-		}
-		for k := range a.Idx {
-			if a.Idx[k] != b.Idx[k] || a.Val[k] != b.Val[k] {
-				t.Fatalf("t=%d entry %d differs: (%d,%v) vs (%d,%v)",
-					tt, k, a.Idx[k], a.Val[k], b.Idx[k], b.Val[k])
-			}
-		}
+	for _, R := range []int{50, batchSortMin * 4} {
+		got := s.DistributionsInto(&buf, g.WalkView(), 11, 6, R, 3)
+		requireDistsMatch(t, "dense", got, distReference(g, 11, 6, R, 3))
 	}
 }
 
@@ -77,19 +124,9 @@ func TestDistributionsIntoReuseIsClean(t *testing.T) {
 	s := NewScratch(g.NumNodes())
 	var buf DistBuf
 	// Burn a different query through the shared scratch and buffer first.
-	s.DistributionsInto(&buf, g.WalkView(), 3, 5, 300, xrand.NewStream(1, 0))
-	got := s.DistributionsInto(&buf, g.WalkView(), 7, 5, 300, xrand.NewStream(2, 0))
-	want := Distributions(g, 7, 5, 300, xrand.NewStream(2, 0))
-	for tt := range want {
-		if len(got[tt].Idx) != len(want[tt].Idx) {
-			t.Fatalf("t=%d nnz %d vs %d", tt, len(got[tt].Idx), len(want[tt].Idx))
-		}
-		for k := range want[tt].Idx {
-			if got[tt].Idx[k] != want[tt].Idx[k] || got[tt].Val[k] != want[tt].Val[k] {
-				t.Fatalf("t=%d entry %d differs after reuse", tt, k)
-			}
-		}
-	}
+	s.DistributionsInto(&buf, g.WalkView(), 3, 5, 300, 1)
+	got := s.DistributionsInto(&buf, g.WalkView(), 7, 5, 300, 2)
+	requireDistsMatch(t, "reused", got, distReference(g, 7, 5, 300, 2))
 }
 
 func TestDistributionsIntoDegenerate(t *testing.T) {
@@ -100,14 +137,27 @@ func TestDistributionsIntoDegenerate(t *testing.T) {
 	s := NewScratch(g.NumNodes())
 	var buf DistBuf
 	// R <= 0 degenerates to the unit vector, like Distributions.
-	got := s.DistributionsInto(&buf, g.WalkView(), 2, 3, 0, xrand.New(1))
+	got := s.DistributionsInto(&buf, g.WalkView(), 2, 3, 0, 1)
 	if len(got) != 1 || got[0].NNZ() != 1 || got[0].Get(2) != 1 {
 		t.Fatalf("degenerate result %+v", got)
 	}
 	// T = 0 keeps only the start distribution.
-	got = s.DistributionsInto(&buf, g.WalkView(), 1, 0, 50, xrand.New(2))
+	got = s.DistributionsInto(&buf, g.WalkView(), 1, 0, 50, 2)
 	if len(got) != 1 || got[0].NNZ() != 1 {
 		t.Fatalf("T=0 result %+v", got)
+	}
+}
+
+func TestDistributionsIntoNegativeT(t *testing.T) {
+	g, err := gen.Cycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScratch(g.NumNodes())
+	var buf DistBuf
+	got := s.DistributionsInto(&buf, g.WalkView(), 1, -1, 10, 3)
+	if len(got) != 1 || got[0].NNZ() != 1 || got[0].Get(1) != 1 {
+		t.Fatalf("negative T result %+v", got)
 	}
 }
 
@@ -175,15 +225,29 @@ func TestQuickSortTouched(t *testing.T) {
 	}
 }
 
-func TestDistributionsIntoNegativeT(t *testing.T) {
-	g, err := gen.Cycle(3)
-	if err != nil {
-		t.Fatal(err)
+// Property: sortFrontier is a correct stable-by-walker radix sort of
+// packed (node, walker) keys for any node width, including the odd-pass
+// copy-back.
+func TestQuickSortFrontier(t *testing.T) {
+	f := func(seed uint64, wide bool) bool {
+		src := xrand.New(seed)
+		m := src.Intn(500) + 1
+		limit := 200
+		if wide {
+			limit = 1 << 20
+		}
+		s := NewScratch(1)
+		s.keys = make([]uint64, m)
+		s.keysB = make([]uint64, m)
+		for i := range s.keys {
+			s.keys[i] = uint64(src.Intn(limit))<<32 | uint64(i)
+		}
+		want := append([]uint64(nil), s.keys...)
+		slices.Sort(want) // node-major then walker id: matches stability
+		s.sortFrontier(m, uint32(limit-1))
+		return slices.Equal(s.keys[:m], want)
 	}
-	s := NewScratch(g.NumNodes())
-	var buf DistBuf
-	got := s.DistributionsInto(&buf, g.WalkView(), 1, -1, 10, xrand.New(3))
-	if len(got) != 1 || got[0].NNZ() != 1 || got[0].Get(1) != 1 {
-		t.Fatalf("negative T result %+v", got)
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
 	}
 }

@@ -72,9 +72,10 @@ func TestDistributionsOverlayBitIdentical(t *testing.T) {
 	}
 	const T, R = 6, 500
 	for start := 0; start < 8; start++ {
-		a := Distributions(d, start, T, R, xrand.NewStream(42, uint64(start)))
-		b := Distributions(compacted, start, T, R, xrand.NewStream(42, uint64(start)))
-		c := Distributions(scratch, start, T, R, xrand.NewStream(42, uint64(start)))
+		seed := xrand.Mix(42, uint64(start))
+		a := Distributions(d, start, T, R, seed)
+		b := Distributions(compacted, start, T, R, seed)
+		c := Distributions(scratch, start, T, R, seed)
 		for tt := range a {
 			if !vecEqual(a[tt], b[tt]) {
 				t.Fatalf("start %d step %d: overlay vs compacted differ", start, tt)

@@ -7,6 +7,14 @@
 // column-stochastic backward transition operator (sparse.Transition). A
 // walker that reaches a node with no in-links terminates, matching the
 // vanishing mass of P's zero columns.
+//
+// The hot kernels run on the batched level-synchronous engine (batch.go):
+// all walkers advance together one level at a time, each drawing from its
+// own RNG substream xrand.NewStream(seed, walkerID), with large frontiers
+// radix-sorted by node so co-located walkers share row loads. Per-walker
+// substreams plus integer visit counting make the distribution kernels'
+// output bit-identical for a fixed seed at ANY worker count or batch
+// shape — see DistributionsParallel.
 package walk
 
 import (
@@ -60,24 +68,22 @@ func Path(g graph.View, start, T int, src *xrand.Source) []int32 {
 
 // Distributions runs R backward walkers from start for T steps and returns
 // the empirical distributions p̂_t ≈ P^t e_start for t = 0..T. Each
-// distribution sums to (walkers still alive at t)/R ≤ 1.
+// distribution sums to (walkers still alive at t)/R ≤ 1. Walker w draws
+// from xrand.NewStream(seed, w).
 //
 // This convenience wrapper draws working memory from a package pool and
 // copies the results out; query loops should hold their own Scratch and
 // call DistributionsInto instead (same output, zero steady-state
 // allocation, no copies).
 //
-// Distributions accepts any graph.View: the dense zero-allocation kernel
-// runs when the view can serve a WalkView (an immutable *Graph, or a
-// clean *Dynamic), and an interface-stepping path — bit-identical for
-// the same effective graph — covers dirty overlays.
-func Distributions(g graph.View, start, T, R int, src *xrand.Source) []*sparse.Vector {
-	if R <= 0 || T < 0 {
-		return []*sparse.Vector{sparse.Unit(start)}
-	}
+// Distributions accepts any graph.View: the batched engine runs when the
+// view can serve a WalkView (an immutable *Graph, or a clean *Dynamic),
+// and an interface-stepping path — bit-identical for the same effective
+// graph — covers dirty overlays.
+func Distributions(g graph.View, start, T, R int, seed uint64) []*sparse.Vector {
 	ds := distPool.Get().(*distScratch)
 	defer distPool.Put(ds)
-	vecs := ds.sc.DistributionsViewInto(&ds.buf, g, start, T, R, src)
+	vecs := ds.sc.DistributionsViewInto(&ds.buf, g, start, T, R, seed)
 	out := make([]*sparse.Vector, len(vecs))
 	for t := range vecs {
 		out[t] = vecs[t].Clone()
@@ -86,9 +92,9 @@ func Distributions(g graph.View, start, T, R int, src *xrand.Source) []*sparse.V
 }
 
 // distScratch pools the transient workspace of the Distributions
-// convenience wrapper, so callers that loop over it (DistributionsParallel
-// workers, the LIN-style pull estimator's tests) don't allocate and zero
-// an O(n) histogram per call. A zero-value Scratch grows on first use.
+// convenience wrapper and the per-worker shards of DistributionsParallel,
+// so callers that loop over them don't allocate and zero an O(n)
+// histogram per call. A zero-value Scratch grows on first use.
 type distScratch struct {
 	sc  Scratch
 	buf DistBuf
@@ -96,87 +102,93 @@ type distScratch struct {
 
 var distPool = sync.Pool{New: func() any { return new(distScratch) }}
 
-// DistributionsParallel is Distributions with the R walkers split across
-// `workers` goroutines, each with an independent RNG stream derived from
-// seed. Results are deterministic for a fixed (seed, workers) pair.
+// DistributionsParallel is Distributions with the R walkers sharded
+// across `workers` goroutines. Because every walker owns substream
+// xrand.NewStream(seed, walkerID) and shards emit integer visit counts
+// that the merge sums before the single count→float conversion, the
+// result is bit-identical to the single-threaded Distributions for the
+// same seed at ANY worker count — sharding is a pure throughput knob.
 func DistributionsParallel(g graph.View, start, T, R, workers int, seed uint64) []*sparse.Vector {
 	if workers <= 1 || R < 2*workers {
-		return Distributions(g, start, T, R, xrand.NewStream(seed, 0))
+		return Distributions(g, start, T, R, seed)
 	}
-	// Shares and merge scales are computed once, up front (each chunk's
-	// distributions are normalized by its own share, so the merge
-	// reweights by share/R before summing).
+	vw := graph.FastWalkView(g)
+	if vw == nil {
+		// Dirty overlays take the interface path; it exists for
+		// correctness during update bursts, not throughput.
+		return Distributions(g, start, T, R, seed)
+	}
+	// Contiguous walker shares; the split is invisible in the output, so
+	// any partition works — balanced shares keep the makespan flat.
 	shares := make([]int, workers)
-	scales := make([]float64, workers)
 	for w := 0; w < workers; w++ {
 		shares[w] = R / workers
 		if w < R%workers {
 			shares[w]++
 		}
-		scales[w] = float64(shares[w]) / float64(R)
 	}
-	chunks := make([][]*sparse.Vector, workers)
+	shards := make([]*distScratch, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w, first := 0, 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w, first, count int) {
 			defer wg.Done()
-			src := xrand.NewStream(seed, uint64(w))
-			chunks[w] = Distributions(g, start, T, shares[w], src)
-		}(w)
+			ds := distPool.Get().(*distScratch)
+			ds.sc.distCounts(&ds.buf, vw, start, T, count, seed, uint64(first))
+			shards[w] = ds
+		}(w, first, shares[w])
+		first += shares[w]
 	}
 	wg.Wait()
 	out := make([]*sparse.Vector, T+1)
-	step := make([]*sparse.Vector, workers)
 	ptr := make([]int, workers)
 	for t := 0; t <= T; t++ {
-		for w := 0; w < workers; w++ {
-			step[w] = chunks[w][t]
-		}
 		clear(ptr)
-		out[t] = mergeScaled(step, scales, ptr)
+		out[t] = mergeCounts(shards, t, ptr, R)
+	}
+	for _, ds := range shards {
+		distPool.Put(ds)
 	}
 	return out
 }
 
-// mergeScaled k-way merges already-sorted chunk vectors into one sorted
-// vector, accumulating scales[w]*val contributions per index in worker
-// order (which keeps the float64 sums bit-identical to the accumulator-
-// based merge it replaces). ptr is the caller-owned cursor slice, one
-// zeroed entry per vector.
-func mergeScaled(vecs []*sparse.Vector, scales []float64, ptr []int) *sparse.Vector {
+// mergeCounts k-way merges the shards' sorted per-level count lists,
+// summing integer counts per node and scaling the total by 1/R once.
+// Integer addition is associative, so the merged vector cannot depend on
+// shard boundaries or worker count. ptr is the caller-owned cursor
+// slice, one zeroed entry per shard.
+func mergeCounts(shards []*distScratch, t int, ptr []int, R int) *sparse.Vector {
 	total := 0
-	for _, v := range vecs {
-		total += v.NNZ()
+	for _, ds := range shards {
+		total += len(ds.buf.idx[t])
 	}
 	out := &sparse.Vector{
 		Idx: make([]int32, 0, total),
 		Val: make([]float64, 0, total),
 	}
+	invR := 1.0 / float64(R)
 	for {
 		const none = int32(math.MaxInt32)
 		min := none
-		for w, v := range vecs {
-			if ptr[w] < len(v.Idx) && v.Idx[ptr[w]] < min {
-				min = v.Idx[ptr[w]]
+		for w, ds := range shards {
+			idx := ds.buf.idx[t]
+			if ptr[w] < len(idx) && idx[ptr[w]] < min {
+				min = idx[ptr[w]]
 			}
 		}
 		if min == none {
 			return out
 		}
-		s := 0.0
-		for w, v := range vecs {
-			if ptr[w] < len(v.Idx) && v.Idx[ptr[w]] == min {
-				s += v.Val[ptr[w]] * scales[w]
+		c := int32(0)
+		for w, ds := range shards {
+			idx := ds.buf.idx[t]
+			if ptr[w] < len(idx) && idx[ptr[w]] == min {
+				c += ds.buf.cnt[t][ptr[w]]
 				ptr[w]++
 			}
 		}
-		// Drop exact zeros, matching Accumulator.ToVector (cannot occur
-		// for probability mass, but keep the invariant explicit).
-		if s != 0 {
-			out.Idx = append(out.Idx, min)
-			out.Val = append(out.Val, s)
-		}
+		out.Idx = append(out.Idx, min)
+		out.Val = append(out.Val, float64(c)*invR)
 	}
 }
 

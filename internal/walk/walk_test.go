@@ -80,7 +80,7 @@ func TestDistributionsExactOnDeterministicGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dists := Distributions(g, 0, 3, 7, xrand.New(4))
+	dists := Distributions(g, 0, 3, 7, 4)
 	for tt, d := range dists {
 		want := ((0-tt)%5 + 5) % 5 // in-neighbor of k is k-1 mod 5
 		if d.NNZ() != 1 || math.Abs(d.Get(want)-1) > 1e-12 {
@@ -97,7 +97,7 @@ func TestDistributionsMatchExactOperator(t *testing.T) {
 	}
 	p := sparse.NewTransition(g)
 	const start, T, R = 7, 4, 60000
-	emp := Distributions(g, start, T, R, xrand.New(5))
+	emp := Distributions(g, start, T, R, 5)
 	exact := p.PowerUnit(start, T)
 	for tt := 0; tt <= T; tt++ {
 		diff := sparse.AddScaled(emp[tt], -1, exact[tt])
@@ -123,7 +123,7 @@ func TestDistributionsMassConservation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dists := Distributions(g, 10, 6, 500, xrand.New(6))
+	dists := Distributions(g, 10, 6, 500, 6)
 	prev := 1.0
 	for tt, d := range dists {
 		s := d.Sum()
@@ -154,6 +154,75 @@ func TestDistributionsParallelMatchesSerialMoments(t *testing.T) {
 	// Total mass at t respects alive fraction.
 	if par[0].Sum() < 0.999 || par[0].Sum() > 1.001 {
 		t.Fatalf("parallel t=0 mass %g", par[0].Sum())
+	}
+}
+
+// TestDistributionsParallelWorkerCountInvariant pins the headline
+// determinism contract of the sharded driver: for a fixed seed, the
+// result is bit-identical at EVERY worker count (including the
+// single-threaded kernel), because walkers own their substreams and the
+// merge sums integer counts. The old driver was only deterministic per
+// (seed, workers) pair.
+func TestDistributionsParallelWorkerCountInvariant(t *testing.T) {
+	g, err := gen.RMAT(200, 1600, gen.DefaultRMAT, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const start, T, R = 1, 5, 1000
+	want := Distributions(g, start, T, R, 42)
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		got := DistributionsParallel(g, start, T, R, workers, 42)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d steps, want %d", workers, len(got), len(want))
+		}
+		for tt := range want {
+			a, b := want[tt], got[tt]
+			if len(a.Idx) != len(b.Idx) {
+				t.Fatalf("workers=%d t=%d: nnz %d vs %d", workers, tt, len(b.Idx), len(a.Idx))
+			}
+			for k := range a.Idx {
+				if a.Idx[k] != b.Idx[k] || a.Val[k] != b.Val[k] {
+					t.Fatalf("workers=%d t=%d entry %d differs: (%d,%v) vs (%d,%v)",
+						workers, tt, k, b.Idx[k], b.Val[k], a.Idx[k], a.Val[k])
+				}
+			}
+		}
+	}
+}
+
+// TestDistributionsParallelShareMath covers the share/scale arithmetic
+// edge cases of the sharded driver: walker counts not divisible by the
+// worker count, R == 2·workers (smallest sharded case), and the
+// R < 2·workers fallback to the single-threaded kernel.
+func TestDistributionsParallelShareMath(t *testing.T) {
+	g, err := gen.ErdosRenyi(60, 400, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ R, workers int }{
+		{1003, 4}, // R % workers != 0: first R%workers shards get one extra
+		{8, 4},    // R == 2·workers: smallest batch that still shards
+		{7, 4},    // R < 2·workers: falls back to one shard
+		{3, 8},    // degenerate fallback
+	}
+	for _, tc := range cases {
+		want := Distributions(g, 2, 4, tc.R, 77)
+		got := DistributionsParallel(g, 2, 4, tc.R, tc.workers, 77)
+		for tt := range want {
+			a, b := want[tt], got[tt]
+			if len(a.Idx) != len(b.Idx) {
+				t.Fatalf("R=%d workers=%d t=%d: nnz %d vs %d", tc.R, tc.workers, tt, len(b.Idx), len(a.Idx))
+			}
+			for k := range a.Idx {
+				if a.Idx[k] != b.Idx[k] || a.Val[k] != b.Val[k] {
+					t.Fatalf("R=%d workers=%d t=%d entry %d differs", tc.R, tc.workers, tt, k)
+				}
+			}
+		}
+		// Mass sanity: all R walkers are counted exactly once at t=0.
+		if math.Abs(got[0].Sum()-1) > 1e-9 {
+			t.Fatalf("R=%d workers=%d: t=0 mass %g, want 1", tc.R, tc.workers, got[0].Sum())
+		}
 	}
 }
 
@@ -250,10 +319,9 @@ func BenchmarkDistributions(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	src := xrand.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Distributions(g, i%g.NumNodes(), 10, 100, src)
+		Distributions(g, i%g.NumNodes(), 10, 100, uint64(i))
 	}
 }
 
