@@ -31,6 +31,7 @@ import (
 
 	"cloudwalker/internal/core"
 	"cloudwalker/internal/exact"
+	"cloudwalker/internal/fleet"
 	"cloudwalker/internal/gen"
 	"cloudwalker/internal/graph"
 	"cloudwalker/internal/server"
@@ -215,6 +216,39 @@ type ServerStats = server.Stats
 
 // NewServer builds the serving tier around a Querier.
 func NewServer(q *Querier, cfg ServerConfig) (*Server, error) { return server.New(q, cfg) }
+
+// FleetRouter is the multi-process serving frontend: it consistent-hashes
+// /pair queries across N shard daemons, scatter-gathers /source in
+// partitioned mode, fails over across replicas, and coordinates snapshot
+// generations so no response mixes two graph versions (see
+// cmd/cloudwalkerd -router).
+type FleetRouter = fleet.Router
+
+// FleetConfig tunes a FleetRouter (shard list, deployment mode, failover
+// timeouts, health probing).
+type FleetConfig = fleet.Config
+
+// FleetStats is the router's /stats payload.
+type FleetStats = fleet.Stats
+
+// FleetMode selects the fleet deployment model: FleetReplicated routes
+// each query whole to one consistent-hash owner, FleetPartitioned
+// scatter-gathers single-source answers across all shards.
+type FleetMode = fleet.Mode
+
+// The fleet deployment modes (the serving-side counterpart of the
+// paper's broadcast-vs-RDD tradeoff).
+const (
+	FleetReplicated  = fleet.Replicated
+	FleetPartitioned = fleet.Partitioned
+)
+
+// ParseFleetMode parses a -mode flag value ("replicated"/"partitioned").
+func ParseFleetMode(s string) (FleetMode, error) { return fleet.ParseMode(s) }
+
+// NewFleetRouter builds a fleet router over the given shards and starts
+// its health prober; Close stops the prober.
+func NewFleetRouter(cfg FleetConfig) (*FleetRouter, error) { return fleet.New(cfg) }
 
 // CanonicalPair orders a pair query so both orders of a symmetric
 // SimRank pair share one cache entry and one bit-identical estimate.

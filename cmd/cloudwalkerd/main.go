@@ -14,6 +14,15 @@
 // internal/server); with -dynamic also POST /edges (incremental edge
 // updates) and POST /refresh (compaction + hot-swap to a fresh
 // snapshot). SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// The same binary also runs a serving fleet (see internal/fleet): start N
+// shard daemons (optionally named with -shard), then a router frontend
+// that consistent-hashes /pair across them, scatter-gathers /source in
+// partitioned mode, and fails over when a shard dies:
+//
+//	cloudwalkerd -graph g.bin -index i.cw -shard a -addr :8091 &
+//	cloudwalkerd -graph g.bin -index i.cw -shard b -addr :8092 &
+//	cloudwalkerd -router -shards localhost:8091,localhost:8092 -mode replicated -addr :8089
 package main
 
 import (
@@ -57,8 +66,18 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	refreshAfter := fs.Int("refresh-after", 0, "auto-compact after this many pending updates (0 = manual refresh only; needs -dynamic)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for production profiling")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+	router := fs.Bool("router", false, "run as a fleet router over -shards instead of serving a graph")
+	shards := fs.String("shards", "", "comma-separated shard addresses for -router (host:port,...)")
+	modeFlag := fs.String("mode", "replicated", "fleet deployment mode for -router: replicated or partitioned")
+	shardName := fs.String("shard", "", "shard name stamped on responses (X-Cloudwalker-Shard) when serving behind a fleet router")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *router {
+		if *gpath != "" || *ipath != "" || *spath != "" || *dynamic || *shardName != "" {
+			return fmt.Errorf("-router takes -shards/-mode, not -graph/-index/-store/-dynamic/-shard")
+		}
+		return runRouter(*shards, *modeFlag, *addr, *drain, out, ready)
 	}
 	if *gpath == "" || *ipath == "" {
 		return fmt.Errorf("-graph and -index are required")
@@ -90,6 +109,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		MaxInFlight: *maxInFlight,
 		MaxBatch:    *maxBatch,
 		EnablePprof: *pprofOn,
+		ShardName:   *shardName,
 	}
 	if *pprofOn {
 		fmt.Fprintln(out, "pprof enabled at /debug/pprof/")
@@ -129,23 +149,62 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return err
 	}
 
+	banner := fmt.Sprintf("serving %d nodes / %d edges", g.NumNodes(), g.NumEdges())
+	if *shardName != "" {
+		banner = fmt.Sprintf("shard %q %s", *shardName, banner)
+	}
+	return serveHTTP(srv.Handler(), *addr, *drain, out, ready, banner, func(w io.Writer) {
+		st := srv.StatsSnapshot()
+		fmt.Fprintf(w, "drained; served %d computations, shed %d\n", st.Computations, st.Shed)
+	})
+}
+
+// runRouter runs the fleet-router mode: no graph, no index — just the
+// frontend that routes, scatters, and fails over across shard daemons.
+func runRouter(shards, modeFlag, addr string, drain time.Duration, out io.Writer, ready chan<- string) error {
+	if shards == "" {
+		return fmt.Errorf("-router requires -shards host:port[,host:port,...]")
+	}
+	mode, err := cloudwalker.ParseFleetMode(modeFlag)
+	if err != nil {
+		return err
+	}
+	rt, err := cloudwalker.NewFleetRouter(cloudwalker.FleetConfig{
+		Shards: strings.Split(shards, ","),
+		Mode:   mode,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	banner := fmt.Sprintf("fleet router (%s mode, %d shards) serving", mode, len(strings.Split(shards, ",")))
+	return serveHTTP(rt.Handler(), addr, drain, out, ready, banner, func(w io.Writer) {
+		st := rt.StatsSnapshot()
+		fmt.Fprintf(w, "drained; routed %d requests, %d failovers, %d scatters\n",
+			st.Requests, st.Failovers, st.Scatters)
+	})
+}
+
+// serveHTTP binds addr, announces "<banner> on http://ADDR", and serves
+// handler until SIGINT/SIGTERM, then drains. Shard and router modes share
+// it, so both announce addresses the e2e harness can parse the same way.
+func serveHTTP(handler http.Handler, addr string, drain time.Duration, out io.Writer, ready chan<- string, banner string, drained func(io.Writer)) error {
 	// Arm signal handling before the listener goes up so a SIGTERM that
 	// races startup still drains instead of killing the process.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "serving %d nodes / %d edges on http://%s\n",
-		g.NumNodes(), g.NumEdges(), ln.Addr())
+	fmt.Fprintf(out, "%s on http://%s\n", banner, ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -156,14 +215,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		}
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(out, "received %v, draining (up to %v)\n", sig, *drain)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		fmt.Fprintf(out, "received %v, draining (up to %v)\n", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
-		st := srv.StatsSnapshot()
-		fmt.Fprintf(out, "drained; served %d computations, shed %d\n", st.Computations, st.Shed)
+		drained(out)
 		return nil
 	}
 }

@@ -35,6 +35,144 @@ func TestRunRequiresFlags(t *testing.T) {
 	}
 }
 
+func TestRouterFlagValidation(t *testing.T) {
+	cases := map[string][]string{
+		"router without shards":    {"-router"},
+		"router with graph":        {"-router", "-shards", "h:1", "-graph", "g.bin"},
+		"router with index":        {"-router", "-shards", "h:1", "-index", "x.cw"},
+		"router with dynamic":      {"-router", "-shards", "h:1", "-dynamic"},
+		"router with shard name":   {"-router", "-shards", "h:1", "-shard", "a"},
+		"router with unknown mode": {"-router", "-shards", "h:1", "-mode", "sharded"},
+	}
+	for name, args := range cases {
+		if err := run(args, new(bytes.Buffer), nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// writeArtifacts builds a small graph + index on disk for daemon boots.
+func writeArtifacts(t *testing.T) (gpath, ipath string) {
+	t.Helper()
+	dir := t.TempDir()
+	g, err := cloudwalker.GenerateRMAT(150, 1200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := cloudwalker.DefaultOptions()
+	opts.T = 4
+	opts.R = 20
+	opts.RPrime = 150
+	idx, _, err := cloudwalker.BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpath = filepath.Join(dir, "graph.bin")
+	ipath = filepath.Join(dir, "index.cw")
+	gf, err := os.Create(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cloudwalker.SaveBinaryGraph(gf, g); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	xf, err := os.Create(ipath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cloudwalker.SaveIndex(xf, idx); err != nil {
+		t.Fatal(err)
+	}
+	xf.Close()
+	return gpath, ipath
+}
+
+// TestRouterEndToEnd boots a named shard and a router over it in-process,
+// queries through the router, and drains both with one SIGTERM — the
+// fleet wiring of the binary itself (process-level fleet coverage lives
+// in internal/fleet/e2etest).
+func TestRouterEndToEnd(t *testing.T) {
+	gpath, ipath := writeArtifacts(t)
+
+	var shardOut, routerOut bytes.Buffer
+	shardReady, routerReady := make(chan string, 1), make(chan string, 1)
+	shardDone, routerDone := make(chan error, 1), make(chan error, 1)
+	go func() {
+		shardDone <- run([]string{
+			"-graph", gpath, "-index", ipath, "-addr", "127.0.0.1:0", "-shard", "a",
+		}, &shardOut, shardReady)
+	}()
+	var shardAddr string
+	select {
+	case shardAddr = <-shardReady:
+	case err := <-shardDone:
+		t.Fatalf("shard exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("shard never became ready")
+	}
+	go func() {
+		routerDone <- run([]string{
+			"-router", "-shards", shardAddr, "-mode", "partitioned", "-addr", "127.0.0.1:0",
+		}, &routerOut, routerReady)
+	}()
+	var routerAddr string
+	select {
+	case routerAddr = <-routerReady:
+	case err := <-routerDone:
+		t.Fatalf("router exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("router never became ready")
+	}
+
+	resp, err := http.Get("http://" + routerAddr + "/pair?i=1&j=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr struct {
+		Score float64 `json:"score"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || pr.Score < 0 || pr.Score > 1 {
+		t.Fatalf("routed pair: status %d, score %v", resp.StatusCode, pr.Score)
+	}
+	if got := resp.Header.Get("X-Cloudwalker-Shard"); got != "a" {
+		t.Fatalf("routed response shard header %q, want \"a\"", got)
+	}
+	resp, err = http.Get("http://" + routerAddr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router healthz status %d", resp.StatusCode)
+	}
+
+	// One SIGTERM reaches both in-process daemons; both must drain.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for name, done := range map[string]chan error{"shard": shardDone, "router": routerDone} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s shutdown returned %v", name, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s never drained", name)
+		}
+	}
+	if !strings.Contains(routerOut.String(), "fleet router (partitioned mode, 1 shards) serving") {
+		t.Fatalf("missing router banner:\n%s", routerOut.String())
+	}
+	if !strings.Contains(shardOut.String(), `shard "a" serving`) {
+		t.Fatalf("missing shard banner:\n%s", shardOut.String())
+	}
+}
+
 // TestDaemonEndToEnd builds artifacts with the library (standing in for
 // the cloudwalker CLI), boots the daemon on an ephemeral port, queries
 // it, and shuts it down with SIGTERM — the full operational loop.

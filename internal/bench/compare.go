@@ -75,6 +75,10 @@ type CompareResult struct {
 	// Ratio = Measured / Recorded; Pass when Ratio >= 1 - tolerance.
 	Ratio float64
 	Pass  bool
+	// Skipped carries the baseline metric's SkipReason when the kernel
+	// was excluded from gating; a skipped kernel always passes and needs
+	// no samples.
+	Skipped string
 }
 
 // CompareWalkBench compares measured ns/op samples against the latest
@@ -131,6 +135,19 @@ func CompareWalkBench(file *WalkBenchFile, samples map[string][]float64, toleran
 
 	results := make([]CompareResult, 0, len(kernels))
 	for _, name := range kernels {
+		if reason := baseline.Metrics[name].SkipReason; reason != "" {
+			// The recorded row itself says it cannot be reproduced here
+			// (e.g. a multi-core row on 1-core hardware): keep it visible
+			// in the verdict table, but neither require a sample nor gate
+			// on its stale number.
+			results = append(results, CompareResult{
+				Kernel:   name,
+				Recorded: baseline.Metrics[name].StepsPerSec,
+				Pass:     true,
+				Skipped:  reason,
+			})
+			continue
+		}
 		stepsPerOp := steps[name]
 		if stepsPerOp <= 0 {
 			return nil, baseline, fmt.Errorf("bench: recorded kernel %q has no nominal step count (renamed or removed?)", name)
@@ -202,6 +219,12 @@ func RunWalkCompare(trajPath string, in io.Reader, tolerance float64, gomaxprocs
 		"Kernel", "runs", "median ns/op", "Msteps/s", "recorded", "ratio", "verdict")
 	var failed []string
 	for _, r := range results {
+		if r.Skipped != "" {
+			t.Add(r.Kernel, "-", "-", "-",
+				fmt.Sprintf("%.2f", r.Recorded/1e6), "-",
+				"skipped ("+r.Skipped+")")
+			continue
+		}
 		verdict := "ok"
 		if !r.Pass {
 			verdict = "REGRESSED"

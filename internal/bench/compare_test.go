@@ -273,6 +273,105 @@ func TestCompareWalkBenchMatchesGomaxprocsRow(t *testing.T) {
 	}
 }
 
+// TestCompareWalkBenchSkippedKernel: a baseline metric carrying a
+// SkipReason is excluded from gating — no sample is required for it and
+// it always passes, with the reason surfaced on the result — while a
+// kernel missing a sample WITHOUT a skip reason still hard-errors. This
+// is how a stale multi-core row stays in the trajectory as history
+// without gating a 1-core runner against it.
+func TestCompareWalkBenchSkippedKernel(t *testing.T) {
+	file := fakeTrajectory(baselineNs)
+	m := file.Runs[0].Metrics["estimate_row"]
+	m.SkipReason = "recorded on other hardware"
+	file.Runs[0].Metrics["estimate_row"] = m
+
+	measured := map[string][]float64{}
+	for name, ns := range baselineNs {
+		measured[name] = []float64{ns}
+	}
+	delete(measured, "estimate_row") // no sample for the skipped kernel
+	samples, err := ParseGoBench(strings.NewReader(benchOutput(measured)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := CompareWalkBench(file, samples, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(baselineNs) {
+		t.Fatalf("%d results, want %d (skipped kernel must stay visible)", len(results), len(baselineNs))
+	}
+	found := false
+	for _, r := range results {
+		if r.Kernel == "estimate_row" {
+			found = true
+			if !r.Pass || r.Skipped != "recorded on other hardware" {
+				t.Fatalf("skipped kernel verdict: %+v", r)
+			}
+		} else if !r.Pass || r.Skipped != "" {
+			t.Fatalf("gated kernel verdict: %+v", r)
+		}
+	}
+	if !found {
+		t.Fatal("skipped kernel dropped from results")
+	}
+
+	// Even a regressed sample for the skipped kernel changes nothing.
+	measured["estimate_row"] = []float64{baselineNs["estimate_row"] * 100}
+	samples, err = ParseGoBench(strings.NewReader(benchOutput(measured)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err = CompareWalkBench(file, samples, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Fatalf("skip did not suppress gating: %+v", r)
+		}
+	}
+
+	// The benchtab verdict table labels the skip rather than hiding it.
+	raw, err := json.Marshal(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_walk.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := RunWalkCompare(path, strings.NewReader(benchOutput(measured)), 0.25, 0, &out); err != nil {
+		t.Fatalf("gate failed despite skip: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "skipped (recorded on other hardware)") {
+		t.Fatalf("verdict table does not label the skip:\n%s", out.String())
+	}
+
+	// The repo trajectory's real skip — the stale GOMAXPROCS=8
+	// dist_sharded row — must survive the JSON round trip.
+	real, err := LoadWalkBenchFile("../../BENCH_walk.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	skips := 0
+	for _, run := range real.Runs {
+		if run.GOMAXPROCS != 8 {
+			continue
+		}
+		if reason := run.Metrics["dist_sharded"].SkipReason; reason != "" {
+			skips++
+			if !strings.Contains(reason, "1-core") {
+				t.Fatalf("dist_sharded skip reason does not name the hardware constraint: %q", reason)
+			}
+		}
+	}
+	if skips == 0 {
+		t.Fatal("repo BENCH_walk.json: the GOMAXPROCS=8 dist_sharded metric is not marked skipped")
+	}
+}
+
 // TestRunWalkCompareEndToEnd exercises the benchtab entry point against
 // a trajectory file on disk, both verdicts.
 func TestRunWalkCompareEndToEnd(t *testing.T) {

@@ -43,6 +43,14 @@ type WalkBenchMetric struct {
 	// fixed nominal step count per op (dead walkers still count), so the
 	// ratio between two runs is exactly the inverse ns/op ratio.
 	StepsPerSec float64 `json:"walker_steps_per_sec,omitempty"`
+	// SkipReason, when non-empty, marks this metric as not gateable: the
+	// regression comparator reports it as skipped (with this reason)
+	// instead of requiring a fresh measurement to beat it. Use it when a
+	// recorded row cannot be reproduced on current hardware — e.g. a
+	// multi-core scaling row recorded before CI moved to 1-core runners —
+	// so the stale number stays in the trajectory as history without
+	// silently gating against the wrong machine shape.
+	SkipReason string `json:"skip_reason,omitempty"`
 }
 
 // WalkBenchRun is one recorded run (one row of the perf trajectory).

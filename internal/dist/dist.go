@@ -26,27 +26,35 @@ import (
 	"cloudwalker/internal/sparse"
 )
 
+// QueryEngine is the online query surface every CloudWalker execution
+// backend shares: the simulated-cluster engines below, and HTTPEngine,
+// which answers through a live cloudwalkerd daemon or fleet router over
+// real HTTP. Code that only issues queries (agreement tests, query
+// benchmarks) should depend on this interface, not Engine.
+type QueryEngine interface {
+	// Name identifies the execution backend ("broadcast", "rdd", "http").
+	Name() string
+	// SinglePair answers an online MCSP query s(i, j).
+	SinglePair(i, j int) (float64, error)
+	// SingleSource answers an online MCSS query, returning the sparse
+	// similarity vector s(i, ·).
+	SingleSource(i int) (*sparse.Vector, error)
+	// Close releases the engine's resources. Closing twice is safe; a
+	// closed engine rejects further calls.
+	Close()
+}
+
 // Engine is one CloudWalker execution model bound to a simulated cluster.
 // Engines are created against a live cluster, build their index on it
 // (accounting compute makespan, broadcast and shuffle volume through
-// cluster stage metrics), and answer online queries until closed.
+// cluster stage metrics), and answer online queries until closed. Queries
+// on an engine whose index has not been built yet build it first.
 type Engine interface {
-	// Name identifies the execution model ("broadcast" or "rdd").
-	Name() string
+	QueryEngine
 	// BuildIndex runs the offline stage on the simulated cluster and
 	// returns the resulting index. The index is cached: repeated calls
 	// return the same artifact without re-running the stage.
 	BuildIndex() (*core.Index, error)
-	// SinglePair answers an online MCSP query s(i, j). If the index has
-	// not been built yet it is built first.
-	SinglePair(i, j int) (float64, error)
-	// SingleSource answers an online MCSS query, returning the sparse
-	// similarity vector s(i, ·). If the index has not been built yet it
-	// is built first.
-	SingleSource(i int) (*sparse.Vector, error)
-	// Close releases the engine's per-machine memory reservations.
-	// Closing twice is safe; a closed engine rejects further calls.
-	Close()
 }
 
 // engineBase carries the state and behavior shared by both models: the

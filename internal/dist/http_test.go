@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/server"
+)
+
+var _ QueryEngine = (*HTTPEngine)(nil)
+
+// liveDaemon boots a real serving tier over the shared test graph and
+// returns its base URL plus the local querier it wraps.
+func liveDaemon(t *testing.T) (*core.Querier, *httptest.Server) {
+	t.Helper()
+	g := testGraph(t)
+	idx, _, err := core.BuildIndex(g, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.NewQuerier(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(q, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return q, ts
+}
+
+// TestHTTPEngineAgreesWithLocal: the engine's answers over a real HTTP
+// transport are bit-identical to the local querier's — same kernels, same
+// seeds, one wire format in between.
+func TestHTTPEngineAgreesWithLocal(t *testing.T) {
+	q, ts := liveDaemon(t)
+	eng, err := NewHTTPEngine(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Name() != "http" {
+		t.Fatalf("Name() = %q", eng.Name())
+	}
+
+	for _, pair := range [][2]int{{0, 1}, {5, 12}, {33, 33}, {59, 2}} {
+		// The serving tier canonicalizes pair order (so both orders share
+		// one cache entry and one estimate); mirror it for bit-identity.
+		ci, cj := core.CanonicalPair(pair[0], pair[1])
+		want, err := q.SinglePair(ci, cj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.SinglePair(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("SinglePair%v = %v over HTTP, %v locally", pair, got, want)
+		}
+	}
+
+	// The 60-node test graph's source vectors fit well under the serving
+	// tier's 1000-result cap, so the rebuilt vector must match the local
+	// one entry for entry (self pinned to 1 on both sides).
+	for _, node := range []int{0, 7, 42} {
+		want, err := q.SingleSource(node, core.WalkSS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.SingleSource(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Idx) != len(want.Idx) {
+			t.Fatalf("SingleSource(%d): %d entries over HTTP, %d locally", node, len(got.Idx), len(want.Idx))
+		}
+		for i := range got.Idx {
+			if got.Idx[i] != want.Idx[i] || got.Val[i] != want.Val[i] {
+				t.Fatalf("SingleSource(%d) entry %d: (%d, %v) over HTTP, (%d, %v) locally",
+					node, i, got.Idx[i], got.Val[i], want.Idx[i], want.Val[i])
+			}
+		}
+	}
+}
+
+// TestHTTPEngineErrors: construction validation, server-side errors
+// surfacing with their message, and closed-engine rejection.
+func TestHTTPEngineErrors(t *testing.T) {
+	if _, err := NewHTTPEngine("  ", nil); err == nil {
+		t.Fatal("empty base accepted")
+	}
+	_, ts := liveDaemon(t)
+	eng, err := NewHTTPEngine(strings.TrimPrefix(ts.URL, "http://"), ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.SinglePair(0, 99999); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range error = %v, want the daemon's message relayed", err)
+	}
+	if _, err := eng.SinglePair(0, 1); err != nil {
+		t.Fatalf("bare host:port base failed: %v", err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.SinglePair(0, 1); err == nil {
+		t.Fatal("closed engine accepted a query")
+	}
+	if _, err := eng.SingleSource(0); err == nil {
+		t.Fatal("closed engine accepted a query")
+	}
+}

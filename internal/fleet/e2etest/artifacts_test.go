@@ -1,0 +1,47 @@
+package e2etest
+
+import (
+	"os"
+
+	"cloudwalker"
+)
+
+// writeArtifacts builds the fixture graph and index the whole fleet
+// serves. Small enough that a -dynamic shard's refresh (full index
+// rebuild) completes in well under a second, so rolling-refresh tests
+// stay fast; deterministic, so every shard process loads bit-identical
+// artifacts.
+func writeArtifacts(graphPath, indexPath string) error {
+	g, err := cloudwalker.GenerateRMAT(120, 900, 21)
+	if err != nil {
+		return err
+	}
+	opts := cloudwalker.DefaultOptions()
+	opts.T = 4
+	opts.R = 20
+	opts.RPrime = 120
+	idx, _, err := cloudwalker.BuildIndex(g, opts)
+	if err != nil {
+		return err
+	}
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		return err
+	}
+	if err := cloudwalker.SaveBinaryGraph(gf, g); err != nil {
+		gf.Close()
+		return err
+	}
+	if err := gf.Close(); err != nil {
+		return err
+	}
+	xf, err := os.Create(indexPath)
+	if err != nil {
+		return err
+	}
+	if err := cloudwalker.SaveIndex(xf, idx); err != nil {
+		xf.Close()
+		return err
+	}
+	return xf.Close()
+}

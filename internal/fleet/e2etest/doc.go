@@ -1,0 +1,11 @@
+// Package e2etest exercises the cloudwalkerd fleet at the process level:
+// it builds the real binary, launches a router and N shard daemons as
+// child processes on ephemeral ports, and drives them through the
+// failure modes that matter in production — kill -9 mid-traffic, rolling
+// refreshes, restarts onto the same port. The in-process fleet tests
+// (internal/fleet) prove the routing logic; this package proves the
+// deployed artifact: flags, stdout contract, signal handling, and real
+// TCP between real processes. Everything lives in _test.go files; set
+// CLOUDWALKER_E2E_SKIP to skip the suite on machines that cannot exec
+// child processes.
+package e2etest

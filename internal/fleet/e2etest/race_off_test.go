@@ -1,0 +1,7 @@
+//go:build !race
+
+package e2etest
+
+// raceEnabled mirrors whether this test binary was built with -race, so
+// the child daemons the harness builds get the same instrumentation.
+const raceEnabled = false

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cloudwalker/internal/server"
+)
+
+// Background health probing. Requests already mark a shard down when a
+// transport error hits it (see Router.do); the prober is what marks it
+// back UP after a restart, and keeps the /healthz fleet view fresh even
+// when no traffic is flowing.
+
+func (rt *Router) probeLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	rt.probeOnce() // prime the fleet view before the first tick
+	for {
+		select {
+		case <-rt.stopc:
+			return
+		case <-t.C:
+			rt.probeOnce()
+		}
+	}
+}
+
+// probeOnce probes every shard's /healthz concurrently, updating up/gen.
+func (rt *Router) probeOnce() {
+	_, states := rt.membership()
+	var wg sync.WaitGroup
+	for _, sh := range states {
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			rt.probeShard(sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probeShard(sh *shardState) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.attemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+"/healthz", nil)
+	if err != nil {
+		sh.up.Store(false)
+		return
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		sh.up.Store(false)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		sh.up.Store(false)
+		return
+	}
+	if g := resp.Header.Get(server.GenHeader); g != "" {
+		if v, perr := strconv.ParseUint(g, 10, 64); perr == nil {
+			sh.gen.Store(v)
+		}
+	}
+	sh.up.Store(true)
+}

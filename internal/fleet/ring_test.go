@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// ringMembers builds n shard-style member addresses.
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("127.0.0.1:%d", 7000+i)
+	}
+	return out
+}
+
+// ringKeys builds a fixed deterministic key population mixing the two key
+// shapes the router actually hashes.
+func ringKeys(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		out = append(out, PairKey(i, i*7+3))
+		if len(out) < n {
+			out = append(out, NodeKey(i))
+		}
+	}
+	return out
+}
+
+// TestRingBalance is the key-distribution property: with DefaultVnodes
+// virtual points, no member's share of a 20k-key population strays far
+// from the uniform share, for every fleet size 1..8. The population and
+// hash are deterministic, so the bounds are tight-but-safe constants
+// rather than statistical assertions.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 1; n <= 8; n++ {
+		t.Run(strconv.Itoa(n), func(t *testing.T) {
+			r := NewRing(ringMembers(n), 0)
+			load := make(map[string]int, n)
+			for _, k := range keys {
+				load[r.Owner(k)]++
+			}
+			if len(load) != n {
+				t.Fatalf("keys landed on %d members, want %d", len(load), n)
+			}
+			mean := float64(len(keys)) / float64(n)
+			for m, c := range load {
+				ratio := float64(c) / mean
+				if ratio < 0.70 || ratio > 1.30 {
+					t.Errorf("member %s owns %d keys = %.2fx the uniform share (want within [0.70, 1.30])",
+						m, c, ratio)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovementOnJoin is the structural consistent-hashing
+// property: when a member joins, a key either keeps its owner or moves TO
+// the new member — never between two old members — and the moved fraction
+// stays near the uniform 1/(n+1) share.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 1; n <= 8; n++ {
+		t.Run(strconv.Itoa(n), func(t *testing.T) {
+			old := NewRing(ringMembers(n), 0)
+			joined := fmt.Sprintf("127.0.0.1:%d", 7000+n)
+			grown := old.WithMember(joined)
+			moved := 0
+			for _, k := range keys {
+				before, after := old.Owner(k), grown.Owner(k)
+				if before == after {
+					continue
+				}
+				if after != joined {
+					t.Fatalf("key %q moved %s -> %s, but only the joining member %s may gain keys",
+						k, before, after, joined)
+				}
+				moved++
+			}
+			share := float64(len(keys)) / float64(n+1)
+			if f := float64(moved); f > 2.0*share {
+				t.Errorf("join moved %d keys, > 2x the uniform share %.0f", moved, share)
+			}
+			if moved == 0 {
+				t.Error("join moved no keys — new member owns nothing")
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovementOnLeave: when a member leaves, only the keys it
+// owned change owner; every other key keeps its owner bit-for-bit.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 2; n <= 8; n++ {
+		t.Run(strconv.Itoa(n), func(t *testing.T) {
+			old := NewRing(ringMembers(n), 0)
+			leaving := old.Members()[n/2]
+			shrunk := old.WithoutMember(leaving)
+			if shrunk.Len() != n-1 {
+				t.Fatalf("Len() = %d after leave, want %d", shrunk.Len(), n-1)
+			}
+			orphans := 0
+			for _, k := range keys {
+				before, after := old.Owner(k), shrunk.Owner(k)
+				if before == leaving {
+					orphans++
+					if after == leaving {
+						t.Fatalf("key %q still owned by departed member", k)
+					}
+					continue
+				}
+				if before != after {
+					t.Fatalf("key %q moved %s -> %s though its owner never left", k, before, after)
+				}
+			}
+			if orphans == 0 {
+				t.Error("departed member owned no keys")
+			}
+		})
+	}
+}
+
+// TestRingSuccessors: the failover list starts at the owner, covers every
+// member exactly once, and is insensitive to member insertion order.
+func TestRingSuccessors(t *testing.T) {
+	members := ringMembers(5)
+	r := NewRing(members, 0)
+	// Same members, reversed insertion order: identical ring.
+	rev := make([]string, len(members))
+	for i, m := range members {
+		rev[len(members)-1-i] = m
+	}
+	r2 := NewRing(rev, 0)
+	for i := 0; i < 100; i++ {
+		key := NodeKey(i)
+		succ := r.Successors(key)
+		if len(succ) != len(members) {
+			t.Fatalf("Successors(%q) has %d entries, want %d", key, len(succ), len(members))
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("Successors(%q)[0] = %s, Owner = %s", key, succ[0], r.Owner(key))
+		}
+		seen := make(map[string]bool)
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("Successors(%q) repeats %s", key, m)
+			}
+			seen[m] = true
+		}
+		succ2 := r2.Successors(key)
+		for j := range succ {
+			if succ[j] != succ2[j] {
+				t.Fatalf("ring depends on member insertion order: %v vs %v", succ, succ2)
+			}
+		}
+	}
+}
+
+// TestRingEdgeCases: empty ring and single member behave sanely.
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring Owner = %q", got)
+	}
+	if got := empty.Successors("k"); got != nil {
+		t.Fatalf("empty ring Successors = %v", got)
+	}
+	one := NewRing([]string{"a", "a", "a"}, 4)
+	if one.Len() != 1 {
+		t.Fatalf("duplicate members not collapsed: Len = %d", one.Len())
+	}
+	if got := one.Owner("k"); got != "a" {
+		t.Fatalf("single-member Owner = %q", got)
+	}
+	if one.Index("a") != 0 || one.Index("b") != -1 {
+		t.Fatalf("Index lookup broken: %d, %d", one.Index("a"), one.Index("b"))
+	}
+}

@@ -1,0 +1,841 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudwalker/internal/server"
+)
+
+// Mode selects how the router spreads queries over the fleet — the
+// serving-side analogue of the paper's broadcast-vs-RDD deployment
+// choice.
+type Mode int
+
+const (
+	// Replicated treats every shard as a full replica: each query is
+	// routed whole to one consistent-hash owner (cache affinity) and
+	// fails over to the next replica on the ring. The broadcast model:
+	// small-enough graphs, lowest latency, N-way redundancy.
+	Replicated Mode = iota
+	// Partitioned scatter-gathers single-source queries: each shard
+	// computes one partition of the result space (/source with part=i/N)
+	// and the router merges the partial top-k lists — the RDD model's
+	// scatter-gather shape, bounding per-shard result work and cache
+	// footprint as the fleet grows. Point lookups (/pair, /topk) stay
+	// owner-routed in both modes.
+	Partitioned
+)
+
+// ParseMode parses a -mode flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "replicated":
+		return Replicated, nil
+	case "partitioned":
+		return Partitioned, nil
+	default:
+		return 0, fmt.Errorf("fleet: unknown mode %q (want replicated or partitioned)", s)
+	}
+}
+
+func (m Mode) String() string {
+	if m == Partitioned {
+		return "partitioned"
+	}
+	return "replicated"
+}
+
+// Config tunes a Router. Zero values are deployment-ready defaults.
+type Config struct {
+	// Shards is the initial shard list ("host:port" or "http://host:port").
+	// Required, deduplicated; membership can change later via
+	// /fleet/join and /fleet/leave.
+	Shards []string
+	// Mode is the deployment model (default Replicated).
+	Mode Mode
+	// AttemptTimeout bounds one attempt against one shard (default 5s).
+	AttemptTimeout time.Duration
+	// RefreshTimeout bounds one shard's synchronous compaction/reindex
+	// during a rolling refresh (default 120s — index rebuilds dwarf
+	// query latency).
+	RefreshTimeout time.Duration
+	// RetryBackoff is the base sleep between full failover passes
+	// (default 25ms, scaled linearly per pass).
+	RetryBackoff time.Duration
+	// MaxPasses is how many full passes over the replica list a query
+	// makes before giving up (default 3).
+	MaxPasses int
+	// HealthInterval is the background health-probe period (default
+	// 500ms; negative disables probing — shard liveness is then learned
+	// only from request failures).
+	HealthInterval time.Duration
+	// Client overrides the HTTP client (tests). Default: a pooled
+	// transport client.
+	Client *http.Client
+}
+
+// maxShardBody bounds how much of a shard response the router buffers.
+const maxShardBody = 16 << 20
+
+// genPasses bounds the generation-coordination retry loop of a
+// scatter-gather (see scatter.go).
+const genPasses = 8
+
+// shardState is the router's live view of one shard process.
+type shardState struct {
+	addr string // "host:port" — the ring member key
+	base string // "http://host:port"
+	up   atomic.Bool
+	gen  atomic.Uint64 // latest generation seen in a response or probe
+}
+
+// Router is the fleet frontend: an http.Handler exposing the same query
+// surface as a single cloudwalkerd (/pair, /pairs, /source, /topk,
+// /edges, /refresh, /healthz, /stats) over N shard processes, plus
+// /fleet/join and /fleet/leave for membership changes. Create with New,
+// expose with Handler, stop the health prober with Close.
+type Router struct {
+	mode           Mode
+	client         *http.Client
+	attemptTimeout time.Duration
+	refreshTimeout time.Duration
+	retryBackoff   time.Duration
+	maxPasses      int
+
+	mu     sync.RWMutex
+	ring   *Ring
+	shards map[string]*shardState
+
+	mux      *http.ServeMux
+	start    time.Time
+	stopc    chan struct{}
+	stopOnce sync.Once
+
+	requests    atomic.Uint64
+	failovers   atomic.Uint64
+	scatters    atomic.Uint64
+	genRetries  atomic.Uint64
+	badBodies   atomic.Uint64
+	shardErrors atomic.Uint64
+	rollsDone   atomic.Uint64
+}
+
+// New validates cfg, builds the ring, and starts the health prober.
+func New(cfg Config) (*Router, error) {
+	addrs := make([]string, 0, len(cfg.Shards))
+	seen := make(map[string]bool)
+	for _, s := range cfg.Shards {
+		a := normalizeAddr(s)
+		if a == "" {
+			return nil, fmt.Errorf("fleet: empty shard address in %q", cfg.Shards)
+		}
+		if !seen[a] {
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("fleet: router needs at least one shard")
+	}
+	rt := &Router{
+		mode:           cfg.Mode,
+		client:         cfg.Client,
+		attemptTimeout: cfg.AttemptTimeout,
+		refreshTimeout: cfg.RefreshTimeout,
+		retryBackoff:   cfg.RetryBackoff,
+		maxPasses:      cfg.MaxPasses,
+		ring:           NewRing(addrs, 0),
+		shards:         make(map[string]*shardState, len(addrs)),
+		start:          time.Now(),
+		stopc:          make(chan struct{}),
+	}
+	if rt.attemptTimeout <= 0 {
+		rt.attemptTimeout = 5 * time.Second
+	}
+	if rt.refreshTimeout <= 0 {
+		rt.refreshTimeout = 120 * time.Second
+	}
+	if rt.retryBackoff <= 0 {
+		rt.retryBackoff = 25 * time.Millisecond
+	}
+	if rt.maxPasses <= 0 {
+		rt.maxPasses = 3
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	for _, a := range addrs {
+		rt.shards[a] = newShardState(a)
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/pair", rt.handlePair)
+	rt.mux.HandleFunc("/pairs", rt.handlePairs)
+	rt.mux.HandleFunc("/source", rt.handleSource)
+	rt.mux.HandleFunc("/topk", rt.handleTopK)
+	rt.mux.HandleFunc("/edges", rt.handleEdges)
+	rt.mux.HandleFunc("/refresh", rt.handleRefresh)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/stats", rt.handleStats)
+	rt.mux.HandleFunc("/fleet/join", rt.handleJoin)
+	rt.mux.HandleFunc("/fleet/leave", rt.handleLeave)
+	interval := cfg.HealthInterval
+	if interval == 0 {
+		interval = 500 * time.Millisecond
+	}
+	if interval > 0 {
+		go rt.probeLoop(interval)
+	}
+	return rt, nil
+}
+
+func newShardState(addr string) *shardState {
+	sh := &shardState{addr: addr, base: "http://" + addr}
+	sh.up.Store(true) // optimistic until the first probe or failure
+	return sh
+}
+
+// normalizeAddr strips an http:// prefix and trailing slashes so ring
+// membership is keyed by bare host:port.
+func normalizeAddr(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "http://")
+	return strings.TrimRight(s, "/")
+}
+
+// Handler returns the router's http.Handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Mode returns the deployment mode.
+func (rt *Router) Mode() Mode { return rt.mode }
+
+// Close stops the background health prober. Idempotent.
+func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stopc) }) }
+
+// membership returns the current ring and an aligned shard-state slice
+// (index i is ring.Members()[i]).
+func (rt *Router) membership() (*Ring, []*shardState) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	states := make([]*shardState, len(rt.ring.Members()))
+	for i, a := range rt.ring.Members() {
+		states[i] = rt.shards[a]
+	}
+	return rt.ring, states
+}
+
+// replicaOrder returns the shards to try for key: the ring's failover
+// order, healthy shards first (the prober's view may lag — down shards
+// stay in the list as a last resort).
+func (rt *Router) replicaOrder(key string) []*shardState {
+	rt.mu.RLock()
+	succ := rt.ring.Successors(key)
+	order := make([]*shardState, 0, len(succ))
+	var down []*shardState
+	for _, a := range succ {
+		sh := rt.shards[a]
+		if sh.up.Load() {
+			order = append(order, sh)
+		} else {
+			down = append(down, sh)
+		}
+	}
+	rt.mu.RUnlock()
+	return append(order, down...)
+}
+
+// shardReply is one shard's buffered response.
+type shardReply struct {
+	shard     *shardState
+	status    int
+	gen       uint64
+	hasGen    bool
+	shardName string
+	body      []byte
+}
+
+// do performs one attempt against one shard with the per-attempt timeout,
+// buffering the body. Transport errors mark the shard down (the prober
+// marks it back up).
+func (rt *Router) do(ctx context.Context, sh *shardState, method, pathAndQuery string, body []byte, timeout time.Duration) (*shardReply, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, sh.base+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		sh.up.Store(false)
+		return nil, fmt.Errorf("fleet: shard %s: %w", sh.addr, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody+1))
+	if err != nil {
+		sh.up.Store(false)
+		return nil, fmt.Errorf("fleet: shard %s: reading body: %w", sh.addr, err)
+	}
+	if len(b) > maxShardBody {
+		return nil, fmt.Errorf("fleet: shard %s: response exceeds %d bytes", sh.addr, maxShardBody)
+	}
+	rep := &shardReply{shard: sh, status: resp.StatusCode, body: b, shardName: resp.Header.Get(server.ShardHeader)}
+	if g := resp.Header.Get(server.GenHeader); g != "" {
+		if v, perr := strconv.ParseUint(g, 10, 64); perr == nil {
+			rep.gen, rep.hasGen = v, true
+		}
+	}
+	if resp.StatusCode < 500 {
+		sh.up.Store(true)
+		if rep.hasGen {
+			sh.gen.Store(rep.gen)
+		}
+	}
+	return rep, nil
+}
+
+// askReplicas runs a request down key's failover order until a shard
+// produces an authoritative response: a valid 2xx, or any 4xx other than
+// 429 (client errors are the same on every replica; 429 means that shard
+// is shedding load, so the next replica absorbs the spill). Transport
+// errors, 5xx, 429, and bodies that fail validate move on to the next
+// replica; between full passes the router backs off linearly.
+func (rt *Router) askReplicas(ctx context.Context, key, method, pathAndQuery string, body []byte, validate func(*shardReply) error) (*shardReply, error) {
+	order := rt.replicaOrder(key)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("fleet: no shards configured")
+	}
+	var lastErr error
+	for pass := 0; pass < rt.maxPasses; pass++ {
+		if pass > 0 {
+			select {
+			case <-time.After(time.Duration(pass) * rt.retryBackoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		for i, sh := range order {
+			rep, err := rt.do(ctx, sh, method, pathAndQuery, body, rt.attemptTimeout)
+			if err != nil {
+				rt.shardErrors.Add(1)
+				lastErr = err
+				continue
+			}
+			if rep.status >= 500 || rep.status == http.StatusTooManyRequests {
+				rt.shardErrors.Add(1)
+				lastErr = fmt.Errorf("fleet: shard %s: status %d", sh.addr, rep.status)
+				continue
+			}
+			if rep.status == http.StatusOK && validate != nil {
+				if err := validate(rep); err != nil {
+					rt.badBodies.Add(1)
+					lastErr = err
+					continue
+				}
+			}
+			if i > 0 || pass > 0 {
+				rt.failovers.Add(1)
+			}
+			return rep, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// errorBody mirrors the shard's JSON error envelope so clients see one
+// format fleet-wide.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// passthrough relays a shard reply byte-for-byte (keeping answers
+// bit-identical to the shard that computed them), restamping the
+// generation and shard headers.
+func passthrough(w http.ResponseWriter, rep *shardReply) {
+	w.Header().Set("Content-Type", "application/json")
+	if rep.hasGen {
+		w.Header().Set(server.GenHeader, strconv.FormatUint(rep.gen, 10))
+	}
+	if rep.shardName != "" {
+		w.Header().Set(server.ShardHeader, rep.shardName)
+	} else {
+		w.Header().Set(server.ShardHeader, rep.shard.addr)
+	}
+	w.WriteHeader(rep.status)
+	w.Write(rep.body)
+}
+
+// relayError maps an exhausted failover to a client response: a gateway
+// error naming the last failure.
+func relayError(w http.ResponseWriter, err error) {
+	if err == nil {
+		err = fmt.Errorf("fleet: no shard produced a response")
+	}
+	writeError(w, http.StatusBadGateway, "%v", err)
+}
+
+// queryInt parses one required integer query parameter.
+func queryInt(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+func (rt *Router) handlePair(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /pair", r.Method)
+		return
+	}
+	rt.requests.Add(1)
+	i, err := queryInt(r, "i")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := queryInt(r, "j")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ci, cj := i, j
+	if cj < ci {
+		ci, cj = cj, ci
+	}
+	rep, err := rt.askReplicas(r.Context(), PairKey(ci, cj), http.MethodGet,
+		"/pair?i="+strconv.Itoa(i)+"&j="+strconv.Itoa(j), nil,
+		func(rep *shardReply) error { _, derr := decodePairBody(rep.body); return derr })
+	if err != nil {
+		relayError(w, err)
+		return
+	}
+	passthrough(w, rep)
+}
+
+func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /topk", r.Method)
+		return
+	}
+	rt.requests.Add(1)
+	node, err := queryInt(r, "node")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rep, err := rt.askReplicas(r.Context(), NodeKey(node), http.MethodGet,
+		"/topk?"+r.URL.RawQuery, nil, nil)
+	if err != nil {
+		relayError(w, err)
+		return
+	}
+	passthrough(w, rep)
+}
+
+func (rt *Router) handleSource(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /source", r.Method)
+		return
+	}
+	rt.requests.Add(1)
+	node, err := queryInt(r, "node")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "walk"
+	}
+	k := 20
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, "parameter \"k\": %q is not a positive integer", raw)
+			return
+		}
+	}
+	ring, states := rt.membership()
+	if rt.mode == Replicated || ring.Len() == 1 {
+		rep, err := rt.askReplicas(r.Context(), NodeKey(node), http.MethodGet,
+			fmt.Sprintf("/source?node=%d&k=%d&mode=%s", node, k, mode), nil,
+			func(rep *shardReply) error { _, derr := decodeSourceBody(rep.body); return derr })
+		if err != nil {
+			relayError(w, err)
+			return
+		}
+		passthrough(w, rep)
+		return
+	}
+	rt.scatterSource(w, r, ring, states, node, k, mode)
+}
+
+func (rt *Router) handlePairs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /pairs", r.Method)
+		return
+	}
+	rt.requests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxShardBody+1))
+	if err != nil || len(body) > maxShardBody {
+		writeError(w, http.StatusBadRequest, "reading body: oversized or failed")
+		return
+	}
+	var req struct {
+		Pairs [][2]int `json:"pairs"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty pair list")
+		return
+	}
+	// The whole batch goes to ONE shard: a shard pins a single snapshot
+	// for the batch, so the response can never mix generations — the
+	// same guarantee a scatter would need coordination to provide.
+	ci, cj := req.Pairs[0][0], req.Pairs[0][1]
+	if cj < ci {
+		ci, cj = cj, ci
+	}
+	rep, err := rt.askReplicas(r.Context(), PairKey(ci, cj), http.MethodPost, "/pairs", body,
+		func(rep *shardReply) error { _, derr := decodePairsBody(rep.body, len(req.Pairs)); return derr })
+	if err != nil {
+		relayError(w, err)
+		return
+	}
+	passthrough(w, rep)
+}
+
+// edgesFleetResponse is the router's POST /edges reply: the first shard's
+// application report plus how many shards applied the update.
+type edgesFleetResponse struct {
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Gen      uint64 `json:"gen"`
+	Pending  int    `json:"pending"`
+	Nodes    int    `json:"nodes"`
+	Shards   int    `json:"shards"`
+}
+
+// handleEdges fans an edge-update batch out to EVERY shard: replicas must
+// stay bit-identical, so all of them apply the same deltas. Edge updates
+// are idempotent (duplicate inserts and absent deletes are no-ops), so a
+// partial failure is safe to retry verbatim — the router reports which
+// shards failed and the client retries the whole batch.
+func (rt *Router) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /edges", r.Method)
+		return
+	}
+	rt.requests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxShardBody+1))
+	if err != nil || len(body) > maxShardBody {
+		writeError(w, http.StatusBadRequest, "reading body: oversized or failed")
+		return
+	}
+	_, states := rt.membership()
+	type outcome struct {
+		rep *shardReply
+		err error
+	}
+	outcomes := make([]outcome, len(states))
+	var wg sync.WaitGroup
+	for idx, sh := range states {
+		wg.Add(1)
+		go func(idx int, sh *shardState) {
+			defer wg.Done()
+			rep, derr := rt.do(r.Context(), sh, http.MethodPost, "/edges", body, rt.attemptTimeout)
+			if derr == nil && rep.status != http.StatusOK {
+				derr = fmt.Errorf("fleet: shard %s: status %d: %s", sh.addr, rep.status, truncateBody(rep.body))
+			}
+			outcomes[idx] = outcome{rep, derr}
+		}(idx, sh)
+	}
+	wg.Wait()
+	var failed []string
+	for idx, oc := range outcomes {
+		if oc.err != nil {
+			rt.shardErrors.Add(1)
+			failed = append(failed, fmt.Sprintf("%s: %v", states[idx].addr, oc.err))
+		}
+	}
+	if len(failed) > 0 {
+		writeError(w, http.StatusBadGateway,
+			"edge update failed on %d/%d shards (safe to retry verbatim — updates are idempotent): %s",
+			len(failed), len(states), strings.Join(failed, "; "))
+		return
+	}
+	var first struct {
+		Inserted int    `json:"inserted"`
+		Deleted  int    `json:"deleted"`
+		Gen      uint64 `json:"gen"`
+		Pending  int    `json:"pending"`
+		Nodes    int    `json:"nodes"`
+	}
+	if err := json.Unmarshal(outcomes[0].rep.body, &first); err != nil {
+		rt.badBodies.Add(1)
+		writeError(w, http.StatusBadGateway, "bad /edges body from shard %s: %v", states[0].addr, err)
+		return
+	}
+	writeJSON(w, edgesFleetResponse{
+		Inserted: first.Inserted, Deleted: first.Deleted, Gen: first.Gen,
+		Pending: first.Pending, Nodes: first.Nodes, Shards: len(states),
+	})
+}
+
+// refreshFleetResponse is the router's POST /refresh reply: the rolling
+// compaction's outcome per shard, in roll order.
+type refreshFleetResponse struct {
+	Rolled int               `json:"rolled"`
+	Gen    uint64            `json:"gen"`
+	Shards map[string]uint64 `json:"shards"`
+}
+
+// handleRefresh rolls a compaction/hot-swap across the fleet ONE SHARD AT
+// A TIME (each POST /refresh?wait=1 blocks until that shard swapped).
+// During the roll, shards disagree on generation; scatter-gather's
+// generation coordination keeps client answers pure, and when the roll
+// completes every shard serves the new generation. Sequential rolling
+// also means N-1 shards always carry traffic at full capacity.
+func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /refresh", r.Method)
+		return
+	}
+	rt.requests.Add(1)
+	_, states := rt.membership()
+	resp := refreshFleetResponse{Shards: make(map[string]uint64, len(states))}
+	for _, sh := range states {
+		rep, err := rt.do(r.Context(), sh, http.MethodPost, "/refresh?wait=1", nil, rt.refreshTimeout)
+		if err == nil && rep.status != http.StatusOK {
+			err = fmt.Errorf("status %d: %s", rep.status, truncateBody(rep.body))
+		}
+		if err != nil {
+			rt.shardErrors.Add(1)
+			writeError(w, http.StatusBadGateway,
+				"rolling refresh stopped at shard %s after %d/%d shards (re-POST to resume; refresh is idempotent): %v",
+				sh.addr, resp.Rolled, len(states), err)
+			return
+		}
+		var rr struct {
+			Gen uint64 `json:"gen"`
+		}
+		if err := json.Unmarshal(rep.body, &rr); err != nil {
+			rt.badBodies.Add(1)
+			writeError(w, http.StatusBadGateway, "bad /refresh body from shard %s: %v", sh.addr, err)
+			return
+		}
+		resp.Rolled++
+		resp.Gen = rr.Gen
+		resp.Shards[sh.addr] = rr.Gen
+		sh.gen.Store(rr.Gen)
+	}
+	rt.rollsDone.Add(1)
+	writeJSON(w, resp)
+}
+
+// shardHealth is one shard's row in the router's /healthz and /stats.
+type shardHealth struct {
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	Gen  uint64 `json:"gen"`
+}
+
+// routerHealthz is the router's /healthz payload.
+type routerHealthz struct {
+	Status string        `json:"status"`
+	Mode   string        `json:"mode"`
+	Shards []shardHealth `json:"shards"`
+}
+
+func (rt *Router) shardHealths() []shardHealth {
+	_, states := rt.membership()
+	out := make([]shardHealth, len(states))
+	for i, sh := range states {
+		out[i] = shardHealth{Addr: sh.addr, Up: sh.up.Load(), Gen: sh.gen.Load()}
+	}
+	return out
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hs := rt.shardHealths()
+	up := 0
+	for _, h := range hs {
+		if h.Up {
+			up++
+		}
+	}
+	resp := routerHealthz{Status: "ok", Mode: rt.mode.String(), Shards: hs}
+	status := http.StatusOK
+	switch {
+	case up == 0:
+		resp.Status = "down"
+		status = http.StatusServiceUnavailable
+	case up < len(hs):
+		resp.Status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// Stats is the router's /stats payload.
+type Stats struct {
+	Mode              string        `json:"mode"`
+	UptimeSeconds     float64       `json:"uptime_seconds"`
+	Requests          uint64        `json:"requests"`
+	Failovers         uint64        `json:"failovers"`
+	Scatters          uint64        `json:"scatters"`
+	GenRetries        uint64        `json:"gen_retries"`
+	BadShardResponses uint64        `json:"bad_shard_responses"`
+	ShardErrors       uint64        `json:"shard_errors"`
+	RollingRefreshes  uint64        `json:"rolling_refreshes"`
+	Shards            []shardHealth `json:"shards"`
+}
+
+// StatsSnapshot returns the current routing counters (what /stats serves).
+func (rt *Router) StatsSnapshot() Stats {
+	return Stats{
+		Mode:              rt.mode.String(),
+		UptimeSeconds:     time.Since(rt.start).Seconds(),
+		Requests:          rt.requests.Load(),
+		Failovers:         rt.failovers.Load(),
+		Scatters:          rt.scatters.Load(),
+		GenRetries:        rt.genRetries.Load(),
+		BadShardResponses: rt.badBodies.Load(),
+		ShardErrors:       rt.shardErrors.Load(),
+		RollingRefreshes:  rt.rollsDone.Load(),
+		Shards:            rt.shardHealths(),
+	}
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, rt.StatsSnapshot())
+}
+
+// joinRequest is the /fleet/join and /fleet/leave body.
+type joinRequest struct {
+	Addr string `json:"addr"`
+}
+
+// handleJoin registers a shard with the ring at runtime. The consistent
+// ring moves only ~1/(N+1) of the key space to the newcomer (pinned by
+// the ring property tests), so caches on existing shards stay warm.
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	addr, ok := rt.memberRequest(w, r)
+	if !ok {
+		return
+	}
+	rt.mu.Lock()
+	if rt.ring.Index(addr) >= 0 {
+		rt.mu.Unlock()
+		writeError(w, http.StatusConflict, "shard %s already registered", addr)
+		return
+	}
+	rt.ring = rt.ring.WithMember(addr)
+	rt.shards[addr] = newShardState(addr)
+	rt.mu.Unlock()
+	writeJSON(w, routerHealthz{Status: "ok", Mode: rt.mode.String(), Shards: rt.shardHealths()})
+}
+
+// handleLeave deregisters a shard (planned drain or permanent removal).
+func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
+	addr, ok := rt.memberRequest(w, r)
+	if !ok {
+		return
+	}
+	rt.mu.Lock()
+	if rt.ring.Index(addr) < 0 {
+		rt.mu.Unlock()
+		writeError(w, http.StatusNotFound, "shard %s not registered", addr)
+		return
+	}
+	if rt.ring.Len() == 1 {
+		rt.mu.Unlock()
+		writeError(w, http.StatusConflict, "cannot remove the last shard")
+		return
+	}
+	rt.ring = rt.ring.WithoutMember(addr)
+	delete(rt.shards, addr)
+	rt.mu.Unlock()
+	writeJSON(w, routerHealthz{Status: "ok", Mode: rt.mode.String(), Shards: rt.shardHealths()})
+}
+
+// memberRequest parses a join/leave request.
+func (rt *Router) memberRequest(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return "", false
+	}
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return "", false
+	}
+	addr := normalizeAddr(req.Addr)
+	if addr == "" {
+		writeError(w, http.StatusBadRequest, "missing shard addr")
+		return "", false
+	}
+	return addr, true
+}
+
+// truncateBody clips a shard body for error messages.
+func truncateBody(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// sortNeighborWires orders merged scatter results the way a single shard
+// orders its own top-k: score descending, ties broken toward the lower
+// node id — core.TopKNeighbors's selection order, which is what makes a
+// merged answer bit-identical to a single-node one.
+func sortNeighborWires(ns []neighborWire) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Score != ns[j].Score {
+			return ns[i].Score > ns[j].Score
+		}
+		return ns[i].Node < ns[j].Node
+	})
+}

@@ -1,0 +1,472 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/server"
+)
+
+// The in-process fleet suite: real server.Server shards behind httptest
+// listeners prove the router's answers are bit-identical to a single
+// node's; scripted fake shards isolate the failure paths (generation
+// coordination, malformed bodies) that real shards can't produce on
+// demand. Process-level coverage (kill -9, rolling restarts) lives in
+// the e2etest package.
+
+var (
+	fqOnce sync.Once
+	fq     *core.Querier
+)
+
+func fleetQuerier(t *testing.T) *core.Querier {
+	t.Helper()
+	fqOnce.Do(func() {
+		g, err := gen.RMAT(200, 1600, gen.DefaultRMAT, 7)
+		if err != nil {
+			panic(err)
+		}
+		opts := core.DefaultOptions()
+		opts.T = 4
+		opts.R = 30
+		opts.RPrime = 200
+		idx, _, err := core.BuildIndex(g, opts)
+		if err != nil {
+			panic(err)
+		}
+		fq, err = core.NewQuerier(g, idx)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fq
+}
+
+// newShard spins up a real single-node server as one fleet shard.
+func newShard(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(fleetQuerier(t), server.Config{ShardName: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newFleet builds a router over the given shard base URLs and serves it.
+func newFleet(t *testing.T, mode Mode, urls ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(Config{
+		Shards:         urls,
+		Mode:           mode,
+		AttemptTimeout: 5 * time.Second,
+		RetryBackoff:   time.Millisecond,
+		MaxPasses:      3,
+		HealthInterval: -1, // deterministic tests drive liveness through traffic
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d; body %s", path, resp.StatusCode, wantStatus, body)
+	}
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("GET %s: decoding %s: %v", path, body, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d; body %s", path, resp.StatusCode, wantStatus, b)
+	}
+	if v != nil {
+		if err := json.Unmarshal(b, v); err != nil {
+			t.Fatalf("POST %s: decoding %s: %v", path, b, err)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for s, want := range map[string]Mode{"replicated": Replicated, "partitioned": Partitioned} {
+		got, err := ParseMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseMode("sharded"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+}
+
+// TestRouterPairBitIdentical: a routed /pair answer equals a single
+// node's answer bit-for-bit, for every pair tried, and carries the
+// generation and shard headers.
+func TestRouterPairBitIdentical(t *testing.T) {
+	single := newShard(t, "")
+	a, b, c := newShard(t, "a"), newShard(t, "b"), newShard(t, "c")
+	_, fts := newFleet(t, Replicated, a.URL, b.URL, c.URL)
+
+	for _, pair := range [][2]int{{1, 2}, {10, 11}, {33, 7}, {5, 5}, {0, 199}} {
+		path := fmt.Sprintf("/pair?i=%d&j=%d", pair[0], pair[1])
+		var want, got pairBody
+		getJSON(t, single, path, http.StatusOK, &want)
+		getJSON(t, fts, path, http.StatusOK, &got)
+		if got.Score != want.Score {
+			t.Fatalf("%s: fleet score %v != single-node score %v", path, got.Score, want.Score)
+		}
+	}
+	resp, err := fts.Client().Get(fts.URL + "/pair?i=1&j=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(server.GenHeader) != "0" {
+		t.Fatalf("routed response %s = %q, want \"0\"", server.GenHeader, resp.Header.Get(server.GenHeader))
+	}
+	if got := resp.Header.Get(server.ShardHeader); got != "a" && got != "b" && got != "c" {
+		t.Fatalf("routed response %s = %q, want a shard name", server.ShardHeader, got)
+	}
+}
+
+// TestRouterSourceBitIdentical: in BOTH modes, a routed /source answer
+// (owner-routed or scatter-gathered from per-shard partitions) is
+// bit-identical to the single-node answer.
+func TestRouterSourceBitIdentical(t *testing.T) {
+	single := newShard(t, "")
+	a, b, c := newShard(t, "a"), newShard(t, "b"), newShard(t, "c")
+	for _, mode := range []Mode{Replicated, Partitioned} {
+		rt, fts := newFleet(t, mode, a.URL, b.URL, c.URL)
+		for _, node := range []int{3, 42, 180} {
+			path := fmt.Sprintf("/source?node=%d&k=12", node)
+			var want, got sourceBody
+			getJSON(t, single, path, http.StatusOK, &want)
+			getJSON(t, fts, path, http.StatusOK, &got)
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("mode=%v %s: fleet returned %d results, single node %d",
+					mode, path, len(got.Results), len(want.Results))
+			}
+			for i := range got.Results {
+				if got.Results[i] != want.Results[i] {
+					t.Fatalf("mode=%v %s result %d: fleet %+v != single node %+v",
+						mode, path, i, got.Results[i], want.Results[i])
+				}
+			}
+		}
+		if mode == Partitioned && rt.StatsSnapshot().Scatters == 0 {
+			t.Fatal("partitioned mode answered /source without scattering")
+		}
+	}
+}
+
+// TestRouterPairsBatch: a routed batch goes to one shard whole and
+// matches single-node scores.
+func TestRouterPairsBatch(t *testing.T) {
+	single := newShard(t, "")
+	a, b := newShard(t, "a"), newShard(t, "b")
+	_, fts := newFleet(t, Replicated, a.URL, b.URL)
+	const body = `{"pairs":[[1,2],[3,4],[9,9],[150,6]]}`
+	var want, got pairsBody
+	postJSON(t, single, "/pairs", body, http.StatusOK, &want)
+	postJSON(t, fts, "/pairs", body, http.StatusOK, &got)
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("fleet returned %d scores, want %d", len(got.Scores), len(want.Scores))
+	}
+	for i := range got.Scores {
+		if got.Scores[i] != want.Scores[i] {
+			t.Fatalf("score %d: fleet %v != single node %v", i, got.Scores[i], want.Scores[i])
+		}
+	}
+}
+
+// TestRouterFailover: killing a shard mid-fleet produces zero
+// client-visible errors — every query lands on a surviving replica.
+func TestRouterFailover(t *testing.T) {
+	a, b, c := newShard(t, "a"), newShard(t, "b"), newShard(t, "c")
+	rt, fts := newFleet(t, Replicated, a.URL, b.URL, c.URL)
+	b.Close() // hard kill: connections now refused
+
+	for i := 0; i < 40; i++ {
+		var pb pairBody
+		getJSON(t, fts, fmt.Sprintf("/pair?i=%d&j=%d", i, i+40), http.StatusOK, &pb)
+	}
+	var sb sourceBody
+	getJSON(t, fts, "/source?node=17&k=8", http.StatusOK, &sb)
+
+	st := rt.StatsSnapshot()
+	if st.Failovers == 0 {
+		t.Fatal("40 pair queries over a 3-shard ring with one dead shard never failed over")
+	}
+	// The dead shard is marked down after the first refused connection.
+	var hz routerHealthz
+	getJSON(t, fts, "/healthz", http.StatusOK, &hz)
+	down := 0
+	for _, sh := range hz.Shards {
+		if !sh.Up {
+			down++
+		}
+	}
+	if down != 1 || hz.Status != "degraded" {
+		t.Fatalf("healthz after kill: status=%q down=%d, want degraded with 1 down", hz.Status, down)
+	}
+}
+
+// TestRouterBadRequests: router-side validation rejects garbage before
+// any shard is bothered; shard-side 4xxs relay through verbatim.
+func TestRouterBadRequests(t *testing.T) {
+	a := newShard(t, "a")
+	_, fts := newFleet(t, Replicated, a.URL)
+	for _, path := range []string{"/pair?i=x&j=2", "/pair?i=1", "/source?node=", "/source?node=1&k=-2", "/topk?node=zz"} {
+		var e errorBody
+		getJSON(t, fts, path, http.StatusBadRequest, &e)
+		if e.Error == "" {
+			t.Fatalf("GET %s: empty error body", path)
+		}
+	}
+	// Out-of-range node: the shard's authoritative 400 passes through.
+	var e errorBody
+	getJSON(t, fts, "/pair?i=1&j=99999", http.StatusBadRequest, &e)
+	if e.Error == "" {
+		t.Fatal("shard 400 lost its error body in relay")
+	}
+	postJSON(t, fts, "/pairs", `{"pairs":[]}`, http.StatusBadRequest, nil)
+	postJSON(t, fts, "/pairs", `{nope`, http.StatusBadRequest, nil)
+}
+
+// fakeShard is a scripted shard for failure paths real shards can't
+// produce on demand: it serves /source partials whose generation and
+// payload come from an atomic, and arbitrary bytes on /pair.
+type fakeShard struct {
+	ts   *httptest.Server
+	gen  atomic.Uint64
+	bump atomic.Bool            // when set, every /source response advances the gen
+	pair atomic.Pointer[string] // nil → 404; else raw /pair body
+}
+
+func newFakeShard(t *testing.T) *fakeShard {
+	t.Helper()
+	f := &fakeShard{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/source", func(w http.ResponseWriter, r *http.Request) {
+		g := f.gen.Load()
+		if f.bump.Load() {
+			g = f.gen.Add(1)
+		}
+		part := 0
+		if p := r.URL.Query().Get("part"); p != "" {
+			part, _ = strconv.Atoi(strings.SplitN(p, "/", 2)[0])
+		}
+		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		if k <= 0 {
+			k = 20
+		}
+		// One deterministic result per partition; the score encodes
+		// (part, gen) so a torn merge is detectable.
+		body := sourceBody{
+			Node: 0, Mode: "walk", K: k, Gen: g,
+			Results: []neighborWire{{Node: int32(part), Score: 0.1*float64(part+1) + 0.05*float64(g)}},
+		}
+		w.Header().Set(server.GenHeader, strconv.FormatUint(g, 10))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("/pair", func(w http.ResponseWriter, r *http.Request) {
+		if s := f.pair.Load(); s != nil {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, *s)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.GenHeader, strconv.FormatUint(f.gen.Load(), 10))
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// TestScatterGenerationCoordination: when one shard lags a generation
+// behind (mid rolling refresh), the scatter re-fetches its partition
+// from a shard already at the target generation — the response is pure
+// max-gen, never a mixture.
+func TestScatterGenerationCoordination(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t), newFakeShard(t), newFakeShard(t)}
+	lag := shards[0]
+	lag.gen.Store(1)
+	shards[1].gen.Store(2)
+	shards[2].gen.Store(2)
+	rt, fts := newFleet(t, Partitioned, shards[0].ts.URL, shards[1].ts.URL, shards[2].ts.URL)
+
+	var got sourceBody
+	getJSON(t, fts, "/source?node=0&k=10", http.StatusOK, &got)
+	if got.Gen != 2 {
+		t.Fatalf("scatter answered at gen %d, want the max gen 2", got.Gen)
+	}
+	if len(got.Results) != 3 {
+		t.Fatalf("scatter merged %d partials, want 3", len(got.Results))
+	}
+	for _, nb := range got.Results {
+		want := 0.1*float64(nb.Node+1) + 0.05*2
+		if nb.Score != want {
+			t.Fatalf("node %d scored %v — a gen-1 partial leaked into a gen-2 answer (want %v)",
+				nb.Node, nb.Score, want)
+		}
+	}
+	if rt.StatsSnapshot().GenRetries == 0 {
+		t.Fatal("a lagging shard produced no generation retries")
+	}
+}
+
+// TestScatterAllLaggedDiverged: if the fleet's generations never settle
+// (shards racing ahead on every response — an update storm), the scatter
+// answers 503 (retry) after bounded passes rather than a torn response.
+func TestScatterAllLaggedDiverged(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	a.gen.Store(0)
+	b.gen.Store(100) // far apart so their climbing gens never collide
+	a.bump.Store(true)
+	b.bump.Store(true)
+	rt, err := New(Config{
+		Shards: []string{a.ts.URL, b.ts.URL}, Mode: Partitioned,
+		AttemptTimeout: 2 * time.Second, RetryBackoff: time.Millisecond,
+		MaxPasses: 1, HealthInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	fts := httptest.NewServer(rt.Handler())
+	t.Cleanup(fts.Close)
+	var e errorBody
+	getJSON(t, fts, "/source?node=0&k=10", http.StatusServiceUnavailable, &e)
+	if !strings.Contains(e.Error, "generations diverged") {
+		t.Fatalf("divergence error = %q", e.Error)
+	}
+}
+
+// TestRouterMalformedShardBody: garbage from every replica becomes a
+// clean 502 — never a relayed corrupt body, never a panic.
+func TestRouterMalformedShardBody(t *testing.T) {
+	f := newFakeShard(t)
+	for _, garbage := range []string{`{"score": 1e9}`, `{"score": -3}`, `{trunc`, ``, `[]`, `{"score":"x"}`} {
+		g := garbage
+		f.pair.Store(&g)
+		rt, err := New(Config{
+			Shards: []string{f.ts.URL}, AttemptTimeout: 2 * time.Second,
+			RetryBackoff: time.Millisecond, MaxPasses: 1, HealthInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fts := httptest.NewServer(rt.Handler())
+		var e errorBody
+		getJSON(t, fts, "/pair?i=1&j=2", http.StatusBadGateway, &e)
+		if garbage != `[]` && rt.StatsSnapshot().BadShardResponses == 0 && rt.StatsSnapshot().ShardErrors == 0 {
+			t.Fatalf("garbage %q produced no bad-response counter", garbage)
+		}
+		fts.Close()
+		rt.Close()
+	}
+}
+
+// TestRouterJoinLeave: runtime membership changes reshape the ring and
+// keep serving; the last shard cannot be removed.
+func TestRouterJoinLeave(t *testing.T) {
+	a, b, c := newShard(t, "a"), newShard(t, "b"), newShard(t, "c")
+	_, fts := newFleet(t, Replicated, a.URL, b.URL)
+
+	var hz routerHealthz
+	getJSON(t, fts, "/healthz", http.StatusOK, &hz)
+	if len(hz.Shards) != 2 {
+		t.Fatalf("initial fleet has %d shards, want 2", len(hz.Shards))
+	}
+	postJSON(t, fts, "/fleet/join", fmt.Sprintf(`{"addr":%q}`, c.URL), http.StatusOK, &hz)
+	if len(hz.Shards) != 3 {
+		t.Fatalf("after join: %d shards, want 3", len(hz.Shards))
+	}
+	postJSON(t, fts, "/fleet/join", fmt.Sprintf(`{"addr":%q}`, c.URL), http.StatusConflict, nil)
+	var pb pairBody
+	getJSON(t, fts, "/pair?i=1&j=2", http.StatusOK, &pb)
+
+	postJSON(t, fts, "/fleet/leave", fmt.Sprintf(`{"addr":%q}`, c.URL), http.StatusOK, &hz)
+	if len(hz.Shards) != 2 {
+		t.Fatalf("after leave: %d shards, want 2", len(hz.Shards))
+	}
+	postJSON(t, fts, "/fleet/leave", fmt.Sprintf(`{"addr":%q}`, c.URL), http.StatusNotFound, nil)
+	postJSON(t, fts, "/fleet/leave", fmt.Sprintf(`{"addr":%q}`, a.URL), http.StatusOK, nil)
+	postJSON(t, fts, "/fleet/leave", fmt.Sprintf(`{"addr":%q}`, b.URL), http.StatusConflict, nil)
+	getJSON(t, fts, "/pair?i=1&j=2", http.StatusOK, &pb)
+}
+
+// TestRouterHealthProber: the background prober marks a killed shard
+// down and a restarted one back up without any client traffic.
+func TestRouterHealthProber(t *testing.T) {
+	a, b := newShard(t, "a"), newShard(t, "b")
+	rt, err := New(Config{
+		Shards: []string{a.URL, b.URL}, AttemptTimeout: time.Second,
+		RetryBackoff: time.Millisecond, HealthInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	b.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		down := 0
+		for _, sh := range rt.shardHealths() {
+			if !sh.Up {
+				down++
+			}
+		}
+		if down == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never marked the killed shard down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"cloudwalker/internal/server"
+)
+
+// Partitioned-mode scatter-gather for /source.
+//
+// Every shard holds the full graph and index, so any shard can compute
+// any partition of a single-source answer: the router asks N shards for
+// /source?part=i/N (each filters the deterministic full score vector to
+// its partition of the RESULT space before top-k selection), then merges
+// the partial top-k lists with the same total order core.TopKNeighbors
+// selects under. Because the global top-k is a subset of the union of
+// partition top-ks, the merged answer is bit-identical to a single-node
+// one — pinned by server.TestSourcePartMergeBitIdentical and the fleet
+// e2e suite.
+//
+// Generation coordination: a scatter must never mix graph snapshots. All
+// partials have to report one generation; on a mismatch (a rolling
+// refresh is in flight) the router targets the MAXIMUM generation seen
+// and re-fetches the outlier partitions from any shard already at the
+// target — any shard can compute any part, so the newest shards cover
+// for the laggards. Bounded retries, then 503 so the client retries
+// rather than receiving a torn answer.
+
+// httpError carries an authoritative shard response (a non-429 4xx)
+// through the scatter machinery so the router can relay it verbatim.
+type httpError struct {
+	status int
+	body   []byte
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("shard status %d: %s", e.status, truncateBody(e.body))
+}
+
+// partResult is the outcome of fetching one partition.
+type partResult struct {
+	sb      *sourceBody
+	maxSeen uint64 // highest generation observed while trying, even on failure
+	err     error
+}
+
+func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ring, states []*shardState, node, k int, mode string) {
+	rt.scatters.Add(1)
+	n := len(states)
+
+	// fetchPart fetches partition p, preferring shard p (spreads the
+	// scatter one partition per shard) and failing over around the fleet.
+	// wantGen, when non-nil, rejects bodies at any other generation.
+	fetchPart := func(ctx context.Context, p int, wantGen *uint64) partResult {
+		path := fmt.Sprintf("/source?node=%d&k=%d&mode=%s&part=%d/%d",
+			node, k, url.QueryEscape(mode), p, n)
+		order := make([]*shardState, 0, n)
+		var down []*shardState
+		for off := 0; off < n; off++ {
+			sh := states[(p+off)%n]
+			if sh.up.Load() {
+				order = append(order, sh)
+			} else {
+				down = append(down, sh)
+			}
+		}
+		order = append(order, down...)
+		var res partResult
+		for pass := 0; pass < rt.maxPasses; pass++ {
+			if pass > 0 {
+				select {
+				case <-time.After(time.Duration(pass) * rt.retryBackoff):
+				case <-ctx.Done():
+					res.err = ctx.Err()
+					return res
+				}
+			}
+			for _, sh := range order {
+				rep, err := rt.do(ctx, sh, http.MethodGet, path, nil, rt.attemptTimeout)
+				if err != nil {
+					rt.shardErrors.Add(1)
+					res.err = err
+					continue
+				}
+				if rep.status >= 500 || rep.status == http.StatusTooManyRequests {
+					rt.shardErrors.Add(1)
+					res.err = fmt.Errorf("fleet: shard %s: status %d", sh.addr, rep.status)
+					continue
+				}
+				if rep.status != http.StatusOK {
+					res.err = &httpError{status: rep.status, body: rep.body}
+					return res // authoritative client error: same on every replica
+				}
+				sb, derr := decodeSourceBody(rep.body)
+				if derr != nil {
+					rt.badBodies.Add(1)
+					res.err = derr
+					continue
+				}
+				if sb.Gen > res.maxSeen {
+					res.maxSeen = sb.Gen
+				}
+				if wantGen != nil && sb.Gen != *wantGen {
+					// This shard hasn't swapped to the target snapshot yet
+					// (or has already moved past it) — another replica may
+					// be there.
+					rt.genRetries.Add(1)
+					res.err = fmt.Errorf("fleet: shard %s at gen %d, want %d", sh.addr, sb.Gen, *wantGen)
+					continue
+				}
+				res.sb, res.err = sb, nil
+				return res
+			}
+		}
+		return res
+	}
+
+	// runParts fetches the listed partitions concurrently.
+	runParts := func(parts []int, wantGen *uint64) map[int]partResult {
+		out := make([]partResult, len(parts))
+		var wg sync.WaitGroup
+		for idx, p := range parts {
+			wg.Add(1)
+			go func(idx, p int) {
+				defer wg.Done()
+				out[idx] = fetchPart(r.Context(), p, wantGen)
+			}(idx, p)
+		}
+		wg.Wait()
+		m := make(map[int]partResult, len(parts))
+		for idx, p := range parts {
+			m[p] = out[idx]
+		}
+		return m
+	}
+
+	partials := make([]*sourceBody, n)
+	all := make([]int, n)
+	for p := range all {
+		all[p] = p
+	}
+	for p, res := range runParts(all, nil) {
+		if res.err != nil {
+			rt.relayScatterError(w, res.err)
+			return
+		}
+		partials[p] = res.sb
+	}
+
+	// Generation coordination: converge every partial onto the maximum
+	// generation seen so far. maxSeen from failed attempts also raises the
+	// target, so a shard swapping forward mid-loop pulls the whole scatter
+	// forward with it.
+	for iter := 0; ; iter++ {
+		target := uint64(0)
+		for _, sb := range partials {
+			if sb.Gen > target {
+				target = sb.Gen
+			}
+		}
+		var outliers []int
+		for p, sb := range partials {
+			if sb.Gen != target {
+				outliers = append(outliers, p)
+			}
+		}
+		if len(outliers) == 0 {
+			break
+		}
+		if iter >= genPasses {
+			writeError(w, http.StatusServiceUnavailable,
+				"fleet generations diverged during a rolling refresh (target gen %d, %d partitions behind after %d passes); retry",
+				target, len(outliers), genPasses)
+			return
+		}
+		raised := false
+		for p, res := range runParts(outliers, &target) {
+			if res.maxSeen > target {
+				raised = true // a shard moved past target; recompute next pass
+			}
+			if res.err != nil {
+				if res.maxSeen <= target && !raised {
+					rt.relayScatterError(w, res.err)
+					return
+				}
+				continue
+			}
+			partials[p] = res.sb
+		}
+		if raised {
+			// Let laggards catch up before re-targeting the higher gen.
+			select {
+			case <-time.After(rt.retryBackoff):
+			case <-r.Context().Done():
+				writeError(w, http.StatusServiceUnavailable, "request cancelled during generation coordination")
+				return
+			}
+		}
+	}
+
+	merged := make([]neighborWire, 0, k)
+	for _, sb := range partials {
+		merged = append(merged, sb.Results...)
+	}
+	sortNeighborWires(merged)
+	kEff := partials[0].K
+	if len(merged) > kEff {
+		merged = merged[:kEff]
+	}
+	resp := sourceBody{
+		Node:    node,
+		Mode:    partials[0].Mode,
+		K:       kEff,
+		Gen:     partials[0].Gen,
+		Results: merged,
+	}
+	w.Header().Set(server.GenHeader, strconv.FormatUint(resp.Gen, 10))
+	writeJSON(w, resp)
+}
+
+// relayScatterError maps a partition-fetch failure to the client: shard
+// 4xxs pass through verbatim (the same client error on every replica),
+// everything else is a gateway failure.
+func (rt *Router) relayScatterError(w http.ResponseWriter, err error) {
+	if he, ok := err.(*httpError); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(he.status)
+		w.Write(he.body)
+		return
+	}
+	relayError(w, err)
+}

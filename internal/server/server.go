@@ -31,12 +31,14 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"cloudwalker/internal/core"
 	"cloudwalker/internal/graph"
 	"cloudwalker/internal/simstore"
+	"cloudwalker/internal/sparse"
 )
 
 // Config tunes a Server around a core.Querier (passed to New). Zero
@@ -65,6 +67,11 @@ type Config struct {
 	// and cost CPU, so operators opt in per deployment (cloudwalkerd
 	// -pprof).
 	EnablePprof bool
+	// ShardName, when set, is stamped on every response as the
+	// X-Cloudwalker-Shard header. Fleet deployments (internal/fleet) name
+	// their shards so routing, failover, and e2e tests can prove which
+	// process actually served an answer.
+	ShardName string
 
 	// Dynamic enables the mutable-graph serving path: POST /edges applies
 	// incremental edge updates to this overlay, and a background
@@ -91,6 +98,22 @@ const (
 	DefaultMaxBatch    = 1024
 	defaultTopK        = 20
 	maxTopK            = 1000
+	// maxParts bounds the N of a part=i/N partition parameter; a fleet
+	// larger than this would return result sets too small to merge
+	// meaningfully anyway.
+	maxParts = 1024
+)
+
+// Response headers of the shard/fleet protocol.
+const (
+	// GenHeader carries the graph generation a response was computed
+	// against. The fleet router reads it to coordinate scatter-gathers
+	// (a merged response must be single-generation) without parsing
+	// bodies.
+	GenHeader = "X-Cloudwalker-Gen"
+	// ShardHeader carries Config.ShardName, identifying which process
+	// served a response.
+	ShardHeader = "X-Cloudwalker-Shard"
 )
 
 // Server is the HTTP serving tier. Create with New, expose with Handler.
@@ -105,10 +128,11 @@ type Server struct {
 	refreshAfter int
 	refreshMu    chan struct{} // 1-slot semaphore serializing refreshes
 
-	flight   flightGroup
-	gate     chan struct{} // nil when admission control is disabled
-	maxBatch int
-	start    time.Time
+	flight    flightGroup
+	gate      chan struct{} // nil when admission control is disabled
+	maxBatch  int
+	shardName string
+	start     time.Time
 
 	inFlight  atomic.Int64
 	shed      atomic.Uint64
@@ -141,6 +165,7 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		refreshAfter: cfg.RefreshAfter,
 		refreshMu:    make(chan struct{}, 1),
 		maxBatch:     cfg.MaxBatch,
+		shardName:    cfg.ShardName,
 		start:        time.Now(),
 		latency:      make(map[string]*latencyRecorder),
 	}
@@ -207,8 +232,23 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 }
 
 // Handler returns the root http.Handler (mountable under httptest or an
-// http.Server).
-func (s *Server) Handler() http.Handler { return s.mux }
+// http.Server). With Config.ShardName set, every response carries the
+// shard's name in ShardHeader.
+func (s *Server) Handler() http.Handler {
+	if s.shardName == "" {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ShardHeader, s.shardName)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// setGen stamps the generation header on a response. It must run before
+// the body is written (headers flush on the first write).
+func setGen(w http.ResponseWriter, gen uint64) {
+	w.Header().Set(GenHeader, strconv.FormatUint(gen, 10))
+}
 
 // gated wraps a query handler with method filtering, the admission gate,
 // and latency recording. Health and stats endpoints bypass it: they must
@@ -352,6 +392,7 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	setGen(w, snap.Gen)
 	writeJSON(w, pairResponse{I: i, J: j, Score: val.(float64), Cached: hit, Gen: snap.Gen})
 }
 
@@ -378,6 +419,10 @@ type pairsRequest struct {
 type pairsResponse struct {
 	Scores []float64 `json:"scores"`
 	Hits   int       `json:"cache_hits"`
+	// Gen is the single generation every score in the batch was computed
+	// against (the handler pins one snapshot for the whole batch, so a
+	// batched response can never mix generations).
+	Gen uint64 `json:"gen"`
 }
 
 // handlePairs serves batched MCSP. Cached pairs are answered from the
@@ -522,7 +567,8 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, pairsResponse{Scores: scores, Hits: hits})
+	setGen(w, snap.Gen)
+	writeJSON(w, pairsResponse{Scores: scores, Hits: hits, Gen: snap.Gen})
 }
 
 // neighborJSON is one top-k entry on the wire.
@@ -532,14 +578,69 @@ type neighborJSON struct {
 }
 
 // sourceResponse is the /source reply: the k most similar nodes to Node
-// (descending score, Node itself excluded).
+// (descending score, Node itself excluded). Part echoes the partition
+// restriction of a fleet scatter request ("i/N"), empty for a whole-space
+// answer.
 type sourceResponse struct {
 	Node    int            `json:"node"`
 	Mode    string         `json:"mode"`
 	K       int            `json:"k"`
+	Part    string         `json:"part,omitempty"`
 	Cached  bool           `json:"cached"`
 	Gen     uint64         `json:"gen"`
 	Results []neighborJSON `json:"results"`
+}
+
+// NodePart returns the scatter partition of a node among parts: the fleet
+// router splits single-source answers into parts target partitions, each
+// computed by one shard (/source with part=i/N), and merges the partial
+// top-k lists. The assignment is a stable hash — NOT the consistent-hash
+// ring — so it is identical across processes and independent of fleet
+// membership order. parts <= 1 puts every node in partition 0.
+func NodePart(node int32, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	// splitmix64 finalizer: adjacent node ids must land on uncorrelated
+	// partitions or partition loads would follow graph locality.
+	z := uint64(uint32(node)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(parts))
+}
+
+// parsePart reads the optional part=i/N query parameter. Absent yields
+// parts == 0 (no restriction).
+func parsePart(r *http.Request) (part, parts int, err error) {
+	raw := r.URL.Query().Get("part")
+	if raw == "" {
+		return 0, 0, nil
+	}
+	slash := strings.IndexByte(raw, '/')
+	if slash < 0 {
+		return 0, 0, fmt.Errorf("parameter \"part\": want i/N, got %q", raw)
+	}
+	part, err = strconv.Atoi(raw[:slash])
+	if err == nil {
+		parts, err = strconv.Atoi(raw[slash+1:])
+	}
+	if err != nil || parts < 1 || parts > maxParts || part < 0 || part >= parts {
+		return 0, 0, fmt.Errorf("parameter \"part\": want i/N with 0 <= i < N <= %d, got %q", maxParts, raw)
+	}
+	return part, parts, nil
+}
+
+// partVector filters v to the nodes of one scatter partition.
+func partVector(v *sparse.Vector, part, parts int) *sparse.Vector {
+	out := &sparse.Vector{}
+	for i, node := range v.Idx {
+		if NodePart(node, parts) == part {
+			out.Idx = append(out.Idx, node)
+			out.Val = append(out.Val, v.Val[i])
+		}
+	}
+	return out
 }
 
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
@@ -568,11 +669,28 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := genKey(snap.Gen, "s/"+mode+"/"+strconv.Itoa(k)+"/"+strconv.Itoa(node))
+	part, parts, err := parsePart(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	suffix, partLabel := "", ""
+	if parts > 0 {
+		partLabel = strconv.Itoa(part) + "/" + strconv.Itoa(parts)
+		suffix = "/pt" + partLabel
+	}
+	key := genKey(snap.Gen, "s/"+mode+"/"+strconv.Itoa(k)+"/"+strconv.Itoa(node)+suffix)
 	val, hit, err := s.cached(key, "source", func() (any, error) {
 		v, err := snap.Q.SingleSource(node, ssMode)
 		if err != nil {
 			return nil, err
+		}
+		if parts > 0 {
+			// Partition-restricted top-k for a fleet scatter: the walk is
+			// the same full single-source estimate (deterministic per
+			// (node, gen)); only the candidate set narrows, so the merged
+			// partials are bit-identical to a whole-space answer.
+			v = partVector(v, part, parts)
 		}
 		return toNeighborJSON(core.TopKNeighbors(v, node, k)), nil
 	})
@@ -580,8 +698,9 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	setGen(w, snap.Gen)
 	writeJSON(w, sourceResponse{
-		Node: node, Mode: mode, K: k, Cached: hit, Gen: snap.Gen,
+		Node: node, Mode: mode, K: k, Part: partLabel, Cached: hit, Gen: snap.Gen,
 		Results: val.([]neighborJSON),
 	})
 }
@@ -626,6 +745,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if len(list) > k {
 		list = list[:k]
 	}
+	setGen(w, snap.Gen)
 	writeJSON(w, topkResponse{Node: node, K: k, Results: toNeighborJSON(list)})
 }
 
@@ -654,6 +774,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.dyn != nil {
 		resp.Pending = s.dyn.Pending()
 	}
+	setGen(w, snap.Gen)
 	writeJSON(w, resp)
 }
 
