@@ -108,6 +108,11 @@ func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 // end-to-end serving flow.
 func NewDynamicGraph(base *Graph) *DynamicGraph { return graph.NewDynamic(base) }
 
+// NewDynamicGraphAt wraps base like NewDynamicGraph but resumes the
+// generation counter at gen — the restart path when a daemon reloads a
+// persisted serving snapshot.
+func NewDynamicGraphAt(base *Graph, gen uint64) *DynamicGraph { return graph.NewDynamicAt(base, gen) }
+
 // LoadEdgeList reads a SNAP-style text edge list ("src dst" per line,
 // '#'/'%' comments).
 func LoadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r, 0) }
@@ -216,6 +221,19 @@ type ServerStats = server.Stats
 
 // NewServer builds the serving tier around a Querier.
 func NewServer(q *Querier, cfg ServerConfig) (*Server, error) { return server.New(q, cfg) }
+
+// ServingSnapshot is the deserialized content of a persisted serving
+// snapshot: the graph, its index (with build options), the optional
+// all-pair store, and the generation it was serving — everything a
+// restarted daemon needs to answer bit-identically without re-walking.
+type ServingSnapshot = server.PersistedSnapshot
+
+// ReadServingSnapshot loads and checksum-verifies the snapshot persisted
+// under dir by POST /snapshot (cloudwalkerd -snapshot).
+func ReadServingSnapshot(dir string) (*ServingSnapshot, error) { return server.ReadSnapshot(dir) }
+
+// ServingSnapshotPath returns the snapshot file path under dir.
+func ServingSnapshotPath(dir string) string { return server.SnapshotPath(dir) }
 
 // FleetRouter is the multi-process serving frontend: it consistent-hashes
 // /pair queries across N shard daemons, scatter-gathers /source in

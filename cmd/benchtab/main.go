@@ -16,6 +16,12 @@
 //	go test -run '^$' -bench WalkKernels -count 3 ./internal/bench |
 //	    benchtab -compare BENCH_walk.json -tolerance 0.25
 //
+// The serving-tier counterpart gates a cloudwalkerload measurement (see
+// cmd/cloudwalkerload) against the serving trajectory:
+//
+//	cloudwalkerload -base http://localhost:8089 -record fresh.json
+//	benchtab -compare-serving BENCH_serving.json -input fresh.json -tolerance 0.5
+//
 // Scale multiplies the synthetic dataset sizes (and the simulated
 // per-machine memory, keeping the paper's broadcast-model memory wall at
 // the same relative position). Scale 1.0 runs the full synthetic profile
@@ -45,12 +51,13 @@ func main() {
 	jsonOut := flag.String("json-out", "", "bench-walk only: append the run to this JSON trajectory file")
 	label := flag.String("label", "", "bench-walk only: label for the appended run")
 	compare := flag.String("compare", "", "regression gate: trajectory JSON to compare `go test -bench` output against (exits 1 on regression)")
-	tolerance := flag.Float64("tolerance", 0.25, "compare mode: tolerated fractional walker-steps/s drop")
-	input := flag.String("input", "-", "compare mode: bench output file ('-' = stdin)")
+	compareServing := flag.String("compare-serving", "", "serving regression gate: trajectory JSON (BENCH_serving.json) to compare a cloudwalkerload -record measurement against (exits 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "compare mode: tolerated fractional walker-steps/s (or serving QPS) drop")
+	input := flag.String("input", "-", "compare mode: bench output or measurement file ('-' = stdin)")
 	gomaxprocs := flag.Int("gomaxprocs", 0, "compare mode: match the baseline row recorded at this GOMAXPROCS (0 = latest run regardless)")
 	flag.Parse()
 
-	if *compare != "" {
+	if *compare != "" || *compareServing != "" {
 		in := io.Reader(os.Stdin)
 		if *input != "-" {
 			f, err := os.Open(*input)
@@ -61,7 +68,14 @@ func main() {
 			defer f.Close()
 			in = f
 		}
-		if err := bench.RunWalkCompare(*compare, in, *tolerance, *gomaxprocs, os.Stdout); err != nil {
+		var err error
+		switch {
+		case *compare != "":
+			err = bench.RunWalkCompare(*compare, in, *tolerance, *gomaxprocs, os.Stdout)
+		default:
+			err = bench.RunServingCompare(*compareServing, in, *tolerance, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -10,10 +10,12 @@
 //	cloudwalkerd -graph graph.bin -index index.cw [-store topk.cw] [-addr :8089]
 //	cloudwalkerd -graph graph.bin -index index.cw -dynamic -refresh-after 1000
 //
-// Endpoints: /pair, /pairs, /source, /topk, /healthz, /stats (see
-// internal/server); with -dynamic also POST /edges (incremental edge
-// updates) and POST /refresh (compaction + hot-swap to a fresh
-// snapshot). SIGINT/SIGTERM drain in-flight requests before exit.
+// Endpoints: /pair, /pairs, /source, /topk, /healthz, /stats, /metrics
+// (Prometheus text format; see internal/server); with -dynamic also POST
+// /edges (incremental edge updates) and POST /refresh (compaction +
+// hot-swap to a fresh snapshot); with -snapshot also POST /snapshot
+// (persist the serving state — a restart restores it and skips
+// re-walking). SIGINT/SIGTERM drain in-flight requests before exit.
 //
 // The same binary also runs a serving fleet (see internal/fleet): start N
 // shard daemons (optionally named with -shard), then a router frontend
@@ -64,6 +66,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	maxBatch := fs.Int("max-batch", 0, "max pairs per /pairs request (0 = default)")
 	dynamic := fs.Bool("dynamic", false, "accept incremental edge updates (POST /edges) with background compaction + hot-swap (POST /refresh)")
 	refreshAfter := fs.Int("refresh-after", 0, "auto-compact after this many pending updates (0 = manual refresh only; needs -dynamic)")
+	snapDir := fs.String("snapshot", "", "snapshot directory: POST /snapshot persists the serving state here, and a snapshot found here at startup is restored instead of -graph/-index/-store (resumes the saved generation, skips re-walking)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for production profiling")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	router := fs.Bool("router", false, "run as a fleet router over -shards instead of serving a graph")
@@ -74,30 +77,71 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		return err
 	}
 	if *router {
-		if *gpath != "" || *ipath != "" || *spath != "" || *dynamic || *shardName != "" {
-			return fmt.Errorf("-router takes -shards/-mode, not -graph/-index/-store/-dynamic/-shard")
+		if *gpath != "" || *ipath != "" || *spath != "" || *dynamic || *shardName != "" || *snapDir != "" {
+			return fmt.Errorf("-router takes -shards/-mode, not -graph/-index/-store/-dynamic/-shard/-snapshot")
 		}
 		return runRouter(*shards, *modeFlag, *addr, *drain, out, ready)
-	}
-	if *gpath == "" || *ipath == "" {
-		return fmt.Errorf("-graph and -index are required")
 	}
 	if *refreshAfter != 0 && !*dynamic {
 		return fmt.Errorf("-refresh-after requires -dynamic")
 	}
 
-	g, err := loadGraph(*gpath)
-	if err != nil {
-		return err
+	// A persisted snapshot beats the artifact files: it IS the state the
+	// daemon was serving when it saved (post-compaction graph, rebuilt
+	// index, generation), so a restart resumes bit-identical answers
+	// without re-running BuildIndex. Missing file = cold start from
+	// -graph/-index; corrupted file = hard error (the operator decides
+	// whether to delete it, the daemon must not silently serve older data).
+	var (
+		g        *cloudwalker.Graph
+		idx      *cloudwalker.Index
+		store    *cloudwalker.SimilarityStore
+		gen      uint64
+		restored bool
+	)
+	if *snapDir != "" {
+		ps, err := cloudwalker.ReadServingSnapshot(*snapDir)
+		switch {
+		case err == nil:
+			g, idx, store, gen, restored = ps.Graph, ps.Index, ps.Store, ps.Gen, true
+			fmt.Fprintf(out, "restored snapshot gen %d from %s (no re-walk)\n",
+				gen, cloudwalker.ServingSnapshotPath(*snapDir))
+		case errors.Is(err, os.ErrNotExist):
+			// cold start below
+		default:
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
 	}
-	f, err := os.Open(*ipath)
-	if err != nil {
-		return err
-	}
-	idx, err := cloudwalker.LoadIndex(f)
-	f.Close()
-	if err != nil {
-		return err
+	if !restored {
+		if *gpath == "" || *ipath == "" {
+			return fmt.Errorf("-graph and -index are required (or -snapshot with a saved snapshot)")
+		}
+		var err error
+		g, err = loadGraph(*gpath)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*ipath)
+		if err != nil {
+			return err
+		}
+		idx, err = cloudwalker.LoadIndex(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if *spath != "" {
+			sf, err := os.Open(*spath)
+			if err != nil {
+				return err
+			}
+			store, err = cloudwalker.LoadSimilarityStore(sf)
+			sf.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "loaded all-pair store: %d nodes, k=%d\n", store.NumNodes(), store.K())
+		}
 	}
 	q, err := cloudwalker.NewQuerier(g, idx)
 	if err != nil {
@@ -110,6 +154,9 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		MaxBatch:    *maxBatch,
 		EnablePprof: *pprofOn,
 		ShardName:   *shardName,
+		SnapshotDir: *snapDir,
+		InitialGen:  gen,
+		Store:       store,
 	}
 	if *pprofOn {
 		fmt.Fprintln(out, "pprof enabled at /debug/pprof/")
@@ -118,8 +165,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		// The overlay wraps the loaded graph; every hot-swap rebuilds the
 		// index on the compacted snapshot with the same options the
 		// loaded index was built with, so post-swap estimates are exactly
-		// what an offline rebuild would have produced.
-		cfg.Dynamic = cloudwalker.NewDynamicGraph(g)
+		// what an offline rebuild would have produced. A restored daemon
+		// resumes the persisted generation so cache keys and the fleet's
+		// generation coordination stay monotonic across the restart.
+		cfg.Dynamic = cloudwalker.NewDynamicGraphAt(g, gen)
 		cfg.RefreshAfter = *refreshAfter
 		buildOpts := idx.Opts
 		cfg.Reindex = func(ng *cloudwalker.Graph) (*cloudwalker.Querier, error) {
@@ -130,19 +179,6 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			return cloudwalker.NewQuerier(ng, idx2)
 		}
 		fmt.Fprintf(out, "dynamic updates enabled (POST /edges, POST /refresh, refresh-after=%d)\n", *refreshAfter)
-	}
-	if *spath != "" {
-		sf, err := os.Open(*spath)
-		if err != nil {
-			return err
-		}
-		store, err := cloudwalker.LoadSimilarityStore(sf)
-		sf.Close()
-		if err != nil {
-			return err
-		}
-		cfg.Store = store
-		fmt.Fprintf(out, "loaded all-pair store: %d nodes, k=%d\n", store.NumNodes(), store.K())
 	}
 	srv, err := cloudwalker.NewServer(q, cfg)
 	if err != nil {

@@ -1,0 +1,319 @@
+// Command cloudwalkerload is a closed-loop load-test client for
+// cloudwalkerd: it drives /pair, /pairs, and /source against a LIVE
+// daemon (or fleet router) over real HTTP, measures per-endpoint QPS and
+// tail latency, reads the daemon's cache hit ratio from /stats, and
+// records the result as one row of the serving benchmark trajectory
+// (BENCH_serving.json — the serving-tier counterpart of BENCH_walk.json).
+//
+// The workload is pinned (see bench.DefaultServingWorkload): a fixed hot
+// set of endpoints hammered by a fixed number of closed-loop clients for
+// a fixed window per phase, against a daemon serving the canonical
+// benchmark graph. The client verifies the daemon's /healthz node and
+// edge counts against the workload before measuring, so a row can never
+// be recorded against the wrong artifacts:
+//
+//	cloudwalker gen   -out g.bin -kind rmat -n 5000 -m 40000 -seed 17
+//	cloudwalker index -graph g.bin -out i.cw -T 5 -R 20 -Rq 200
+//	cloudwalkerd -graph g.bin -index i.cw -addr :8089 &
+//	cloudwalkerload -base http://localhost:8089 -label "my change" -out BENCH_serving.json
+//
+// With -record FILE it writes the raw measurement (workload + run) as
+// JSON for the CI gate: `benchtab -compare-serving BENCH_serving.json
+// -input FILE` fails when any phase's QPS regressed beyond tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudwalker/internal/bench"
+	"cloudwalker/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudwalkerload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	wl := bench.DefaultServingWorkload()
+	fs := flag.NewFlagSet("cloudwalkerload", flag.ContinueOnError)
+	base := fs.String("base", "http://localhost:8089", "target daemon base URL")
+	label := fs.String("label", "", "label for the recorded run")
+	outPath := fs.String("out", "", "append the run to this trajectory JSON (BENCH_serving.json)")
+	record := fs.String("record", "", "write the raw measurement JSON here (input for benchtab -compare-serving)")
+	clients := fs.Int("clients", wl.Clients, "closed-loop client goroutines")
+	duration := fs.Duration("duration", time.Duration(wl.DurationMs)*time.Millisecond, "measured window per phase")
+	warmup := fs.Duration("warmup", time.Duration(wl.WarmupMs)*time.Millisecond, "untimed warmup per phase (seeds the cache)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wl.Clients = *clients
+	wl.DurationMs = int(duration.Milliseconds())
+	wl.WarmupMs = int(warmup.Milliseconds())
+	baseURL := strings.TrimSuffix(*base, "/")
+
+	// One transport for the whole run, with enough idle conns that every
+	// client goroutine keeps its connection hot (closed-loop QPS through
+	// fresh TCP handshakes would measure the dialer, not the daemon).
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        wl.Clients * 2,
+		MaxIdleConnsPerHost: wl.Clients * 2,
+	}}
+
+	var hz struct {
+		Nodes int `json:"nodes"`
+		Edges int `json:"edges"`
+	}
+	if err := getJSON(hc, baseURL+"/healthz", &hz); err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+	if hz.Nodes != wl.Nodes || hz.Edges != wl.Edges {
+		return fmt.Errorf("daemon serves %d nodes / %d edges, workload pins %d / %d — wrong artifacts (see the doc comment for the gen/index commands)",
+			hz.Nodes, hz.Edges, wl.Nodes, wl.Edges)
+	}
+
+	// The fixed hot set, derived from a pinned seed so every run (and
+	// every recorded row) measures identical request streams.
+	src := xrand.New(99)
+	pairPaths := make([]string, wl.HotPairs)
+	for i := range pairPaths {
+		a, b := src.Intn(wl.Nodes), src.Intn(wl.Nodes)
+		if a == b {
+			b = (b + 1) % wl.Nodes
+		}
+		pairPaths[i] = fmt.Sprintf("/pair?i=%d&j=%d", a, b)
+	}
+	batchBodies := make([]string, wl.HotPairs)
+	for i := range batchBodies {
+		var sb strings.Builder
+		sb.WriteString(`{"pairs":[`)
+		for j := 0; j < wl.BatchSize; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "[%d,%d]", src.Intn(wl.Nodes), src.Intn(wl.Nodes))
+		}
+		sb.WriteString("]}")
+		batchBodies[i] = sb.String()
+	}
+	sourcePaths := make([]string, wl.HotNodes)
+	for i := range sourcePaths {
+		sourcePaths[i] = fmt.Sprintf("/source?node=%d&k=%d", src.Intn(wl.Nodes), wl.TopK)
+	}
+
+	phases := []struct {
+		name string
+		do   func(i int) error
+	}{
+		{"pair", func(i int) error {
+			return drainGet(hc, baseURL+pairPaths[i%len(pairPaths)])
+		}},
+		{"pairs", func(i int) error {
+			return drainPost(hc, baseURL+"/pairs", batchBodies[i%len(batchBodies)])
+		}},
+		{"source", func(i int) error {
+			return drainGet(hc, baseURL+sourcePaths[i%len(sourcePaths)])
+		}},
+	}
+
+	run := bench.ServingRun{
+		Label:      *label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Metrics:    make(map[string]bench.ServingMetric),
+	}
+	if run.Label == "" {
+		run.Label = "unlabeled"
+	}
+
+	// Cache counters bracket the MEASURED windows only: warmup exists to
+	// seed the cache, and counting its cold misses would understate the
+	// steady-state hit ratio the trajectory is meant to track.
+	var hits0, misses0, hits1, misses1 uint64
+	fmt.Fprintf(out, "cloudwalkerload: %d clients, %v/phase (+%v warmup) against %s\n",
+		wl.Clients, *duration, *warmup, baseURL)
+	for _, ph := range phases {
+		loadLoop(ph.do, wl.Clients, *warmup, nil)
+		h, m, err := cacheCounters(hc, baseURL)
+		if err != nil {
+			return err
+		}
+		hits0, misses0 = hits0+h, misses0+m
+
+		var lats []time.Duration
+		errs := loadLoop(ph.do, wl.Clients, *duration, &lats)
+		h, m, err = cacheCounters(hc, baseURL)
+		if err != nil {
+			return err
+		}
+		hits1, misses1 = hits1+h, misses1+m
+
+		met := summarize(lats, *duration)
+		met.Errors = errs
+		run.Metrics[ph.name] = met
+		fmt.Fprintf(out, "  %-7s %8.0f qps   p50 %7.2fms   p99 %7.2fms   %d reqs, %d errors\n",
+			ph.name, met.QPS, met.P50Ms, met.P99Ms, met.Requests, met.Errors)
+	}
+	if total := (hits1 - hits0) + (misses1 - misses0); total > 0 {
+		run.HitRatio = float64(hits1-hits0) / float64(total)
+	}
+	fmt.Fprintf(out, "  cache hit ratio over measured windows: %.3f\n", run.HitRatio)
+
+	if *record != "" {
+		m := bench.ServingMeasurement{Workload: wl, Run: run}
+		raw, err := json.MarshalIndent(&m, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*record, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote measurement to %s\n", *record)
+	}
+	if *outPath != "" {
+		if err := bench.AppendServingRun(*outPath, wl, run); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "appended run %q to %s\n", run.Label, *outPath)
+	}
+	return nil
+}
+
+// loadLoop runs do closed-loop from nclients goroutines until window
+// elapses. When lats is non-nil it receives every request's latency;
+// the return value is the error count either way.
+func loadLoop(do func(i int) error, nclients int, window time.Duration, lats *[]time.Duration) int64 {
+	deadline := time.Now().Add(window)
+	perClient := make([][]time.Duration, nclients)
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < nclients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Stagger start indices so clients spread over the hot set
+			// instead of convoying on the same endpoint.
+			for i := c * 7; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				err := do(i)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if lats != nil {
+					perClient[c] = append(perClient[c], time.Since(t0))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if lats != nil {
+		for _, pc := range perClient {
+			*lats = append(*lats, pc...)
+		}
+	}
+	return errs.Load()
+}
+
+// summarize reduces a phase's latencies to the trajectory metric.
+// Quantiles are ceil nearest-rank, matching the server's own /stats.
+func summarize(lats []time.Duration, window time.Duration) bench.ServingMetric {
+	met := bench.ServingMetric{Requests: int64(len(lats))}
+	if len(lats) == 0 {
+		return met
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(lats)-1 {
+			i = len(lats) - 1
+		}
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	met.QPS = float64(len(lats)) / window.Seconds()
+	met.P50Ms = q(0.50)
+	met.P99Ms = q(0.99)
+	return met
+}
+
+// cacheCounters reads the daemon's cumulative cache hit/miss counters.
+func cacheCounters(hc *http.Client, base string) (hits, misses uint64, err error) {
+	var st struct {
+		Cache *struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := getJSON(hc, base+"/stats", &st); err != nil {
+		return 0, 0, err
+	}
+	if st.Cache == nil {
+		return 0, 0, nil // cache disabled: ratio stays 0
+	}
+	return st.Cache.Hits, st.Cache.Misses, nil
+}
+
+func getJSON(hc *http.Client, url string, v any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, v)
+}
+
+func drainGet(hc *http.Client, url string) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+func drainPost(hc *http.Client, url, body string) error {
+	resp, err := hc.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// The serving benchmark trajectory: BENCH_serving.json records what the
+// serving tier actually delivers to HTTP clients — QPS and tail latency
+// per endpoint, plus the cache hit ratio — the way BENCH_walk.json
+// records the walk kernels. Rows are produced by cmd/cloudwalkerload (a
+// closed-loop client driven against a LIVE daemon, not an in-process
+// handler), appended with -out, and gated in CI by `benchtab
+// -compare-serving` against a fresh measurement.
+//
+// Like the walk trajectory, rows are only comparable against a fixed
+// workload, so the file header pins it: the graph shape the daemon must
+// be serving (verified against /healthz at measurement time) and the
+// client-side load shape (clients, duration, hot-set sizes). Changing
+// any of these starts a new trajectory file.
+
+// ServingWorkload pins the fixed serving workload a trajectory file is
+// recorded against.
+type ServingWorkload struct {
+	// Graph shape the target daemon must be serving; cloudwalkerload
+	// verifies these against /healthz so a row can never be recorded
+	// against the wrong artifacts.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Client-side load shape.
+	Clients    int `json:"clients"`
+	DurationMs int `json:"duration_ms"` // measured window per phase
+	WarmupMs   int `json:"warmup_ms"`   // untimed warmup per phase
+	HotPairs   int `json:"hot_pairs"`   // distinct /pair and /pairs endpoints
+	HotNodes   int `json:"hot_nodes"`   // distinct /source nodes
+	BatchSize  int `json:"batch_size"`  // pairs per /pairs request
+	TopK       int `json:"top_k"`       // k per /source request
+}
+
+// DefaultServingWorkload is the canonical workload of BENCH_serving.json:
+// small enough that CI can generate the graph, build the index, and
+// measure in seconds, large enough that the hot set exercises the cache
+// shards and the closed loop saturates the daemon. The matching daemon
+// artifacts are built with:
+//
+//	cloudwalker gen   -out g.bin -kind rmat -n 5000 -m 40000 -seed 17
+//	cloudwalker index -graph g.bin -out i.cw -T 5 -R 20 -Rq 200
+//
+// (RMAT deduplicates collisions, so requesting 40000 edges at seed 17
+// deterministically yields the 36603 the workload pins.)
+func DefaultServingWorkload() ServingWorkload {
+	return ServingWorkload{
+		Nodes:      5000,
+		Edges:      36603,
+		Clients:    6,
+		DurationMs: 2000,
+		WarmupMs:   500,
+		HotPairs:   64,
+		HotNodes:   32,
+		BatchSize:  16,
+		TopK:       10,
+	}
+}
+
+// ServingMetric is one endpoint phase's measurement.
+type ServingMetric struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// SkipReason marks a recorded metric as not gateable (mirrors
+	// WalkBenchMetric.SkipReason): the comparator reports it as skipped
+	// instead of requiring a fresh measurement to beat it.
+	SkipReason string `json:"skip_reason,omitempty"`
+}
+
+// ServingRun is one recorded run of the serving benchmark.
+type ServingRun struct {
+	Label      string `json:"label"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// HitRatio is the daemon-side cache hit ratio over the whole run
+	// (delta of /stats cache counters), reported, not gated: it
+	// characterizes the workload, and a near-zero value means the run
+	// measured compute, not serving.
+	HitRatio float64                  `json:"cache_hit_ratio"`
+	Metrics  map[string]ServingMetric `json:"metrics"` // keys: pair, pairs, source
+}
+
+// ServingFile is the on-disk format of BENCH_serving.json.
+type ServingFile struct {
+	Schema   string          `json:"schema"`
+	Workload ServingWorkload `json:"workload"`
+	Runs     []ServingRun    `json:"runs"`
+}
+
+// ServingMeasurement is one raw measurement as written by cloudwalkerload
+// -record: the run plus the workload it was taken under, so the
+// comparator can refuse a measurement taken under a different shape.
+type ServingMeasurement struct {
+	Workload ServingWorkload `json:"workload"`
+	Run      ServingRun      `json:"run"`
+}
+
+const servingSchema = "cloudwalker-serving-bench/v1"
+
+// AppendServingRun loads (or creates) the trajectory file at path and
+// appends one run recorded under wl.
+func AppendServingRun(path string, wl ServingWorkload, run ServingRun) error {
+	var file ServingFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("bench: parsing existing %s: %w", path, err)
+		}
+		if file.Workload != wl {
+			return fmt.Errorf("bench: %s was recorded for workload %+v, this run used %+v; start a new trajectory file",
+				path, file.Workload, wl)
+		}
+	case os.IsNotExist(err):
+		file.Schema = servingSchema
+		file.Workload = wl
+	default:
+		return err
+	}
+	file.Runs = append(file.Runs, run)
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// LoadServingFile reads a trajectory file written by AppendServingRun.
+func LoadServingFile(path string) (*ServingFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var file ServingFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &file, nil
+}
+
+// ServingCompareResult is one phase's verdict in a serving regression
+// comparison.
+type ServingCompareResult struct {
+	Phase string
+	// Measured and Recorded are QPS (higher is better). Tail latency is
+	// reported alongside but not gated: closed-loop p99 on a shared CI
+	// box is too noisy to fail builds on, while sustained throughput
+	// under a fixed client count is the stable signal.
+	Measured      float64
+	Recorded      float64
+	MeasuredP99Ms float64
+	RecordedP99Ms float64
+	Ratio         float64
+	Pass          bool
+	Skipped       string
+}
+
+// CompareServing compares a fresh measurement against the latest run in
+// the trajectory. Every phase of the recorded run must be present in the
+// measurement (a phase that silently stopped being measured would pass
+// forever); a phase fails when its measured QPS drops more than
+// tolerance below the recorded value.
+func CompareServing(file *ServingFile, m *ServingMeasurement, tolerance float64) ([]ServingCompareResult, ServingRun, error) {
+	if tolerance < 0 || tolerance >= 1 {
+		return nil, ServingRun{}, fmt.Errorf("bench: tolerance %g outside [0,1)", tolerance)
+	}
+	if len(file.Runs) == 0 {
+		return nil, ServingRun{}, fmt.Errorf("bench: serving trajectory has no recorded runs")
+	}
+	baseline := file.Runs[len(file.Runs)-1]
+	if m.Workload != file.Workload {
+		return nil, baseline, fmt.Errorf("bench: measurement taken under workload %+v, trajectory pins %+v",
+			m.Workload, file.Workload)
+	}
+
+	phases := make([]string, 0, len(baseline.Metrics))
+	for name := range baseline.Metrics {
+		phases = append(phases, name)
+	}
+	sort.Strings(phases)
+	if len(phases) == 0 {
+		return nil, baseline, fmt.Errorf("bench: latest recorded serving run %q has no phases", baseline.Label)
+	}
+
+	results := make([]ServingCompareResult, 0, len(phases))
+	for _, name := range phases {
+		rec := baseline.Metrics[name]
+		if rec.SkipReason != "" {
+			results = append(results, ServingCompareResult{
+				Phase: name, Recorded: rec.QPS, RecordedP99Ms: rec.P99Ms,
+				Pass: true, Skipped: rec.SkipReason,
+			})
+			continue
+		}
+		got, ok := m.Run.Metrics[name]
+		if !ok {
+			return nil, baseline, fmt.Errorf("bench: no measurement for phase %q (did cloudwalkerload run it?)", name)
+		}
+		if got.Errors > 0 {
+			return nil, baseline, fmt.Errorf("bench: phase %q measurement had %d request errors; not a valid sample", name, got.Errors)
+		}
+		res := ServingCompareResult{
+			Phase:         name,
+			Measured:      got.QPS,
+			Recorded:      rec.QPS,
+			MeasuredP99Ms: got.P99Ms,
+			RecordedP99Ms: rec.P99Ms,
+		}
+		if rec.QPS <= 0 {
+			return nil, baseline, fmt.Errorf("bench: recorded phase %q has non-positive QPS %g", name, rec.QPS)
+		}
+		res.Ratio = res.Measured / res.Recorded
+		res.Pass = res.Ratio >= 1-tolerance
+		results = append(results, res)
+	}
+	return results, baseline, nil
+}
+
+// RunServingCompare is the `benchtab -compare-serving` entry point: read
+// a cloudwalkerload -record measurement from in, compare it against the
+// trajectory at trajPath, print a verdict table to w, and return an
+// error naming the regressed phases.
+func RunServingCompare(trajPath string, in io.Reader, tolerance float64, w io.Writer) error {
+	file, err := LoadServingFile(trajPath)
+	if err != nil {
+		return err
+	}
+	var m ServingMeasurement
+	if err := json.NewDecoder(in).Decode(&m); err != nil {
+		return fmt.Errorf("bench: parsing serving measurement: %w", err)
+	}
+	results, baseline, err := CompareServing(file, &m, tolerance)
+	if err != nil {
+		return err
+	}
+
+	t := NewTable(
+		fmt.Sprintf("Serving regression gate vs %q (tolerance %.0f%%; QPS gated, p99 reported)", baseline.Label, tolerance*100),
+		"Phase", "QPS", "recorded", "ratio", "p99 ms", "recorded p99", "verdict")
+	var failed []string
+	for _, r := range results {
+		if r.Skipped != "" {
+			t.Add(r.Phase, "-", fmt.Sprintf("%.0f", r.Recorded), "-", "-",
+				fmt.Sprintf("%.2f", r.RecordedP99Ms), "skipped ("+r.Skipped+")")
+			continue
+		}
+		verdict := "ok"
+		if !r.Pass {
+			verdict = "REGRESSED"
+			failed = append(failed, fmt.Sprintf("%s (%.0f%% of recorded)", r.Phase, r.Ratio*100))
+		}
+		t.Add(r.Phase,
+			fmt.Sprintf("%.0f", r.Measured),
+			fmt.Sprintf("%.0f", r.Recorded),
+			fmt.Sprintf("%.2f", r.Ratio),
+			fmt.Sprintf("%.2f", r.MeasuredP99Ms),
+			fmt.Sprintf("%.2f", r.RecordedP99Ms),
+			verdict)
+	}
+	t.Add("hit_ratio",
+		strconv.FormatFloat(m.Run.HitRatio, 'f', 3, 64),
+		strconv.FormatFloat(baseline.HitRatio, 'f', 3, 64),
+		"-", "-", "-", "reported")
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("bench: serving QPS regression beyond %.0f%% tolerance: %v", tolerance*100, failed)
+	}
+	return nil
+}

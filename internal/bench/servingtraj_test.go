@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func servingRun(label string, qps float64) ServingRun {
+	return ServingRun{
+		Label: label,
+		Metrics: map[string]ServingMetric{
+			"pair":   {Requests: 1000, QPS: qps, P50Ms: 0.2, P99Ms: 1.5},
+			"pairs":  {Requests: 100, QPS: qps / 10, P50Ms: 2, P99Ms: 9},
+			"source": {Requests: 500, QPS: qps / 2, P50Ms: 0.4, P99Ms: 3},
+		},
+		HitRatio: 0.93,
+	}
+}
+
+func TestAppendServingRunCreatesAndAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	wl := DefaultServingWorkload()
+	if err := AppendServingRun(path, wl, servingRun("first", 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendServingRun(path, wl, servingRun("second", 6000)); err != nil {
+		t.Fatal(err)
+	}
+	file, err := LoadServingFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != servingSchema {
+		t.Fatalf("schema = %q", file.Schema)
+	}
+	if file.Workload != wl {
+		t.Fatalf("workload = %+v, want %+v", file.Workload, wl)
+	}
+	if len(file.Runs) != 2 || file.Runs[1].Label != "second" {
+		t.Fatalf("runs = %+v", file.Runs)
+	}
+}
+
+func TestAppendServingRunRejectsWorkloadDrift(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	wl := DefaultServingWorkload()
+	if err := AppendServingRun(path, wl, servingRun("first", 5000)); err != nil {
+		t.Fatal(err)
+	}
+	wl.Clients++
+	err := AppendServingRun(path, wl, servingRun("drifted", 9000))
+	if err == nil || !strings.Contains(err.Error(), "different") &&
+		!strings.Contains(err.Error(), "workload") {
+		t.Fatalf("workload drift accepted: %v", err)
+	}
+}
+
+func compareFixture(t *testing.T, baselineQPS float64) *ServingFile {
+	t.Helper()
+	file := &ServingFile{Schema: servingSchema, Workload: DefaultServingWorkload()}
+	file.Runs = append(file.Runs, servingRun("baseline", baselineQPS))
+	return file
+}
+
+func TestCompareServingPassAndFail(t *testing.T) {
+	file := compareFixture(t, 5000)
+	m := &ServingMeasurement{Workload: file.Workload, Run: servingRun("fresh", 4500)}
+	results, baseline, err := CompareServing(file, m, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Label != "baseline" || len(results) != 3 {
+		t.Fatalf("baseline %q, %d results", baseline.Label, len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("phase %s failed at 90%% of recorded with 25%% tolerance: %+v", r.Phase, r)
+		}
+	}
+
+	// 60% of recorded QPS is outside a 25% tolerance on every phase.
+	m.Run = servingRun("slow", 3000)
+	results, _, err = CompareServing(file, m, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Pass {
+			t.Errorf("phase %s passed at 60%% of recorded: %+v", r.Phase, r)
+		}
+	}
+}
+
+func TestCompareServingRejectsBadInput(t *testing.T) {
+	file := compareFixture(t, 5000)
+	good := servingRun("fresh", 5000)
+
+	m := &ServingMeasurement{Workload: file.Workload, Run: good}
+	m.Workload.Clients++
+	if _, _, err := CompareServing(file, m, 0.25); err == nil {
+		t.Error("measurement under a different workload accepted")
+	}
+
+	m = &ServingMeasurement{Workload: file.Workload, Run: servingRun("fresh", 5000)}
+	delete(m.Run.Metrics, "source")
+	if _, _, err := CompareServing(file, m, 0.25); err == nil {
+		t.Error("missing phase accepted — a dropped phase would pass forever")
+	}
+
+	m = &ServingMeasurement{Workload: file.Workload, Run: servingRun("errs", 5000)}
+	met := m.Run.Metrics["pair"]
+	met.Errors = 3
+	m.Run.Metrics["pair"] = met
+	if _, _, err := CompareServing(file, m, 0.25); err == nil {
+		t.Error("measurement with request errors accepted as a valid sample")
+	}
+}
+
+func TestCompareServingSkipReason(t *testing.T) {
+	file := compareFixture(t, 5000)
+	met := file.Runs[0].Metrics["pairs"]
+	met.SkipReason = "recorded on different hardware"
+	file.Runs[0].Metrics["pairs"] = met
+
+	// The skipped phase needs no fresh measurement and always passes.
+	m := &ServingMeasurement{Workload: file.Workload, Run: servingRun("fresh", 5000)}
+	delete(m.Run.Metrics, "pairs")
+	results, _, err := CompareServing(file, m, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSkip bool
+	for _, r := range results {
+		if r.Phase == "pairs" {
+			sawSkip = true
+			if !r.Pass || r.Skipped == "" {
+				t.Fatalf("skipped phase verdict: %+v", r)
+			}
+		}
+	}
+	if !sawSkip {
+		t.Fatal("skipped phase missing from results")
+	}
+}
+
+func TestRunServingCompareEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	wl := DefaultServingWorkload()
+	if err := AppendServingRun(path, wl, servingRun("baseline", 5000)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(ServingMeasurement{Workload: wl, Run: servingRun("fresh", 5200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := RunServingCompare(path, bytes.NewReader(raw), 0.25, &out); err != nil {
+		t.Fatalf("healthy measurement gated: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"pair", "pairs", "source", "hit_ratio", "ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verdict table missing %q:\n%s", want, out.String())
+		}
+	}
+
+	raw, _ = json.Marshal(ServingMeasurement{Workload: wl, Run: servingRun("slow", 1000)})
+	out.Reset()
+	err = RunServingCompare(path, bytes.NewReader(raw), 0.25, &out)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("regressed measurement passed: %v", err)
+	}
+}

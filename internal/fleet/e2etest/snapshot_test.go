@@ -1,0 +1,124 @@
+package e2etest
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snapResp mirrors the POST /snapshot reply.
+type snapResp struct {
+	Saved bool   `json:"saved"`
+	Gen   uint64 `json:"gen"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// TestSnapshotKillRestartBitIdentical: the crash-recovery contract for
+// -snapshot. A dynamic daemon applies edge updates and compacts (so its
+// serving state is a post-startup index rebuild that exists NOWHERE on
+// disk as artifact files), persists via POST /snapshot, and is then
+// SIGKILLed. The restart on the same port must restore the snapshot —
+// announcing "restored snapshot gen N ... (no re-walk)" instead of
+// loading -graph/-index — resume the persisted generation, and serve
+// answers bit-identical to the pre-crash ones.
+func TestSnapshotKillRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, "snap",
+		"-graph", graphPath, "-index", indexPath, "-dynamic", "-snapshot", dir)
+	waitHealthy(t, d.base(), -1)
+
+	// Advance past the artifacts on disk: new edges + a compaction, so the
+	// serving index differs from index.cw and only the snapshot captures it.
+	var er struct {
+		Inserted int    `json:"inserted"`
+		Gen      uint64 `json:"gen"`
+	}
+	postJSON(t, d.base(), "/edges",
+		`{"insert":[[1,5],[2,5],[3,9],[4,9],[6,44]]}`, http.StatusOK, &er)
+	if er.Inserted == 0 {
+		t.Fatalf("edge batch applied nothing: %+v", er)
+	}
+	postJSON(t, d.base(), "/refresh?wait=1", "", http.StatusOK, nil)
+
+	pairs := [][2]int{{1, 2}, {5, 9}, {17, 90}, {0, 119}, {44, 3}}
+	nodes := []int{2, 5, 44, 118}
+	wantPairs := make([]pairResp, len(pairs))
+	wantSources := make([]sourceResp, len(nodes))
+	for i, p := range pairs {
+		getJSON(t, d.base(), fmt.Sprintf("/pair?i=%d&j=%d", p[0], p[1]), http.StatusOK, &wantPairs[i])
+	}
+	for i, n := range nodes {
+		getJSON(t, d.base(), fmt.Sprintf("/source?node=%d&k=15", n), http.StatusOK, &wantSources[i])
+	}
+	if wantPairs[0].Gen != er.Gen {
+		t.Fatalf("post-refresh serving gen %d, want %d", wantPairs[0].Gen, er.Gen)
+	}
+
+	var sr snapResp
+	postJSON(t, d.base(), "/snapshot", "", http.StatusOK, &sr)
+	if !sr.Saved || sr.Gen != er.Gen {
+		t.Fatalf("snapshot reply %+v, want saved at gen %d", sr, er.Gen)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "serving.cwsn"))
+	if err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+	if fi.Size() != sr.Bytes {
+		t.Fatalf("snapshot file is %d bytes, reply said %d", fi.Size(), sr.Bytes)
+	}
+
+	d.Kill() // SIGKILL: no drain, no shutdown hook — the crash case
+	d.Restart()
+	waitHealthy(t, d.base(), -1)
+
+	if out := d.out.String(); !strings.Contains(out, fmt.Sprintf("restored snapshot gen %d", er.Gen)) {
+		t.Fatalf("restart did not restore the snapshot (no re-walk skip); output:\n%s", out)
+	}
+	for i, p := range pairs {
+		var got pairResp
+		getJSON(t, d.base(), fmt.Sprintf("/pair?i=%d&j=%d", p[0], p[1]), http.StatusOK, &got)
+		if got != wantPairs[i] {
+			t.Fatalf("/pair %v after restart: %+v, want pre-crash %+v", p, got, wantPairs[i])
+		}
+	}
+	for i, n := range nodes {
+		var got sourceResp
+		getJSON(t, d.base(), fmt.Sprintf("/source?node=%d&k=15", n), http.StatusOK, &got)
+		if got.Gen != wantSources[i].Gen || !sameResults(got.Results, wantSources[i].Results) {
+			t.Fatalf("/source %d after restart: %+v, want pre-crash %+v", n, got, wantSources[i])
+		}
+	}
+}
+
+// TestSnapshotStaticRestart pins the simpler static path: a non-dynamic
+// daemon saves and restores, and a restart without any snapshot on disk
+// falls back to a cold start from the artifact files.
+func TestSnapshotStaticRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, "snap-static",
+		"-graph", graphPath, "-index", indexPath, "-snapshot", dir)
+	waitHealthy(t, d.base(), -1)
+	if strings.Contains(d.out.String(), "restored snapshot") {
+		t.Fatal("cold start claimed to restore a snapshot from an empty dir")
+	}
+
+	var want pairResp
+	getJSON(t, d.base(), "/pair?i=7&j=21", http.StatusOK, &want)
+	postJSON(t, d.base(), "/snapshot", "", http.StatusOK, nil)
+
+	d.Kill()
+	d.Restart()
+	waitHealthy(t, d.base(), -1)
+	if !strings.Contains(d.out.String(), "restored snapshot gen 0") {
+		t.Fatalf("static restart did not restore; output:\n%s", d.out.String())
+	}
+	var got pairResp
+	getJSON(t, d.base(), "/pair?i=7&j=21", http.StatusOK, &got)
+	if got != want {
+		t.Fatalf("restored answer %+v != pre-crash %+v", got, want)
+	}
+}

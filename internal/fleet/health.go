@@ -57,15 +57,23 @@ func (rt *Router) probeShard(sh *shardState) {
 		sh.up.Store(false)
 		return
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	// A body-read error is a FAILED probe: the connection died mid-response
+	// (shard crashed after writing headers, network cut), which is exactly
+	// the condition probing exists to detect. Ignoring it would mark a
+	// half-dead shard up on the strength of a status line alone.
+	_, rerr := io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if rerr != nil || resp.StatusCode != http.StatusOK {
 		sh.up.Store(false)
 		return
 	}
+	// Record the generation BEFORE flipping the shard up, and through the
+	// max-keeping observeGen: this probe's parsed generation may already be
+	// stale relative to a request that raced us, and up=true must never
+	// publish a generation rollback (see shardState.observeGen).
 	if g := resp.Header.Get(server.GenHeader); g != "" {
 		if v, perr := strconv.ParseUint(g, 10, 64); perr == nil {
-			sh.gen.Store(v)
+			sh.observeGen(v)
 		}
 	}
 	sh.up.Store(true)

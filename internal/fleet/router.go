@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cloudwalker/internal/metrics"
 	"cloudwalker/internal/server"
 )
 
@@ -97,7 +98,26 @@ type shardState struct {
 	addr string // "host:port" — the ring member key
 	base string // "http://host:port"
 	up   atomic.Bool
-	gen  atomic.Uint64 // latest generation seen in a response or probe
+	gen  atomic.Uint64 // highest generation seen in a response or probe
+}
+
+// observeGen records a generation seen in a response or probe, keeping
+// the maximum. Observations race: a slow probe that parsed generation G
+// can land AFTER a request already recorded G+1 from the same shard, and
+// a plain Store would roll the fleet's view of that shard backwards —
+// leaving it marked up with a stale generation. Generations are
+// monotonic per shard, so taking the max is the race-free resolution.
+// (A shard restarted without -snapshot legitimately resets its counter;
+// the health view then over-reports until the shard catches up, which is
+// benign — and moot when shards persist snapshots, since a restore
+// resumes the saved generation.)
+func (sh *shardState) observeGen(v uint64) {
+	for {
+		cur := sh.gen.Load()
+		if v <= cur || sh.gen.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Router is the fleet frontend: an http.Handler exposing the same query
@@ -122,13 +142,16 @@ type Router struct {
 	stopc    chan struct{}
 	stopOnce sync.Once
 
-	requests    atomic.Uint64
-	failovers   atomic.Uint64
-	scatters    atomic.Uint64
-	genRetries  atomic.Uint64
-	badBodies   atomic.Uint64
-	shardErrors atomic.Uint64
-	rollsDone   atomic.Uint64
+	// Fleet counters live in the metrics registry; /stats reads the SAME
+	// Counter values /metrics scrapes (see internal/metrics).
+	reg         *metrics.Registry
+	requests    *metrics.Counter
+	failovers   *metrics.Counter
+	scatters    *metrics.Counter
+	genRetries  *metrics.Counter
+	badBodies   *metrics.Counter
+	shardErrors *metrics.Counter
+	rollsDone   *metrics.Counter
 }
 
 // New validates cfg, builds the ring, and starts the health prober.
@@ -182,15 +205,17 @@ func New(cfg Config) (*Router, error) {
 	for _, a := range addrs {
 		rt.shards[a] = newShardState(a)
 	}
+	rt.initMetrics()
 	rt.mux = http.NewServeMux()
-	rt.mux.HandleFunc("/pair", rt.handlePair)
-	rt.mux.HandleFunc("/pairs", rt.handlePairs)
-	rt.mux.HandleFunc("/source", rt.handleSource)
-	rt.mux.HandleFunc("/topk", rt.handleTopK)
+	rt.mux.HandleFunc("/pair", rt.timed("/pair", rt.handlePair))
+	rt.mux.HandleFunc("/pairs", rt.timed("/pairs", rt.handlePairs))
+	rt.mux.HandleFunc("/source", rt.timed("/source", rt.handleSource))
+	rt.mux.HandleFunc("/topk", rt.timed("/topk", rt.handleTopK))
 	rt.mux.HandleFunc("/edges", rt.handleEdges)
 	rt.mux.HandleFunc("/refresh", rt.handleRefresh)
 	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("/stats", rt.handleStats)
+	rt.mux.Handle("/metrics", rt.reg.Handler())
 	rt.mux.HandleFunc("/fleet/join", rt.handleJoin)
 	rt.mux.HandleFunc("/fleet/leave", rt.handleLeave)
 	interval := cfg.HealthInterval
@@ -201,6 +226,79 @@ func New(cfg Config) (*Router, error) {
 		go rt.probeLoop(interval)
 	}
 	return rt, nil
+}
+
+// initMetrics builds the router's metrics registry: the fleet counters,
+// per-shard liveness/generation collectors (their label sets follow ring
+// membership, materialized at scrape time), and per-endpoint routed
+// latency histograms (registered by timed).
+func (rt *Router) initMetrics() {
+	r := metrics.NewRegistry()
+	rt.reg = r
+	rt.requests = r.NewCounter("cloudwalker_fleet_requests_total",
+		"Requests routed by the fleet frontend.")
+	rt.failovers = r.NewCounter("cloudwalker_fleet_failovers_total",
+		"Requests answered by a fallback replica after earlier attempts failed.")
+	rt.scatters = r.NewCounter("cloudwalker_fleet_scatters_total",
+		"Scatter-gather fan-outs executed.")
+	rt.genRetries = r.NewCounter("cloudwalker_fleet_gen_retries_total",
+		"Scatter passes retried to reach generation agreement.")
+	rt.badBodies = r.NewCounter("cloudwalker_fleet_bad_shard_responses_total",
+		"Shard responses that failed parsing or validation.")
+	rt.shardErrors = r.NewCounter("cloudwalker_fleet_shard_errors_total",
+		"Failed shard attempts (transport errors, 5xx, shed 429s).")
+	rt.rollsDone = r.NewCounter("cloudwalker_fleet_rolling_refreshes_total",
+		"Completed fleet-wide rolling refreshes.")
+	r.NewGaugeFunc("cloudwalker_fleet_uptime_seconds",
+		"Seconds since the router started.",
+		func() float64 { return time.Since(rt.start).Seconds() })
+	r.NewGaugeFunc("cloudwalker_fleet_shards",
+		"Shards currently in the ring.",
+		func() float64 {
+			_, states := rt.membership()
+			return float64(len(states))
+		})
+	r.NewGaugeCollector("cloudwalker_fleet_shard_up",
+		"Per-shard liveness (1 up, 0 down).",
+		func() []metrics.Sample {
+			_, states := rt.membership()
+			out := make([]metrics.Sample, len(states))
+			for i, sh := range states {
+				v := 0.0
+				if sh.up.Load() {
+					v = 1
+				}
+				out[i] = metrics.Sample{Labels: []metrics.Label{{Key: "shard", Value: sh.addr}}, Value: v}
+			}
+			return out
+		})
+	r.NewGaugeCollector("cloudwalker_fleet_shard_generation",
+		"Highest graph generation observed per shard.",
+		func() []metrics.Sample {
+			_, states := rt.membership()
+			out := make([]metrics.Sample, len(states))
+			for i, sh := range states {
+				out[i] = metrics.Sample{Labels: []metrics.Label{{Key: "shard", Value: sh.addr}}, Value: float64(sh.gen.Load())}
+			}
+			return out
+		})
+}
+
+// Metrics returns the router's metrics registry (what /metrics serves).
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// timed wraps a routed query handler with a per-endpoint latency
+// histogram (fleet-side latency: includes every shard attempt, backoff,
+// and failover the router performed on the client's behalf).
+func (rt *Router) timed(path string, h http.HandlerFunc) http.HandlerFunc {
+	duration := rt.reg.NewHistogram("cloudwalker_fleet_request_duration_seconds",
+		"Latency of routed query requests, including failover attempts.", nil,
+		metrics.Label{Key: "endpoint", Value: path})
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { duration.Observe(time.Since(start).Seconds()) }()
+		h(w, r)
+	}
 }
 
 func newShardState(addr string) *shardState {
@@ -306,10 +404,13 @@ func (rt *Router) do(ctx context.Context, sh *shardState, method, pathAndQuery s
 		}
 	}
 	if resp.StatusCode < 500 {
-		sh.up.Store(true)
+		// Record the generation BEFORE flipping the shard up: a reader
+		// that sees up=true must not read a generation older than the
+		// response that proved the shard alive.
 		if rep.hasGen {
-			sh.gen.Store(rep.gen)
+			sh.observeGen(rep.gen)
 		}
+		sh.up.Store(true)
 	}
 	return rep, nil
 }
@@ -337,24 +438,24 @@ func (rt *Router) askReplicas(ctx context.Context, key, method, pathAndQuery str
 		for i, sh := range order {
 			rep, err := rt.do(ctx, sh, method, pathAndQuery, body, rt.attemptTimeout)
 			if err != nil {
-				rt.shardErrors.Add(1)
+				rt.shardErrors.Inc()
 				lastErr = err
 				continue
 			}
 			if rep.status >= 500 || rep.status == http.StatusTooManyRequests {
-				rt.shardErrors.Add(1)
+				rt.shardErrors.Inc()
 				lastErr = fmt.Errorf("fleet: shard %s: status %d", sh.addr, rep.status)
 				continue
 			}
 			if rep.status == http.StatusOK && validate != nil {
 				if err := validate(rep); err != nil {
-					rt.badBodies.Add(1)
+					rt.badBodies.Inc()
 					lastErr = err
 					continue
 				}
 			}
 			if i > 0 || pass > 0 {
-				rt.failovers.Add(1)
+				rt.failovers.Inc()
 			}
 			return rep, nil
 		}
@@ -423,7 +524,7 @@ func (rt *Router) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /pair", r.Method)
 		return
 	}
-	rt.requests.Add(1)
+	rt.requests.Inc()
 	i, err := queryInt(r, "i")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -453,7 +554,7 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /topk", r.Method)
 		return
 	}
-	rt.requests.Add(1)
+	rt.requests.Inc()
 	node, err := queryInt(r, "node")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -473,7 +574,7 @@ func (rt *Router) handleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /source", r.Method)
 		return
 	}
-	rt.requests.Add(1)
+	rt.requests.Inc()
 	node, err := queryInt(r, "node")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -511,7 +612,7 @@ func (rt *Router) handlePairs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /pairs", r.Method)
 		return
 	}
-	rt.requests.Add(1)
+	rt.requests.Inc()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxShardBody+1))
 	if err != nil || len(body) > maxShardBody {
 		writeError(w, http.StatusBadRequest, "reading body: oversized or failed")
@@ -565,7 +666,7 @@ func (rt *Router) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /edges", r.Method)
 		return
 	}
-	rt.requests.Add(1)
+	rt.requests.Inc()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxShardBody+1))
 	if err != nil || len(body) > maxShardBody {
 		writeError(w, http.StatusBadRequest, "reading body: oversized or failed")
@@ -593,7 +694,7 @@ func (rt *Router) handleEdges(w http.ResponseWriter, r *http.Request) {
 	var failed []string
 	for idx, oc := range outcomes {
 		if oc.err != nil {
-			rt.shardErrors.Add(1)
+			rt.shardErrors.Inc()
 			failed = append(failed, fmt.Sprintf("%s: %v", states[idx].addr, oc.err))
 		}
 	}
@@ -611,7 +712,7 @@ func (rt *Router) handleEdges(w http.ResponseWriter, r *http.Request) {
 		Nodes    int    `json:"nodes"`
 	}
 	if err := json.Unmarshal(outcomes[0].rep.body, &first); err != nil {
-		rt.badBodies.Add(1)
+		rt.badBodies.Inc()
 		writeError(w, http.StatusBadGateway, "bad /edges body from shard %s: %v", states[0].addr, err)
 		return
 	}
@@ -640,7 +741,7 @@ func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /refresh", r.Method)
 		return
 	}
-	rt.requests.Add(1)
+	rt.requests.Inc()
 	_, states := rt.membership()
 	resp := refreshFleetResponse{Shards: make(map[string]uint64, len(states))}
 	for _, sh := range states {
@@ -649,7 +750,7 @@ func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
 			err = fmt.Errorf("status %d: %s", rep.status, truncateBody(rep.body))
 		}
 		if err != nil {
-			rt.shardErrors.Add(1)
+			rt.shardErrors.Inc()
 			writeError(w, http.StatusBadGateway,
 				"rolling refresh stopped at shard %s after %d/%d shards (re-POST to resume; refresh is idempotent): %v",
 				sh.addr, resp.Rolled, len(states), err)
@@ -659,16 +760,16 @@ func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
 			Gen uint64 `json:"gen"`
 		}
 		if err := json.Unmarshal(rep.body, &rr); err != nil {
-			rt.badBodies.Add(1)
+			rt.badBodies.Inc()
 			writeError(w, http.StatusBadGateway, "bad /refresh body from shard %s: %v", sh.addr, err)
 			return
 		}
 		resp.Rolled++
 		resp.Gen = rr.Gen
 		resp.Shards[sh.addr] = rr.Gen
-		sh.gen.Store(rr.Gen)
+		sh.observeGen(rr.Gen)
 	}
-	rt.rollsDone.Add(1)
+	rt.rollsDone.Inc()
 	writeJSON(w, resp)
 }
 
@@ -736,13 +837,13 @@ func (rt *Router) StatsSnapshot() Stats {
 	return Stats{
 		Mode:              rt.mode.String(),
 		UptimeSeconds:     time.Since(rt.start).Seconds(),
-		Requests:          rt.requests.Load(),
-		Failovers:         rt.failovers.Load(),
-		Scatters:          rt.scatters.Load(),
-		GenRetries:        rt.genRetries.Load(),
-		BadShardResponses: rt.badBodies.Load(),
-		ShardErrors:       rt.shardErrors.Load(),
-		RollingRefreshes:  rt.rollsDone.Load(),
+		Requests:          rt.requests.Value(),
+		Failovers:         rt.failovers.Value(),
+		Scatters:          rt.scatters.Value(),
+		GenRetries:        rt.genRetries.Value(),
+		BadShardResponses: rt.badBodies.Value(),
+		ShardErrors:       rt.shardErrors.Value(),
+		RollingRefreshes:  rt.rollsDone.Value(),
 		Shards:            rt.shardHealths(),
 	}
 }

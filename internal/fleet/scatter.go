@@ -51,7 +51,7 @@ type partResult struct {
 }
 
 func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ring, states []*shardState, node, k int, mode string) {
-	rt.scatters.Add(1)
+	rt.scatters.Inc()
 	n := len(states)
 
 	// fetchPart fetches partition p, preferring shard p (spreads the
@@ -84,12 +84,12 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 			for _, sh := range order {
 				rep, err := rt.do(ctx, sh, http.MethodGet, path, nil, rt.attemptTimeout)
 				if err != nil {
-					rt.shardErrors.Add(1)
+					rt.shardErrors.Inc()
 					res.err = err
 					continue
 				}
 				if rep.status >= 500 || rep.status == http.StatusTooManyRequests {
-					rt.shardErrors.Add(1)
+					rt.shardErrors.Inc()
 					res.err = fmt.Errorf("fleet: shard %s: status %d", sh.addr, rep.status)
 					continue
 				}
@@ -99,7 +99,7 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 				}
 				sb, derr := decodeSourceBody(rep.body)
 				if derr != nil {
-					rt.badBodies.Add(1)
+					rt.badBodies.Inc()
 					res.err = derr
 					continue
 				}
@@ -110,7 +110,7 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 					// This shard hasn't swapped to the target snapshot yet
 					// (or has already moved past it) — another replica may
 					// be there.
-					rt.genRetries.Add(1)
+					rt.genRetries.Inc()
 					res.err = fmt.Errorf("fleet: shard %s at gen %d, want %d", sh.addr, sb.Gen, *wantGen)
 					continue
 				}

@@ -96,6 +96,19 @@ func NewDynamic(base *Graph) *Dynamic {
 	}
 }
 
+// NewDynamicAt wraps base like NewDynamic but resumes the generation
+// counter at gen instead of zero — the restart path of snapshot
+// persistence. A daemon reloading a persisted snapshot must continue the
+// generation sequence it saved: generations identify graph content to
+// serving caches and the fleet router, so restarting at zero would reuse
+// already-spent generation numbers for different graphs.
+func NewDynamicAt(base *Graph, gen uint64) *Dynamic {
+	d := NewDynamic(base)
+	d.gen = gen
+	d.baseGen = gen
+	return d
+}
+
 // outRowLocked returns u's current merged out-row (caller holds mu).
 func (d *Dynamic) outRowLocked(u int32) []int32 {
 	if row, ok := d.out[u]; ok {

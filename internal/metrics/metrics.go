@@ -1,0 +1,358 @@
+// Package metrics is a dependency-free Prometheus-client: a registry of
+// counters, gauges, and histograms exposed in the Prometheus text format
+// (version 0.0.4) over HTTP. The serving tier (internal/server) and the
+// fleet router (internal/fleet) both register their counters here, and
+// their /stats JSON payloads read the SAME registered values — so the
+// operator-facing numbers cannot drift from the scraped ones.
+//
+// Scope is deliberately small: const labels only (a family's label sets
+// are fixed at registration, except through CollectorFunc), no push, no
+// exemplars. What matters is that cumulative counters and real latency
+// histograms replace ad-hoc sliding-window quantiles as the canonical
+// observability surface.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant key=value pair attached to a metric at
+// registration time.
+type Label struct {
+	Key, Value string
+}
+
+// metricNameRe is the Prometheus metric-name grammar; label keys share it
+// minus the colon.
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelKeyRe   = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry holds metric families and renders them in registration order.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family is every metric sharing one name (differing only in labels); the
+// exposition emits one # HELP / # TYPE pair per family.
+type family struct {
+	name, help, typ string
+	metrics         []exposer
+}
+
+// exposer renders one metric's sample lines.
+type exposer interface {
+	expose(sb *strings.Builder, name string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register appends m to name's family, creating the family on first use.
+// Registration errors are programmer errors (bad name, type clash), so
+// they panic rather than burdening every call site with an error path.
+func (r *Registry) register(name, help, typ string, m exposer) {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+	}
+	f.metrics = append(f.metrics, m)
+}
+
+// renderLabels pre-formats a label set as `{k="v",...}` (empty for none).
+// Values are escaped per the text format: backslash, quote, newline.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if !labelKeyRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label key %q", l.Key))
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a cumulative monotonically-increasing value.
+type Counter struct {
+	labels string
+	v      atomic.Uint64
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{labels: renderLabels(labels)}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count — the bridge that lets /stats JSON
+// report the same number /metrics scrapes.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) expose(sb *strings.Builder, name string) {
+	sb.WriteString(name)
+	sb.WriteString(c.labels)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	sb.WriteByte('\n')
+}
+
+// funcMetric samples a callback at scrape time — for values owned
+// elsewhere (cache counters, snapshot generation, in-flight gauges).
+type funcMetric struct {
+	labels string
+	fn     func() float64
+}
+
+func (f *funcMetric) expose(sb *strings.Builder, name string) {
+	sb.WriteString(name)
+	sb.WriteString(f.labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(f.fn()))
+	sb.WriteByte('\n')
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", &funcMetric{labels: renderLabels(labels), fn: fn})
+}
+
+// NewCounterFunc registers a counter whose cumulative value is read from
+// fn at scrape (the callback must be monotonic).
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "counter", &funcMetric{labels: renderLabels(labels), fn: fn})
+}
+
+// Sample is one dynamically-labeled sample from a CollectorFunc.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// collectorMetric materializes a variable label set at scrape time — for
+// families whose members change at runtime (per-shard up/down gauges
+// under fleet membership churn).
+type collectorMetric struct {
+	fn func() []Sample
+}
+
+func (c *collectorMetric) expose(sb *strings.Builder, name string) {
+	for _, s := range c.fn() {
+		sb.WriteString(name)
+		sb.WriteString(renderLabels(s.Labels))
+		sb.WriteByte(' ')
+		sb.WriteString(formatValue(s.Value))
+		sb.WriteByte('\n')
+	}
+}
+
+// NewGaugeCollector registers a gauge family whose sample set (labels and
+// values) is produced by fn at every scrape.
+func (r *Registry) NewGaugeCollector(name, help string, fn func() []Sample) {
+	r.register(name, help, "gauge", &collectorMetric{fn: fn})
+}
+
+// DefBuckets are the default latency histogram bounds in seconds: 100µs
+// to ~100s, roughly doubling — cached hits land in the first buckets,
+// full Monte Carlo estimates in the middle, index rebuilds off the top.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 100,
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observe is lock-free
+// (atomic bucket increments plus a CAS loop on the float sum), so it sits
+// on the request hot path without contending.
+type Histogram struct {
+	labels  string
+	uppers  []float64       // sorted upper bounds, +Inf excluded
+	counts  []atomic.Uint64 // len(uppers)+1; last is the +Inf bucket
+	sumBits atomic.Uint64   // math.Float64bits of the running sum
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bounds (ascending; +Inf is implicit). Nil buckets means DefBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		labels: renderLabels(labels),
+		uppers: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) expose(sb *strings.Builder, name string) {
+	// _bucket lines carry the le label appended to the const labels.
+	prefix := name + "_bucket"
+	joiner := "{"
+	if h.labels != "" {
+		joiner = h.labels[:len(h.labels)-1] + "," // reopen the const-label set
+	}
+	var cum uint64
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		sb.WriteString(prefix)
+		sb.WriteString(joiner)
+		sb.WriteString(`le="`)
+		sb.WriteString(formatValue(upper))
+		sb.WriteString("\"} ")
+		sb.WriteString(strconv.FormatUint(cum, 10))
+		sb.WriteByte('\n')
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	sb.WriteString(prefix)
+	sb.WriteString(joiner)
+	sb.WriteString(`le="+Inf"} `)
+	sb.WriteString(strconv.FormatUint(cum, 10))
+	sb.WriteByte('\n')
+	sb.WriteString(name)
+	sb.WriteString("_sum")
+	sb.WriteString(h.labels)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(h.Sum()))
+	sb.WriteByte('\n')
+	sb.WriteString(name)
+	sb.WriteString("_count")
+	sb.WriteString(h.labels)
+	sb.WriteByte(' ')
+	sb.WriteString(strconv.FormatUint(cum, 10))
+	sb.WriteByte('\n')
+}
+
+// escapeHelp escapes a HELP string per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Render writes the whole registry in the Prometheus text format.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var sb strings.Builder
+	for _, f := range fams {
+		sb.WriteString("# HELP ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(escapeHelp(f.help))
+		sb.WriteByte('\n')
+		sb.WriteString("# TYPE ")
+		sb.WriteString(f.name)
+		sb.WriteByte(' ')
+		sb.WriteString(f.typ)
+		sb.WriteByte('\n')
+		for _, m := range f.metrics {
+			m.expose(&sb, f.name)
+		}
+	}
+	return sb.String()
+}
+
+// Handler returns the /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Render())
+	})
+}

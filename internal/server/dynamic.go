@@ -206,6 +206,6 @@ func (s *Server) refreshLocked() (bool, error) {
 	// TopK stores are precomputed for one graph; a hot-swap drops them
 	// rather than serving stale all-pair results (see Snapshot.TopK).
 	s.snaps.Swap(&Snapshot{Gen: gen, Q: q})
-	s.swaps.Add(1)
+	s.swaps.Inc()
 	return true, nil
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -50,7 +51,17 @@ func (l *latencyRecorder) stats() LatencyStats {
 	}
 	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
 	q := func(p float64) float64 {
-		i := int(p * float64(n-1))
+		// Ceil nearest-rank: the p-quantile is the smallest sample with at
+		// least a p fraction of the window at or below it. The floor form
+		// int(p*(n-1)) collapses upper quantiles on small windows — with
+		// n=2 it reports the MINIMUM as p99.
+		i := int(math.Ceil(p*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > n-1 {
+			i = n - 1
+		}
 		return float64(window[i]) / float64(time.Millisecond)
 	}
 	st.P50Ms = q(0.50)

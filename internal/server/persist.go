@@ -1,0 +1,237 @@
+// Snapshot persistence: the serving state (graph CSR + diagonal index +
+// optional top-k store + generation) written to disk as one file, so a
+// restarted daemon resumes serving bit-identical answers without
+// re-running BuildIndex. The index IS the expensive artifact — the
+// paper's offline stage is hours of walking — and in dynamic mode every
+// compaction discards the previous one, so without persistence a crash
+// loses all post-startup rebuilds.
+//
+// File format ("CWSN", little-endian):
+//
+//	uint32 magic "CWSN"   uint32 version
+//	uint64 flags          (bit0: a top-k store section follows the index)
+//	uint64 generation
+//	sections, each:  uint64 byteLength + payload
+//	    graph   (graph.WriteBinary)
+//	    index   (core.Index.Save — includes the walk Options)
+//	    store   (simstore.Save; only when flags bit0 is set)
+//	uint32 crc32(IEEE) over everything above
+//
+// Sections are length-prefixed because the inner codecs wrap their
+// reader in bufio and over-read past their own frame; each section is
+// decoded from its own exactly-sized buffer instead. Writes go to a temp
+// file in the target directory followed by rename, so a crash mid-write
+// leaves the previous snapshot intact and a reader can never observe a
+// half-written file.
+
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/simstore"
+)
+
+const (
+	snapshotMagic        = 0x4357534e // "CWSN"
+	snapshotVersion      = 1
+	snapshotFlagHasStore = 1 << 0
+)
+
+// SnapshotFileName is the file a snapshot directory holds; one directory
+// persists one serving snapshot (saves replace it atomically).
+const SnapshotFileName = "serving.cwsn"
+
+// SnapshotPath returns the snapshot file path under dir.
+func SnapshotPath(dir string) string {
+	return filepath.Join(dir, SnapshotFileName)
+}
+
+// PersistedSnapshot is the deserialized content of a snapshot file.
+type PersistedSnapshot struct {
+	Gen   uint64
+	Graph *graph.Graph
+	Index *core.Index
+	Store *simstore.Store // nil when the snapshot had none
+}
+
+// WriteSnapshot persists snap atomically into dir (temp file + rename).
+// It returns the byte size written.
+func WriteSnapshot(dir string, snap *Snapshot) (int64, error) {
+	sections := make([][]byte, 0, 3)
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, snap.Q.Graph()); err != nil {
+		return 0, fmt.Errorf("server: snapshot graph: %w", err)
+	}
+	sections = append(sections, append([]byte(nil), buf.Bytes()...))
+	buf.Reset()
+	if err := snap.Q.Index().Save(&buf); err != nil {
+		return 0, fmt.Errorf("server: snapshot index: %w", err)
+	}
+	sections = append(sections, append([]byte(nil), buf.Bytes()...))
+	var flags uint64
+	if snap.TopK != nil {
+		buf.Reset()
+		if err := snap.TopK.Save(&buf); err != nil {
+			return 0, fmt.Errorf("server: snapshot store: %w", err)
+		}
+		sections = append(sections, append([]byte(nil), buf.Bytes()...))
+		flags |= snapshotFlagHasStore
+	}
+
+	tmp, err := os.CreateTemp(dir, SnapshotFileName+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("server: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(tmp, crc)
+	le := binary.LittleEndian
+	head := make([]byte, 0, 24)
+	head = le.AppendUint32(head, snapshotMagic)
+	head = le.AppendUint32(head, snapshotVersion)
+	head = le.AppendUint64(head, flags)
+	head = le.AppendUint64(head, snap.Gen)
+	if _, err := w.Write(head); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("server: snapshot header: %w", err)
+	}
+	for _, sec := range sections {
+		if _, err := w.Write(le.AppendUint64(nil, uint64(len(sec)))); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("server: snapshot section length: %w", err)
+		}
+		if _, err := w.Write(sec); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("server: snapshot section: %w", err)
+		}
+	}
+	if _, err := tmp.Write(le.AppendUint32(nil, crc.Sum32())); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("server: snapshot checksum: %w", err)
+	}
+	// Sync before rename: the rename must not become durable ahead of the
+	// data or a crash could leave a complete-looking file of garbage.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("server: snapshot sync: %w", err)
+	}
+	size, err := tmp.Seek(0, io.SeekEnd)
+	if err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("server: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), SnapshotPath(dir)); err != nil {
+		return 0, fmt.Errorf("server: snapshot rename: %w", err)
+	}
+	return size, nil
+}
+
+// ReadSnapshot loads and verifies the snapshot file under dir.
+func ReadSnapshot(dir string) (*PersistedSnapshot, error) {
+	raw, err := os.ReadFile(SnapshotPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if len(raw) < 24+4 {
+		return nil, fmt.Errorf("server: snapshot truncated (%d bytes)", len(raw))
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), le.Uint32(tail); got != want {
+		return nil, fmt.Errorf("server: snapshot checksum mismatch (file %#x, computed %#x)", want, got)
+	}
+	if m := le.Uint32(body[0:4]); m != snapshotMagic {
+		return nil, fmt.Errorf("server: bad snapshot magic %#x", m)
+	}
+	if v := le.Uint32(body[4:8]); v != snapshotVersion {
+		return nil, fmt.Errorf("server: unsupported snapshot version %d", v)
+	}
+	flags := le.Uint64(body[8:16])
+	ps := &PersistedSnapshot{Gen: le.Uint64(body[16:24])}
+	rest := body[24:]
+	next := func(what string) ([]byte, error) {
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("server: snapshot truncated before %s section", what)
+		}
+		n := le.Uint64(rest[:8])
+		rest = rest[8:]
+		if uint64(len(rest)) < n {
+			return nil, fmt.Errorf("server: snapshot %s section truncated (%d of %d bytes)", what, len(rest), n)
+		}
+		sec := rest[:n]
+		rest = rest[n:]
+		return sec, nil
+	}
+	gsec, err := next("graph")
+	if err != nil {
+		return nil, err
+	}
+	if ps.Graph, err = graph.ReadBinary(bytes.NewReader(gsec)); err != nil {
+		return nil, fmt.Errorf("server: snapshot graph: %w", err)
+	}
+	isec, err := next("index")
+	if err != nil {
+		return nil, err
+	}
+	if ps.Index, err = core.ReadIndex(bytes.NewReader(isec)); err != nil {
+		return nil, fmt.Errorf("server: snapshot index: %w", err)
+	}
+	if flags&snapshotFlagHasStore != 0 {
+		ssec, err := next("store")
+		if err != nil {
+			return nil, err
+		}
+		if ps.Store, err = simstore.Load(bytes.NewReader(ssec)); err != nil {
+			return nil, fmt.Errorf("server: snapshot store: %w", err)
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("server: snapshot has %d trailing bytes", len(rest))
+	}
+	return ps, nil
+}
+
+// snapshotResponse is the POST /snapshot reply.
+type snapshotResponse struct {
+	Saved bool   `json:"saved"`
+	Gen   uint64 `json:"gen"`
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// handleSnapshot persists the CURRENT serving snapshot (the one queries
+// run against — pending dynamic-overlay edits are not included; POST
+// /refresh?wait=1 first to fold them in).
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapDir == "" {
+		writeError(w, http.StatusServiceUnavailable, "snapshot persistence disabled (start the daemon with -snapshot)")
+		return
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /snapshot", r.Method)
+		return
+	}
+	snap := s.snaps.Load()
+	size, err := WriteSnapshot(s.snapDir, snap)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.snapSaves.Inc()
+	setGen(w, snap.Gen)
+	writeJSON(w, snapshotResponse{Saved: true, Gen: snap.Gen, Path: SnapshotPath(s.snapDir), Bytes: size})
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/simstore"
+)
+
+func testStore(t *testing.T) *simstore.Store {
+	t.Helper()
+	res, err := querier(t).AllPairsTopK(5, core.PullSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := simstore.FromResults(res, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	q := querier(t)
+	store := testStore(t)
+	dir := t.TempDir()
+	snap := &Snapshot{Gen: 42, Q: q, TopK: store}
+	size, err := WriteSnapshot(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(SnapshotPath(dir)); err != nil || fi.Size() != size {
+		t.Fatalf("snapshot file: %v (size %v, want %d)", err, fi, size)
+	}
+	ps, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Gen != 42 {
+		t.Fatalf("Gen = %d, want 42", ps.Gen)
+	}
+	if ps.Graph.NumNodes() != q.Graph().NumNodes() || ps.Graph.NumEdges() != q.Graph().NumEdges() {
+		t.Fatalf("graph shape %d/%d, want %d/%d",
+			ps.Graph.NumNodes(), ps.Graph.NumEdges(), q.Graph().NumNodes(), q.Graph().NumEdges())
+	}
+	if ps.Store == nil || ps.Store.NumNodes() != store.NumNodes() {
+		t.Fatalf("store not restored: %+v", ps.Store)
+	}
+	// The restored querier must answer bit-identically: the index carries
+	// the walk options (incl. seed), and estimates are deterministic per
+	// (pair, seed), so equality here proves the whole restart path skips
+	// nothing that matters.
+	rq, err := core.NewQuerier(ps.Graph, ps.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]int{{1, 2}, {10, 11}, {100, 200}} {
+		want, err := q.SinglePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rq.SinglePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("restored s(%d,%d) = %v, want bit-identical %v", p[0], p[1], got, want)
+		}
+	}
+}
+
+func TestSnapshotWithoutStore(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshot(dir, &Snapshot{Gen: 1, Q: querier(t)}); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Store != nil {
+		t.Fatal("store materialized from a snapshot that had none")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshot(dir, &Snapshot{Gen: 3, Q: querier(t)}); err != nil {
+		t.Fatal(err)
+	}
+	path := SnapshotPath(dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle: the checksum must catch it.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(dir); err == nil {
+		t.Fatal("ReadSnapshot accepted a corrupted file")
+	}
+	// Truncation (a crash mid-write would leave this only if rename were
+	// not atomic — but a copied/partial file must still be rejected).
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(dir); err == nil {
+		t.Fatal("ReadSnapshot accepted a truncated file")
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newTestServer(t, Config{SnapshotDir: dir, InitialGen: 7, Store: testStore(t)})
+
+	// GET is not allowed; snapshotting is a state-changing operation.
+	resp, err := ts.Client().Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /snapshot: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Post(ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr snapshotResponse
+	decodeBody(t, resp, &sr)
+	if resp.StatusCode != http.StatusOK || !sr.Saved || sr.Gen != 7 {
+		t.Fatalf("POST /snapshot: status %d, body %+v", resp.StatusCode, sr)
+	}
+	ps, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Gen != 7 || ps.Store == nil {
+		t.Fatalf("persisted gen %d (want 7), store %v", ps.Gen, ps.Store != nil)
+	}
+	if got := srv.StatsSnapshot(); got.Gen != 7 {
+		t.Fatalf("serving gen %d, want 7", got.Gen)
+	}
+}
+
+func TestSnapshotEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Post(ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /snapshot without -snapshot: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
+		t.Fatalf("decoding %s: %v", buf.Bytes(), err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"cloudwalker/internal/core"
 	"cloudwalker/internal/graph"
+	"cloudwalker/internal/metrics"
 	"cloudwalker/internal/simstore"
 	"cloudwalker/internal/sparse"
 )
@@ -72,6 +73,20 @@ type Config struct {
 	// their shards so routing, failover, and e2e tests can prove which
 	// process actually served an answer.
 	ShardName string
+	// SnapshotDir, when set, enables snapshot persistence: POST /snapshot
+	// writes the serving snapshot (graph + index + top-k store + walk
+	// options + generation) atomically into this directory, and
+	// cloudwalkerd -snapshot reloads it at startup so a restarted daemon
+	// serves bit-identical answers without re-running BuildIndex. Empty
+	// disables POST /snapshot (503).
+	SnapshotDir string
+	// InitialGen stamps the starting snapshot's generation. Estimates are
+	// deterministic per (pair, seed, generation), so a static server
+	// restored from a persisted snapshot must resume the generation it
+	// saved — otherwise its gen-prefixed cache keys and GenHeader would
+	// disagree with the fleet's view. Ignored when Dynamic is set (the
+	// overlay's BaseGen wins).
+	InitialGen uint64
 
 	// Dynamic enables the mutable-graph serving path: POST /edges applies
 	// incremental edge updates to this overlay, and a background
@@ -132,14 +147,21 @@ type Server struct {
 	gate      chan struct{} // nil when admission control is disabled
 	maxBatch  int
 	shardName string
+	snapDir   string // "" disables POST /snapshot
 	start     time.Time
 
-	inFlight  atomic.Int64
-	shed      atomic.Uint64
-	computes  atomic.Uint64 // underlying query computations (cache+coalesce misses)
-	coalesced atomic.Uint64 // requests that piggybacked on another's computation
-	updates   atomic.Uint64 // edge deltas applied through POST /edges
-	swaps     atomic.Uint64 // completed compaction hot-swaps
+	inFlight atomic.Int64
+
+	// Serving counters live in the metrics registry, and /stats reads the
+	// SAME Counter values /metrics scrapes — the JSON numbers cannot drift
+	// from the Prometheus ones because there is only one set of numbers.
+	reg       *metrics.Registry
+	shed      *metrics.Counter // requests shed with 429
+	computes  *metrics.Counter // underlying query computations (cache+coalesce misses)
+	coalesced *metrics.Counter // requests that piggybacked on another's computation
+	updates   *metrics.Counter // edge deltas applied through POST /edges
+	swaps     *metrics.Counter // completed compaction hot-swaps
+	snapSaves *metrics.Counter // serving snapshots persisted to disk
 	latency   map[string]*latencyRecorder
 
 	// testComputeHook, when set, runs at the start of every underlying
@@ -157,7 +179,7 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: store has %d nodes, graph has %d",
 			cfg.Store.NumNodes(), q.Graph().NumNodes())
 	}
-	initial := &Snapshot{Q: q, TopK: cfg.Store}
+	initial := &Snapshot{Q: q, TopK: cfg.Store, Gen: cfg.InitialGen}
 	s := &Server{
 		snaps:        NewStore(initial),
 		dyn:          cfg.Dynamic,
@@ -166,6 +188,7 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		refreshMu:    make(chan struct{}, 1),
 		maxBatch:     cfg.MaxBatch,
 		shardName:    cfg.ShardName,
+		snapDir:      cfg.SnapshotDir,
 		start:        time.Now(),
 		latency:      make(map[string]*latencyRecorder),
 	}
@@ -206,18 +229,22 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		}
 		s.gate = make(chan struct{}, slots)
 	}
+	s.initMetrics()
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/pair", s.gated("/pair", http.MethodGet, s.handlePair))
 	s.mux.Handle("/pairs", s.gated("/pairs", http.MethodPost, s.handlePairs))
 	s.mux.Handle("/source", s.gated("/source", http.MethodGet, s.handleSource))
 	s.mux.Handle("/topk", s.gated("/topk", http.MethodGet, s.handleTopK))
-	// Update and refresh run outside the admission gate: a query storm
-	// must not shed graph maintenance (they are cheap O(degree) appends
-	// and an async trigger, respectively).
+	// Update, refresh, snapshot, and observability run outside the
+	// admission gate: a query storm must not shed graph maintenance, and
+	// health/metrics must answer precisely when the query path is
+	// saturated.
 	s.mux.HandleFunc("/edges", s.handleEdges)
 	s.mux.HandleFunc("/refresh", s.handleRefresh)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.Handle("/metrics", s.reg.Handler())
 	if cfg.EnablePprof {
 		// Registered on the server's own mux (not http.DefaultServeMux)
 		// and outside the admission gate: profiling must work precisely
@@ -230,6 +257,57 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 	}
 	return s, nil
 }
+
+// initMetrics builds the server's metrics registry. Counters the request
+// path increments are registered here; values owned elsewhere (cache
+// counters, in-flight, generation) are sampled at scrape time through
+// gauge/counter funcs. Per-endpoint request counters and latency
+// histograms are registered by gated().
+func (s *Server) initMetrics() {
+	r := metrics.NewRegistry()
+	s.reg = r
+	s.shed = r.NewCounter("cloudwalker_shed_total",
+		"Requests shed with 429 by the admission gate.")
+	s.computes = r.NewCounter("cloudwalker_computations_total",
+		"Underlying query computations (cache and coalesce misses).")
+	s.coalesced = r.NewCounter("cloudwalker_coalesced_total",
+		"Requests that piggybacked on another request's computation.")
+	s.updates = r.NewCounter("cloudwalker_edge_updates_total",
+		"Edge deltas applied through POST /edges.")
+	s.swaps = r.NewCounter("cloudwalker_snapshot_swaps_total",
+		"Completed compaction hot-swaps.")
+	s.snapSaves = r.NewCounter("cloudwalker_snapshots_written_total",
+		"Serving snapshots persisted to disk through POST /snapshot.")
+	r.NewGaugeFunc("cloudwalker_in_flight",
+		"Query requests currently being served.",
+		func() float64 { return float64(s.inFlight.Load()) })
+	r.NewGaugeFunc("cloudwalker_snapshot_generation",
+		"Graph generation of the snapshot currently being served.",
+		func() float64 { return float64(s.snaps.Load().Gen) })
+	r.NewGaugeFunc("cloudwalker_uptime_seconds",
+		"Seconds since the serving tier started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	if s.cache != nil {
+		r.NewCounterFunc("cloudwalker_cache_hits_total",
+			"Result-cache hits.",
+			func() float64 { return float64(s.cache.Stats().Hits) })
+		r.NewCounterFunc("cloudwalker_cache_misses_total",
+			"Result-cache misses.",
+			func() float64 { return float64(s.cache.Stats().Misses) })
+		r.NewCounterFunc("cloudwalker_cache_evictions_total",
+			"Result-cache LRU evictions.",
+			func() float64 { return float64(s.cache.Stats().Evictions) })
+		r.NewGaugeFunc("cloudwalker_cache_entries",
+			"Result-cache entries currently held.",
+			func() float64 { return float64(s.cache.Stats().Len) })
+		r.NewGaugeFunc("cloudwalker_cache_capacity",
+			"Result-cache capacity in entries.",
+			func() float64 { return float64(s.cache.Stats().Capacity) })
+	}
+}
+
+// Metrics returns the server's metrics registry (what /metrics serves).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Handler returns the root http.Handler (mountable under httptest or an
 // http.Server). With Config.ShardName set, every response carries the
@@ -256,7 +334,14 @@ func setGen(w http.ResponseWriter, gen uint64) {
 func (s *Server) gated(path, method string, h http.HandlerFunc) http.Handler {
 	rec := &latencyRecorder{}
 	s.latency[path] = rec
+	requests := s.reg.NewCounter("cloudwalker_requests_total",
+		"Requests received per query endpoint (before admission).",
+		metrics.Label{Key: "endpoint", Value: path})
+	duration := s.reg.NewHistogram("cloudwalker_request_duration_seconds",
+		"Latency of admitted query requests.", nil,
+		metrics.Label{Key: "endpoint", Value: path})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
 		if r.Method != method {
 			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, path)
@@ -267,7 +352,7 @@ func (s *Server) gated(path, method string, h http.HandlerFunc) http.Handler {
 			case s.gate <- struct{}{}:
 				defer func() { <-s.gate }()
 			default:
-				s.shed.Add(1)
+				s.shed.Inc()
 				writeError(w, http.StatusTooManyRequests, "server saturated (%d in flight), retry later", cap(s.gate))
 				return
 			}
@@ -277,7 +362,9 @@ func (s *Server) gated(path, method string, h http.HandlerFunc) http.Handler {
 		// Deferred so a handler panic (recovered by net/http) cannot
 		// leak an in-flight count or drop the latency sample.
 		defer func() {
-			rec.observe(time.Since(start))
+			d := time.Since(start)
+			rec.observe(d)
+			duration.Observe(d.Seconds())
 			s.inFlight.Add(-1)
 		}()
 		h(w, r)
@@ -347,7 +434,7 @@ func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, from
 		if s.testComputeHook != nil {
 			s.testComputeHook(kind)
 		}
-		s.computes.Add(1)
+		s.computes.Inc()
 		out, err := fn()
 		if err == nil && s.cache != nil {
 			s.cache.Put(key, out)
@@ -355,7 +442,7 @@ func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, from
 		return out, err
 	})
 	if shared {
-		s.coalesced.Add(1)
+		s.coalesced.Inc()
 	}
 	return v, false, err
 }
@@ -507,7 +594,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			slotAt[idx] = slot
 			missSlot[cp] = slot
 		} else {
-			s.coalesced.Add(1)
+			s.coalesced.Inc()
 			slotAt[idx] = fromWait
 			waitAt[idx] = len(waits)
 			missSlot[cp] = -len(waits) - 3
@@ -529,7 +616,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			if s.testComputeHook != nil {
 				s.testComputeHook(fmt.Sprintf("pairs:%d", len(missing)))
 			}
-			s.computes.Add(1)
+			s.computes.Inc()
 			return snap.Q.SinglePairs(missing)
 		}()
 		if err != nil {
@@ -798,11 +885,11 @@ func (s *Server) StatsSnapshot() Stats {
 	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		InFlight:      s.inFlight.Load(),
-		Shed:          s.shed.Load(),
-		Computations:  s.computes.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Updates:       s.updates.Load(),
-		Swaps:         s.swaps.Load(),
+		Shed:          s.shed.Value(),
+		Computations:  s.computes.Value(),
+		Coalesced:     s.coalesced.Value(),
+		Updates:       s.updates.Value(),
+		Swaps:         s.swaps.Value(),
 		Gen:           s.snaps.Load().Gen,
 		Endpoints:     make(map[string]LatencyStats, len(s.latency)),
 	}

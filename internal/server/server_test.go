@@ -397,10 +397,10 @@ func TestCoalescing(t *testing.T) {
 			t.Fatalf("client %d: %v", c, err)
 		}
 	}
-	if got := srv.computes.Load(); got != 1 {
+	if got := srv.computes.Value(); got != 1 {
 		t.Fatalf("herd of %d triggered %d computations, want 1", herd, got)
 	}
-	if got := srv.coalesced.Load(); got != herd-1 {
+	if got := srv.coalesced.Value(); got != herd-1 {
 		t.Fatalf("coalesced = %d, want %d", got, herd-1)
 	}
 	for c := 1; c < herd; c++ {
@@ -494,7 +494,7 @@ func TestCacheDisabled(t *testing.T) {
 	if a.Score != b.Score {
 		t.Fatalf("deterministic estimator returned %v then %v", a.Score, b.Score)
 	}
-	if got := srv.computes.Load(); got != 2 {
+	if got := srv.computes.Value(); got != 2 {
 		t.Fatalf("computations = %d, want 2", got)
 	}
 	var st Stats
@@ -610,10 +610,10 @@ func TestPairsBatchJoinsPointFlight(t *testing.T) {
 	}
 	// Two underlying computations: the point pair (led by /pair) and the
 	// fresh pair (led by the batch). The shared pair was coalesced.
-	if got := srv.computes.Load(); got != 2 {
+	if got := srv.computes.Value(); got != 2 {
 		t.Fatalf("%d computations, want 2", got)
 	}
-	if got := srv.coalesced.Load(); got != 1 {
+	if got := srv.coalesced.Value(); got != 1 {
 		t.Fatalf("%d coalesced, want 1", got)
 	}
 	if batchResp.Hits != 0 {
@@ -685,10 +685,10 @@ func TestPairJoinsBatchFlight(t *testing.T) {
 	if pointResp.Score != batchResp.Scores[0] {
 		t.Fatalf("point score %v != batch score %v", pointResp.Score, batchResp.Scores[0])
 	}
-	if got := srv.computes.Load(); got != 1 {
+	if got := srv.computes.Value(); got != 1 {
 		t.Fatalf("%d computations, want 1 (the batch)", got)
 	}
-	if got := srv.coalesced.Load(); got != 1 {
+	if got := srv.coalesced.Value(); got != 1 {
 		t.Fatalf("%d coalesced, want 1 (the point query)", got)
 	}
 }
@@ -716,7 +716,7 @@ func TestPairsRejectedBatchLeavesNoFlight(t *testing.T) {
 	if pr.Score < 0 || pr.Score > 1 {
 		t.Fatalf("score %g outside [0,1]", pr.Score)
 	}
-	if got := srv.computes.Load(); got != 1 {
+	if got := srv.computes.Value(); got != 1 {
 		t.Fatalf("%d computations, want 1 (the rejected batch must compute nothing)", got)
 	}
 }
