@@ -22,6 +22,14 @@
 //	cloudwalkerload -base http://localhost:8089 -record fresh.json
 //	benchtab -compare-serving BENCH_serving.json -input fresh.json -tolerance 0.5
 //
+// The adaptive-sampling gate re-measures the deterministic walker-savings
+// fraction of the adaptive pair path on the benchmark graph (no bench
+// output needed — it is exact walker accounting, not timing) and fails
+// when it drops below the recorded walker_steps_saved_pct minus
+// -tolerance (absolute points) or below the hard 30% floor:
+//
+//	benchtab -compare-adaptive BENCH_walk.json -tolerance 0.1
+//
 // Scale multiplies the synthetic dataset sizes (and the simulated
 // per-machine memory, keeping the paper's broadcast-model memory wall at
 // the same relative position). Scale 1.0 runs the full synthetic profile
@@ -52,10 +60,20 @@ func main() {
 	label := flag.String("label", "", "bench-walk only: label for the appended run")
 	compare := flag.String("compare", "", "regression gate: trajectory JSON to compare `go test -bench` output against (exits 1 on regression)")
 	compareServing := flag.String("compare-serving", "", "serving regression gate: trajectory JSON (BENCH_serving.json) to compare a cloudwalkerload -record measurement against (exits 1 on regression)")
+	compareAdaptive := flag.String("compare-adaptive", "", "adaptive-sampling gate: trajectory JSON (BENCH_walk.json) whose recorded walker_steps_saved_pct a fresh deterministic measurement must match (exits 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "compare mode: tolerated fractional walker-steps/s (or serving QPS) drop")
 	input := flag.String("input", "-", "compare mode: bench output or measurement file ('-' = stdin)")
 	gomaxprocs := flag.Int("gomaxprocs", 0, "compare mode: match the baseline row recorded at this GOMAXPROCS (0 = latest run regardless)")
 	flag.Parse()
+
+	if *compareAdaptive != "" {
+		// Needs no -input: the measurement is recomputed in-process.
+		if err := bench.RunAdaptiveGate(*compareAdaptive, *tolerance, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare != "" || *compareServing != "" {
 		in := io.Reader(os.Stdin)

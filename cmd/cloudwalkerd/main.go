@@ -67,6 +67,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	dynamic := fs.Bool("dynamic", false, "accept incremental edge updates (POST /edges) with background compaction + hot-swap (POST /refresh)")
 	refreshAfter := fs.Int("refresh-after", 0, "auto-compact after this many pending updates (0 = manual refresh only; needs -dynamic)")
 	snapDir := fs.String("snapshot", "", "snapshot directory: POST /snapshot persists the serving state here, and a snapshot found here at startup is restored instead of -graph/-index/-store (resumes the saved generation, skips re-walking)")
+	epsilon := fs.Float64("epsilon", -1, "adaptive sampling default: serve queries adaptively with this target confidence half-width (0 = fixed budget, -1 = keep the index's build-time value); clients override per request with ?epsilon=")
+	deltaFlag := fs.Float64("delta", -1, "adaptive sampling default confidence failure probability in (0,1) (-1 = keep the index's value, falling back to 0.05)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for production profiling")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	router := fs.Bool("router", false, "run as a fleet router over -shards instead of serving a graph")
@@ -143,9 +145,26 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			fmt.Fprintf(out, "loaded all-pair store: %d nodes, k=%d\n", store.NumNodes(), store.K())
 		}
 	}
+	// Flag overrides land in the index options BEFORE the querier binds
+	// them: plain requests inherit the daemon default, and -dynamic's
+	// Reindex captures the same options, so rebuilt snapshots keep serving
+	// with the same adaptive behavior across hot-swaps. NewQuerier
+	// validates the combination (e.g. -epsilon needs a delta in (0,1)).
+	if *epsilon >= 0 {
+		idx.Opts.Epsilon = *epsilon
+	}
+	if *deltaFlag >= 0 {
+		idx.Opts.Delta = *deltaFlag
+	}
+	if idx.Opts.Epsilon > 0 && idx.Opts.Delta == 0 {
+		idx.Opts.Delta = cloudwalker.DefaultOptions().Delta
+	}
 	q, err := cloudwalker.NewQuerier(g, idx)
 	if err != nil {
 		return err
+	}
+	if idx.Opts.Epsilon > 0 {
+		fmt.Fprintf(out, "adaptive sampling default: epsilon=%g delta=%g\n", idx.Opts.Epsilon, idx.Opts.Delta)
 	}
 	cfg := cloudwalker.ServerConfig{
 		CacheSize:   *cacheSize,

@@ -55,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	label := fs.String("label", "", "label for the recorded run")
 	outPath := fs.String("out", "", "append the run to this trajectory JSON (BENCH_serving.json)")
 	record := fs.String("record", "", "write the raw measurement JSON here (input for benchtab -compare-serving)")
+	epsilon := fs.Float64("epsilon", 0, "when > 0, add a pair_adaptive phase driving /pair with this epsilon (adaptive sampling)")
 	clients := fs.Int("clients", wl.Clients, "closed-loop client goroutines")
 	duration := fs.Duration("duration", time.Duration(wl.DurationMs)*time.Millisecond, "measured window per phase")
 	warmup := fs.Duration("warmup", time.Duration(wl.WarmupMs)*time.Millisecond, "untimed warmup per phase (seeds the cache)")
@@ -128,6 +129,20 @@ func run(args []string, out io.Writer) error {
 		{"source", func(i int) error {
 			return drainGet(hc, baseURL+sourcePaths[i%len(sourcePaths)])
 		}},
+	}
+	if *epsilon > 0 {
+		// The adaptive phase reuses the SAME pinned hot pairs (appended
+		// after the pinned draws above, so enabling it never perturbs the
+		// other phases' request streams) with a per-request epsilon: the
+		// daemon runs only the walkers the confidence bound demands, and
+		// the recorded QPS tracks the serving-side win of adaptivity.
+		eps := fmt.Sprintf("&epsilon=%g", *epsilon)
+		phases = append(phases, struct {
+			name string
+			do   func(i int) error
+		}{"pair_adaptive", func(i int) error {
+			return drainGet(hc, baseURL+pairPaths[i%len(pairPaths)]+eps)
+		}})
 	}
 
 	run := bench.ServingRun{

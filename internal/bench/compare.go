@@ -246,3 +246,76 @@ func RunWalkCompare(trajPath string, in io.Reader, tolerance float64, gomaxprocs
 	}
 	return nil
 }
+
+// adaptiveSavingsFloor is the absolute minimum walker-savings fraction the
+// adaptive gate accepts regardless of history: the adaptive engine's
+// reason to exist is cutting ≥ 30% of pair-query walkers at the benchmark
+// (ε,δ) on the benchmark graph.
+const adaptiveSavingsFloor = 0.30
+
+// CompareAdaptive gates a freshly measured walker-savings fraction against
+// the trajectory: it must clear the absolute floor AND stay within
+// tolerance (absolute points, e.g. 0.1 = 10 points) of the latest recorded
+// walker_steps_saved_pct. Savings is exact walker accounting — identical
+// on every machine for the fixed benchmark seed — so unlike the
+// throughput gate there is no GOMAXPROCS baseline selection and the
+// tolerance only allows for deliberate, recorded algorithm changes.
+// Returns the recorded baseline value for rendering.
+func CompareAdaptive(file *WalkBenchFile, measured, tolerance float64) (float64, error) {
+	if tolerance < 0 || tolerance >= 1 {
+		return 0, fmt.Errorf("bench: tolerance %g outside [0,1)", tolerance)
+	}
+	recorded := -1.0
+	for i := len(file.Runs) - 1; i >= 0; i-- {
+		if m, ok := file.Runs[i].Metrics["single_pair_adaptive"]; ok && m.StepsSavedPct > 0 {
+			recorded = m.StepsSavedPct
+			break
+		}
+	}
+	if recorded < 0 {
+		return 0, fmt.Errorf("bench: trajectory has no run with a recorded single_pair_adaptive walker_steps_saved_pct (record one with benchtab -exp bench-walk)")
+	}
+	if measured < adaptiveSavingsFloor {
+		return recorded, fmt.Errorf("bench: adaptive walker savings %.1f%% below the %.0f%% floor", measured*100, adaptiveSavingsFloor*100)
+	}
+	if measured < recorded-tolerance {
+		return recorded, fmt.Errorf("bench: adaptive walker savings %.1f%% fell more than %.0f points below recorded %.1f%%", measured*100, tolerance*100, recorded*100)
+	}
+	return recorded, nil
+}
+
+// RunAdaptiveGate is the `benchtab -compare-adaptive` entry point: rebuild
+// the benchmark graph and index, measure the adaptive pair path's walker
+// savings over the pinned query set, and gate it against the trajectory.
+func RunAdaptiveGate(trajPath string, tolerance float64, w io.Writer) error {
+	file, err := LoadWalkBenchFile(trajPath)
+	if err != nil {
+		return err
+	}
+	cfg := Config{Verbose: w}
+	g, q, _, err := walkBenchGraph(cfg)
+	if err != nil {
+		return err
+	}
+	measured, err := MeasureAdaptiveSavings(q, walkBenchPairs(g.NumNodes()), walkBenchEpsilon, walkBenchDelta)
+	if err != nil {
+		return err
+	}
+	recorded, gateErr := CompareAdaptive(file, measured, tolerance)
+	verdict := "ok"
+	if gateErr != nil {
+		verdict = "FAILED"
+	}
+	t := NewTable(
+		fmt.Sprintf("Adaptive walker-savings gate (eps=%g, delta=%g, floor %.0f%%, tolerance %.0f points)",
+			walkBenchEpsilon, walkBenchDelta, adaptiveSavingsFloor*100, tolerance*100),
+		"Metric", "measured", "recorded", "verdict")
+	t.Add("walker_steps_saved_pct",
+		fmt.Sprintf("%.1f%%", measured*100),
+		fmt.Sprintf("%.1f%%", recorded*100),
+		verdict)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	return gateErr
+}

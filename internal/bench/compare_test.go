@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/gen"
 )
 
 // fakeTrajectory builds a WalkBenchFile whose latest run records the
@@ -414,5 +417,118 @@ func TestRunWalkCompareEndToEnd(t *testing.T) {
 	}
 	if len(real.Runs) == 0 {
 		t.Fatal("repo BENCH_walk.json has no runs")
+	}
+}
+
+// adaptiveTrajectory is fakeTrajectory plus a recorded
+// single_pair_adaptive metric carrying walker_steps_saved_pct.
+func adaptiveTrajectory(savedPct float64) *WalkBenchFile {
+	file := fakeTrajectory(baselineNs)
+	file.Runs[0].Metrics["single_pair_adaptive"] = WalkBenchMetric{
+		NsPerOp:       123456,
+		StepsSavedPct: savedPct,
+	}
+	return file
+}
+
+func TestCompareAdaptivePasses(t *testing.T) {
+	file := adaptiveTrajectory(0.47)
+	recorded, err := CompareAdaptive(file, 0.45, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded != 0.47 {
+		t.Fatalf("recorded = %g, want 0.47", recorded)
+	}
+	// Better-than-recorded savings also pass.
+	if _, err := CompareAdaptive(file, 0.60, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAdaptiveFailsBelowFloor(t *testing.T) {
+	// Even a measurement within tolerance of the recorded value fails if
+	// it sits below the acceptance floor.
+	file := adaptiveTrajectory(0.31)
+	if _, err := CompareAdaptive(file, 0.25, 0.1); err == nil {
+		t.Fatal("savings below the 30% floor must fail")
+	}
+}
+
+func TestCompareAdaptiveFailsOutsideTolerance(t *testing.T) {
+	file := adaptiveTrajectory(0.55)
+	if _, err := CompareAdaptive(file, 0.40, 0.1); err == nil {
+		t.Fatal("savings 15 points below recorded must fail at 0.1 tolerance")
+	}
+	// ...but passes with a wide enough band (still above the floor).
+	if _, err := CompareAdaptive(file, 0.40, 0.2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAdaptiveRequiresRecordedRun(t *testing.T) {
+	if _, err := CompareAdaptive(fakeTrajectory(baselineNs), 0.5, 0.1); err == nil {
+		t.Fatal("trajectory without an adaptive metric must fail")
+	}
+	// A zero-valued StepsSavedPct (old-format run) is not a baseline either.
+	if _, err := CompareAdaptive(adaptiveTrajectory(0), 0.5, 0.1); err == nil {
+		t.Fatal("zero recorded savings must not arm the gate")
+	}
+}
+
+func TestCompareAdaptiveUsesLatestRecordedRun(t *testing.T) {
+	file := adaptiveTrajectory(0.40)
+	later := WalkBenchRun{Label: "later", Metrics: map[string]WalkBenchMetric{
+		"single_pair_adaptive": {StepsSavedPct: 0.55},
+	}}
+	file.Runs = append(file.Runs, later)
+	if _, err := CompareAdaptive(file, 0.42, 0.1); err == nil {
+		t.Fatal("gate must compare against the LATEST recorded savings (0.55), not 0.40")
+	}
+	recorded, err := CompareAdaptive(file, 0.50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded != 0.55 {
+		t.Fatalf("recorded = %g, want latest 0.55", recorded)
+	}
+}
+
+func TestCompareAdaptiveValidation(t *testing.T) {
+	file := adaptiveTrajectory(0.47)
+	for _, tol := range []float64{-0.1, 1, 1.5} {
+		if _, err := CompareAdaptive(file, 0.47, tol); err == nil {
+			t.Errorf("tolerance %g accepted", tol)
+		}
+	}
+}
+
+func TestMeasureAdaptiveSavingsSmoke(t *testing.T) {
+	g, err := gen.RMAT(500, 4000, gen.DefaultRMAT, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.T = 8
+	opts.R = 50
+	opts.RPrime = 1000
+	opts.Seed = 7
+	idx, _, err := core.BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.NewQuerier(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, err := MeasureAdaptiveSavings(q, walkBenchPairs(g.NumNodes()), walkBenchEpsilon, walkBenchDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved < 0 || saved >= 1 {
+		t.Fatalf("savings %g outside [0,1)", saved)
+	}
+	if _, err := MeasureAdaptiveSavings(q, nil, walkBenchEpsilon, walkBenchDelta); err == nil {
+		t.Fatal("empty pair set must error, not report 100% savings")
 	}
 }

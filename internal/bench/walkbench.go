@@ -32,6 +32,13 @@ const (
 	// GOMAXPROCS workers dominates the merge, small enough to keep one
 	// op under a few milliseconds single-threaded.
 	walkBenchShardR = 20000
+	// The adaptive kernel's accuracy target: the single_pair_adaptive
+	// row runs SinglePairAdaptive at this (ε,δ) over the same pinned
+	// pairs, and its walker_steps_saved_pct metric records the fraction
+	// of the fixed R' budget adaptivity avoided (gated by `benchtab
+	// -compare-adaptive`).
+	walkBenchEpsilon = 0.01
+	walkBenchDelta   = 0.05
 )
 
 // WalkBenchMetric is one kernel's measurement in a walk-bench run.
@@ -43,6 +50,13 @@ type WalkBenchMetric struct {
 	// fixed nominal step count per op (dead walkers still count), so the
 	// ratio between two runs is exactly the inverse ns/op ratio.
 	StepsPerSec float64 `json:"walker_steps_per_sec,omitempty"`
+	// StepsSavedPct is the fraction (0..1) of the fixed walker budget an
+	// adaptive kernel avoided at the benchmark's (ε,δ) across the pinned
+	// query set. It is measured by exact walker accounting, not timing,
+	// so it is deterministic for a fixed seed and gets its own exact
+	// regression gate (`benchtab -compare-adaptive`) instead of riding
+	// the noisy throughput gate.
+	StepsSavedPct float64 `json:"walker_steps_saved_pct,omitempty"`
 	// SkipReason, when non-empty, marks this metric as not gateable: the
 	// regression comparator reports it as skipped (with this reason)
 	// instead of requiring a fresh measurement to beat it. Use it when a
@@ -133,17 +147,7 @@ func nominalStepsPerOp(opts core.Options) map[string]float64 {
 // and the recorded numbers cannot drift apart.
 func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []kernelBench {
 	n := g.NumNodes()
-	// Query endpoints are fixed pseudo-random nodes so every run (and
-	// every PR) measures the same work.
-	src := xrand.New(99)
-	pairs := make([][2]int, 64)
-	for i := range pairs {
-		a, b := src.Intn(n), src.Intn(n)
-		if a == b {
-			b = (b + 1) % n
-		}
-		pairs[i] = [2]int{a, b}
-	}
+	pairs := walkBenchPairs(n)
 	steps := nominalStepsPerOp(opts)
 	return []kernelBench{
 		{
@@ -154,6 +158,23 @@ func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []ker
 				for i := 0; i < b.N; i++ {
 					p := pairs[i%len(pairs)]
 					if _, err := q.SinglePair(p[0], p[1]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// The adaptive pair query at the benchmark (ε,δ). Its
+			// throughput is workload-dependent by design (it runs only
+			// the walkers the confidence bound demands), so no nominal
+			// step count: the row is excluded from the steps/s gate and
+			// gated on walker_steps_saved_pct instead.
+			name: "single_pair_adaptive",
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					if _, err := q.SinglePairAdaptive(p[0], p[1], walkBenchEpsilon, walkBenchDelta); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -220,6 +241,42 @@ func walkKernelBenches(g *graph.Graph, q *core.Querier, opts core.Options) []ker
 			},
 		},
 	}
+}
+
+// walkBenchPairs returns the benchmark's pinned query endpoints: fixed
+// pseudo-random nodes so every run (and every PR) measures the same work.
+func walkBenchPairs(n int) [][2]int {
+	src := xrand.New(99)
+	pairs := make([][2]int, 64)
+	for i := range pairs {
+		a, b := src.Intn(n), src.Intn(n)
+		if a == b {
+			b = (b + 1) % n
+		}
+		pairs[i] = [2]int{a, b}
+	}
+	return pairs
+}
+
+// MeasureAdaptiveSavings runs SinglePairAdaptive once per pinned pair and
+// returns the fraction of the fixed walker budget the adaptive stops
+// avoided: 1 − Σ walkers_run / Σ budget. Pure walker accounting — no
+// timing — so the result is exactly reproducible for a fixed graph and
+// seed, which is what lets CI gate on it with zero tolerance for noise.
+func MeasureAdaptiveSavings(q *core.Querier, pairs [][2]int, eps, delta float64) (float64, error) {
+	var run, budget int
+	for _, p := range pairs {
+		pe, err := q.SinglePairAdaptive(p[0], p[1], eps, delta)
+		if err != nil {
+			return 0, err
+		}
+		run += pe.Walkers
+		budget += pe.Budget
+	}
+	if budget == 0 {
+		return 0, fmt.Errorf("bench: adaptive savings measured over zero budget")
+	}
+	return 1 - float64(run)/float64(budget), nil
 }
 
 // walkBenchGraph generates the benchmark's fixed RMAT graph and its index.
@@ -297,6 +354,22 @@ func RunWalkBench(cfg Config) ([]*Table, error) {
 			fmt.Sprintf("%d", m.BytesPerOp),
 			fmt.Sprintf("%.2f", m.StepsPerSec/1e6))
 	}
+
+	// Attach the deterministic walker-savings measurement to the adaptive
+	// kernel's row. Separate from the timing loop: testing.Benchmark picks
+	// its own iteration count, but savings must be counted exactly once
+	// per pinned pair.
+	cfg.logf("[bench-walk] measuring adaptive walker savings (eps=%g, delta=%g)...",
+		walkBenchEpsilon, walkBenchDelta)
+	saved, err := MeasureAdaptiveSavings(q, walkBenchPairs(g.NumNodes()), walkBenchEpsilon, walkBenchDelta)
+	if err != nil {
+		return nil, err
+	}
+	m := run.Metrics["single_pair_adaptive"]
+	m.StepsSavedPct = saved
+	run.Metrics["single_pair_adaptive"] = m
+	t.Add("adaptive walkers saved",
+		fmt.Sprintf("%.1f%%", saved*100), "-", "-", "-")
 
 	if cfg.WalkJSONOut != "" {
 		if err := appendWalkBenchRun(cfg.WalkJSONOut, run); err != nil {

@@ -1,0 +1,257 @@
+// Adaptive (ε,δ) query paths: confidence-driven early stopping over the
+// wave-mode walk kernels (internal/walk/adaptive.go).
+//
+// The fixed-budget estimators always spend R' walkers per endpoint. The
+// adaptive paths launch the same walker population in geometric waves
+// and stop as soon as an empirical-Bernstein interval on the estimate is
+// narrower than the caller's ε at confidence 1−δ, capped by R'. Because
+// each wave runs the walkers' own substreams and merges integer counts,
+// an adaptive query that happens to reach the cap returns the
+// fixed-budget answer bit for bit — adaptivity only ever removes tail
+// walkers the confidence bound proved unnecessary.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/walk"
+	"cloudwalker/internal/xrand"
+)
+
+// PairEstimate is an adaptive single-pair result: the score plus what
+// the query spent and how tight the bound was when it stopped.
+type PairEstimate struct {
+	Score float64
+	// HalfWidth is the empirical-Bernstein confidence half-width at the
+	// stop point: the true MCSP estimand lies within ±HalfWidth of
+	// Score with probability ≥ 1−δ.
+	HalfWidth float64
+	// Walkers actually run per endpoint; Budget is the configured R'
+	// cap. Budget−Walkers is what adaptivity saved.
+	Walkers int
+	Budget  int
+	// Stopped reports an early stop (Walkers < Budget).
+	Stopped bool
+}
+
+// SourceEstimate is the adaptive single-source counterpart. Its
+// half-width is a per-entry heuristic (see SingleSourceAdaptiveInto),
+// not the rigorous pair bound.
+type SourceEstimate struct {
+	HalfWidth float64
+	Walkers   int
+	Budget    int
+	Stopped   bool
+}
+
+// checkAdaptiveParams validates a per-query (ε,δ) request. NaN fails
+// every comparison, so finiteness is checked explicitly.
+func checkAdaptiveParams(eps, delta float64) error {
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 || eps >= 1 {
+		return fmt.Errorf("core: epsilon %g outside [0,1)", eps)
+	}
+	if eps > 0 && (math.IsNaN(delta) || delta <= 0 || delta >= 1) {
+		return fmt.Errorf("core: adaptive sampling needs delta in (0,1), got %g", delta)
+	}
+	return nil
+}
+
+// SinglePairAdaptive is SinglePair with per-query accuracy targets: it
+// stops launching walkers once the empirical-Bernstein interval around
+// the estimate is narrower than eps at confidence 1−delta, capped at
+// the index's R'. eps = 0 runs the fixed budget and reports full cost.
+//
+// The per-walker stopping statistic is the paired sample
+// X_w = Σ_t c^t·D[v]·1(walker w of side i and walker w of side j both
+// occupy node v at step t) — iid across w with mean equal to the MCSP
+// estimand. The bound uses the calibrated single-meeting range
+// b = c·max(D) rather than the worst case Σ_t c^t·max(D): a walker pair
+// that re-meets contributes exponentially damped extra terms, and the
+// rigorous range makes the interval so wide the engine never stops
+// inside realistic budgets. The empirical variance term still sees
+// multi-meeting samples; the coverage test pins the calibrated
+// interval's actual coverage against exact scores. The returned Score
+// is the lower-variance cross-product of the accumulated per-side
+// distributions, which estimates the same quantity.
+func (q *Querier) SinglePairAdaptive(i, j int, eps, delta float64) (PairEstimate, error) {
+	if err := q.checkNode(i); err != nil {
+		return PairEstimate{}, err
+	}
+	if err := q.checkNode(j); err != nil {
+		return PairEstimate{}, err
+	}
+	if err := checkAdaptiveParams(eps, delta); err != nil {
+		return PairEstimate{}, err
+	}
+	if i == j {
+		return PairEstimate{Score: 1}, nil
+	}
+	if eps == 0 {
+		s, err := q.singlePairFixed(i, j)
+		budget := q.index.Opts.RPrime
+		return PairEstimate{Score: s, Walkers: budget, Budget: budget}, err
+	}
+	return q.singlePairAdaptive(i, j, eps, delta)
+}
+
+// singlePairAdaptive runs the wave loop; callers have validated inputs
+// and handled the degenerate cases.
+func (q *Querier) singlePairAdaptive(i, j int, eps, delta float64) (PairEstimate, error) {
+	opts := q.index.Opts
+	T := opts.T
+	budget := opts.RPrime
+	sched := walk.AdaptiveSchedule(budget)
+	L := walk.AdaptiveLogTerm(delta, len(sched)-1)
+	b := opts.C * q.maxDiag // calibrated single-meeting range; see SinglePairAdaptive
+	diag := q.index.Diag
+	seedA := xrand.Mix(opts.Seed, pairStream(i, j, 0))
+	seedB := xrand.Mix(opts.Seed, pairStream(i, j, 1))
+
+	qs := q.pool.Get().(*queryScratch)
+	defer q.pool.Put(qs)
+	qs.wavA.Reset(T)
+	qs.wavB.Reset(T)
+
+	var sum, sumsq float64
+	prev := 0
+	hw := math.Inf(1)
+	stopped := false
+	for wi, cum := range sched {
+		rw := cum - prev
+		if cap(qs.trA) < T*rw {
+			qs.trA = make([]int32, T*rw)
+			qs.trB = make([]int32, T*rw)
+		}
+		trA, trB := qs.trA[:T*rw], qs.trB[:T*rw]
+		// Walkers prev..cum-1 of each side: the same substreams the
+		// fixed-budget run would give them, so any stop point is a
+		// prefix of the fixed walker population.
+		qs.sc.DistCountsWave(&qs.bufA, q.vw, i, T, rw, seedA, uint64(prev), trA)
+		qs.wavA.Merge(&qs.bufA, T)
+		qs.sc.DistCountsWave(&qs.bufB, q.vw, j, T, rw, seedB, uint64(prev), trB)
+		qs.wavB.Merge(&qs.bufB, T)
+		for w := 0; w < rw; w++ {
+			x := 0.0
+			for t := 1; t <= T; t++ {
+				a := trA[(t-1)*rw+w]
+				if a < 0 {
+					break // side-i walker dead: no further meetings
+				}
+				if a == trB[(t-1)*rw+w] {
+					x += q.ct[t] * diag[a]
+				}
+			}
+			sum += x
+			sumsq += x * x
+		}
+		prev = cum
+		hw = walk.AdaptiveHalfWidth(sum, sumsq, prev, L, b)
+		if wi < len(sched)-1 && hw <= eps {
+			stopped = true
+			break
+		}
+	}
+
+	// Score from the accumulated integer counts, scaled by the actual
+	// population once — at the cap these are exactly the fixed-budget
+	// distributions, so the score matches SinglePair bit for bit.
+	di := qs.wavA.Scale(T, prev)
+	dj := qs.wavB.Scale(T, prev)
+	s := 0.0
+	for t := 1; t <= T; t++ { // t = 0 term is 0 for i != j
+		s += q.ct[t] * sparse.WeightedDot(&di[t], &dj[t], diag)
+	}
+	return PairEstimate{
+		Score:     clamp01(s),
+		HalfWidth: hw,
+		Walkers:   prev,
+		Budget:    budget,
+		Stopped:   stopped,
+	}, nil
+}
+
+// SingleSourceAdaptive is SingleSource (walk mode) with adaptive
+// stopping; see SingleSourceAdaptiveInto.
+func (qr *Querier) SingleSourceAdaptive(q int, eps, delta float64) (*sparse.Vector, SourceEstimate, error) {
+	out := &sparse.Vector{}
+	se, err := qr.SingleSourceAdaptiveInto(q, eps, delta, out)
+	if err != nil {
+		return nil, se, err
+	}
+	return out, se, nil
+}
+
+// SingleSourceAdaptiveInto runs the MCSS walk estimator in waves,
+// accumulating unscaled deposits, and stops once a per-entry confidence
+// heuristic is below eps: with n walkers run, every entry's estimate is
+// a mean of deposits bounded by the largest single deposit d_max with
+// second-moment sum ≤ m2_max, giving half-width
+// sqrt(2·(m2_max/n)·L/n) + d_max·L/n for the worst entry. This is a
+// heuristic rather than a simultaneous bound over all n entries (the
+// union bound would never stop); the agreement tests pin its accuracy
+// empirically. eps = 0 runs the fixed budget.
+//
+// Unlike the pair path, the stop point is NOT bit-identical to the
+// fixed-budget estimator at the cap: deposits are scaled by 1/n once at
+// flush instead of ride-along, which reorders the float multiplications
+// by a few ulps. Adaptive answers are accuracy-bounded, not bit-pinned;
+// Epsilon = 0 keeps the bit-identical legacy path.
+func (qr *Querier) SingleSourceAdaptiveInto(q int, eps, delta float64, out *sparse.Vector) (SourceEstimate, error) {
+	if err := qr.checkNode(q); err != nil {
+		return SourceEstimate{}, err
+	}
+	if err := checkAdaptiveParams(eps, delta); err != nil {
+		return SourceEstimate{}, err
+	}
+	opts := qr.index.Opts
+	budget := opts.RPrime
+	if eps == 0 {
+		err := qr.singleSourceWalk(q, opts, out)
+		return SourceEstimate{Walkers: budget, Budget: budget}, err
+	}
+	sched := walk.AdaptiveSchedule(budget)
+	L := walk.AdaptiveLogTerm(delta, len(sched)-1)
+	seed := xrand.Mix(opts.Seed, uint64(q)*2654435761+17)
+
+	qs := qr.pool.Get().(*queryScratch)
+	defer qr.pool.Put(qs)
+
+	var dMax, m2Max float64
+	prev := 0
+	hw := math.Inf(1)
+	stopped := false
+	for wi, cum := range sched {
+		rw := cum - prev
+		d, m2 := qs.sc.SingleSourceWalkWave(qr.vw, q, opts.T, rw, qr.ct, qr.index.Diag, seed, uint64(prev))
+		if d > dMax {
+			dMax = d
+		}
+		if m2 > m2Max {
+			m2Max = m2
+		}
+		prev = cum
+		fn := float64(prev)
+		hw = math.Sqrt(2*(m2Max/fn)*L/fn) + dMax*L/fn
+		if wi < len(sched)-1 && hw <= eps {
+			stopped = true
+			break
+		}
+	}
+	qs.sc.FlushScaledInto(out, 1/float64(prev))
+	clampVec(out)
+	pin(out, q)
+	return SourceEstimate{HalfWidth: hw, Walkers: prev, Budget: budget, Stopped: stopped}, nil
+}
+
+// adaptiveRowParams derives the row estimator's stopping inputs from the
+// build options: the union-bound log term over the schedule's
+// checkpoints and the calibrated single-meeting sample range c (row
+// meeting samples carry no diagonal factor; see SinglePairAdaptive for
+// why the range is the single-meeting value, not Σ_{t≥1} c^t).
+func adaptiveRowParams(opts Options) (L, b float64) {
+	checks := len(walk.AdaptiveSchedule(opts.R)) - 1
+	L = walk.AdaptiveLogTerm(opts.Delta, checks)
+	return L, opts.C
+}

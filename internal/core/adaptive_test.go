@@ -1,0 +1,410 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+// adaptiveQuerier builds an index + querier on g with the agreement
+// fixture's parameters; epsilon/delta stay at the caller's values.
+func adaptiveQuerier(t *testing.T, g *graph.Graph, eps, delta float64) *Querier {
+	t.Helper()
+	opts := Options{C: 0.6, T: 8, L: 3, R: 100, RPrime: 2000, Workers: 0, Seed: 5,
+		Epsilon: eps, Delta: delta}
+	idx, _, err := BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuerier(g, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func adaptiveTestPairs(n, count int) [][2]int {
+	src := xrand.New(202)
+	pairs := make([][2]int, count)
+	for k := range pairs {
+		a, b := src.Intn(n), src.Intn(n)
+		if a == b {
+			b = (b + 1) % n
+		}
+		pairs[k] = [2]int{a, b}
+	}
+	return pairs
+}
+
+// TestSinglePairAdaptiveCapBitIdentical is the headline determinism
+// contract: an adaptive query whose epsilon is unreachable runs every
+// wave to the R' cap and must return the fixed-budget score bit for
+// bit — adaptivity may only remove walkers, never change them.
+func TestSinglePairAdaptiveCapBitIdentical(t *testing.T) {
+	g, err := gen.RMAT(400, 3200, gen.DefaultRMAT, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := adaptiveQuerier(t, g, 0, 0)
+	for _, p := range adaptiveTestPairs(g.NumNodes(), 12) {
+		want, err := q.SinglePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe, err := q.SinglePairAdaptive(p[0], p[1], 1e-12, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe.Stopped || pe.Walkers != pe.Budget || pe.Budget != 2000 {
+			t.Fatalf("pair %v: unreachable epsilon must run the cap, got %+v", p, pe)
+		}
+		if pe.Score != want {
+			t.Fatalf("pair %v: adaptive cap %v != fixed %v", p, pe.Score, want)
+		}
+	}
+}
+
+func TestSinglePairAdaptiveSelfPair(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := adaptiveQuerier(t, g, 0, 0)
+	pe, err := q.SinglePairAdaptive(7, 7, 0.01, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Score != 1 || pe.Walkers != 0 || pe.HalfWidth != 0 {
+		t.Fatalf("self pair must be exact and free, got %+v", pe)
+	}
+}
+
+// TestSinglePairAdaptiveAgreesWithFixed: on both an rmat graph and a
+// hub-heavy preferential-attachment graph, the early-stopped estimate
+// must land within epsilon of the full fixed-budget answer, and at
+// least some pairs must actually stop early (otherwise the test proves
+// nothing about adaptivity).
+func TestSinglePairAdaptiveAgreesWithFixed(t *testing.T) {
+	rmat, err := gen.RMAT(400, 3200, gen.DefaultRMAT, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := gen.BarabasiAlbert(400, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps, delta = 0.02, 0.05
+	for name, g := range map[string]*graph.Graph{"rmat": rmat, "hub": hub} {
+		q := adaptiveQuerier(t, g, 0, 0)
+		stopped := 0
+		for _, p := range adaptiveTestPairs(g.NumNodes(), 24) {
+			want, err := q.SinglePair(p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			pe, err := q.SinglePairAdaptive(p[0], p[1], eps, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(pe.Score - want); d > eps {
+				t.Errorf("%s pair %v: |adaptive-fixed| = %g > epsilon %g (%+v)",
+					name, p, d, eps, pe)
+			}
+			if pe.Stopped {
+				stopped++
+				if pe.HalfWidth >= eps {
+					t.Errorf("%s pair %v: stopped with half-width %g >= epsilon %g",
+						name, p, pe.HalfWidth, eps)
+				}
+			}
+		}
+		if stopped == 0 {
+			t.Errorf("%s: no pair stopped early at epsilon %g — adaptivity inert", name, eps)
+		}
+	}
+}
+
+// TestSinglePairAdaptiveCoverage checks the statistical promise behind
+// the reported interval: score ± half-width must contain a high-R'
+// reference estimate of the same MCSP estimand for at least 95% of
+// pairs at delta = 0.05. Seeds are fixed, so the observed coverage is
+// deterministic; the reference's own Monte Carlo error gets a small
+// explicit allowance.
+func TestSinglePairAdaptiveCoverage(t *testing.T) {
+	g, err := gen.RMAT(1000, 8000, gen.DefaultRMAT, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := adaptiveQuerier(t, g, 0, 0)
+	opts := q.Index().Opts
+	pairs := adaptiveTestPairs(g.NumNodes(), 32)
+	const refR = 120000
+	const refErr = 0.002 // ~3 standard errors of the R''=120k reference
+	covered := 0
+	for _, p := range pairs {
+		pe, err := q.SinglePairAdaptive(p[0], p[1], 0.01, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := DirectSinglePair(g, p[0], p[1], opts.C, opts.T, refR, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pe.Score-ref) <= pe.HalfWidth+refErr {
+			covered++
+		} else {
+			t.Logf("pair %v uncovered: score %g ref %g hw %g", p, pe.Score, ref, pe.HalfWidth)
+		}
+	}
+	if min := (len(pairs)*95 + 99) / 100; covered < min {
+		t.Fatalf("coverage %d/%d below 95%%", covered, len(pairs))
+	}
+}
+
+// TestIndexEpsilonRoutesSinglePair: an index built with Epsilon > 0
+// makes plain SinglePair adaptive by default, while an explicit
+// epsilon = 0 call on the same querier still forces the fixed path.
+func TestIndexEpsilonRoutesSinglePair(t *testing.T) {
+	g, err := gen.RMAT(400, 3200, gen.DefaultRMAT, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := adaptiveQuerier(t, g, 0, 0)
+	adaptive := adaptiveQuerier(t, g, 0.02, 0.05)
+	for _, p := range adaptiveTestPairs(g.NumNodes(), 8) {
+		viaDefault, err := adaptive.SinglePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe, err := adaptive.SinglePairAdaptive(p[0], p[1], 0.02, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaDefault != pe.Score {
+			t.Fatalf("pair %v: SinglePair %v != explicit adaptive %v", p, viaDefault, pe.Score)
+		}
+		optOut, err := adaptive.SinglePairAdaptive(p[0], p[1], 0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fixed.SinglePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optOut.Score != want || optOut.Walkers != optOut.Budget {
+			t.Fatalf("pair %v: epsilon=0 opt-out %+v != fixed %v", p, optOut, want)
+		}
+	}
+}
+
+// TestSingleSourceAdaptiveCapAgreement: with an unreachable epsilon the
+// adaptive single-source estimate runs to the cap and must agree with
+// the fixed WalkSS path to accumulation-order noise (the wave kernel
+// scales once at flush instead of per deposit, so bit identity is not
+// promised — see SingleSourceAdaptiveInto).
+func TestSingleSourceAdaptiveCapAgreement(t *testing.T) {
+	g, err := gen.RMAT(400, 3200, gen.DefaultRMAT, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := adaptiveQuerier(t, g, 0, 0)
+	for _, node := range []int{0, 7, 399} {
+		want, err := q.SingleSource(node, WalkSS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, est, err := q.SingleSourceAdaptive(node, 1e-12, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A node whose walkers all die instantly deposits nothing, has an
+		// exactly-zero half-width, and may legitimately stop at the first
+		// checkpoint even at epsilon = 1e-12; everything else must cap out.
+		if est.Stopped && est.HalfWidth > 0 {
+			t.Fatalf("node %d: unreachable epsilon must run the cap, got %+v", node, est)
+		}
+		if len(got.Idx) != len(want.Idx) {
+			t.Fatalf("node %d: nnz %d vs %d", node, len(got.Idx), len(want.Idx))
+		}
+		for k := range want.Idx {
+			if got.Idx[k] != want.Idx[k] {
+				t.Fatalf("node %d entry %d: idx %d vs %d", node, k, got.Idx[k], want.Idx[k])
+			}
+			if d := math.Abs(got.Val[k] - want.Val[k]); d > 1e-12*(1+math.Abs(want.Val[k])) {
+				t.Fatalf("node %d entry %d: %g vs %g", node, k, got.Val[k], want.Val[k])
+			}
+		}
+	}
+}
+
+// TestSingleSourceAdaptiveEarlyStop: from a star leaf every walker dies
+// at the dangling hub, deposits stay tiny, and the query must stop well
+// short of the cap while keeping s(q,q) pinned to 1.
+func TestSingleSourceAdaptiveEarlyStop(t *testing.T) {
+	g, err := gen.Star(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := adaptiveQuerier(t, g, 0, 0)
+	v, est, err := q.SingleSourceAdaptive(3, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Stopped || est.Walkers >= est.Budget {
+		t.Fatalf("star leaf should stop early, got %+v", est)
+	}
+	self := 0.0
+	for k, idx := range v.Idx {
+		if idx == 3 {
+			self = v.Val[k]
+		}
+	}
+	if self != 1 {
+		t.Fatalf("s(q,q) must stay pinned to 1, got %g", self)
+	}
+}
+
+func TestAdaptiveParamValidation(t *testing.T) {
+	g, err := gen.ErdosRenyi(40, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := adaptiveQuerier(t, g, 0, 0)
+	bad := []struct {
+		name       string
+		eps, delta float64
+	}{
+		{"negative epsilon", -0.01, 0.05},
+		{"epsilon one", 1, 0.05},
+		{"epsilon above one", 1.5, 0.05},
+		{"epsilon NaN", math.NaN(), 0.05},
+		{"epsilon Inf", math.Inf(1), 0.05},
+		{"delta zero", 0.01, 0},
+		{"delta one", 0.01, 1},
+		{"delta negative", 0.01, -0.05},
+		{"delta NaN", 0.01, math.NaN()},
+		{"delta Inf", 0.01, math.Inf(1)},
+	}
+	for _, tc := range bad {
+		if _, err := q.SinglePairAdaptive(1, 2, tc.eps, tc.delta); err == nil {
+			t.Errorf("SinglePairAdaptive accepted %s", tc.name)
+		}
+		if _, _, err := q.SingleSourceAdaptive(1, tc.eps, tc.delta); err == nil {
+			t.Errorf("SingleSourceAdaptive accepted %s", tc.name)
+		}
+	}
+	// Out-of-range nodes still error before any walking.
+	if _, err := q.SinglePairAdaptive(-1, 2, 0.01, 0.05); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, _, err := q.SingleSourceAdaptive(g.NumNodes(), 0.01, 0.05); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+// TestOptionsValidateNonFinite is the satellite fix: Validate must
+// reject NaN/Inf smuggled into any float option, not just values that
+// fail the range comparisons.
+func TestOptionsValidateNonFinite(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		ok     bool
+	}{
+		{"C NaN", func(o *Options) { o.C = math.NaN() }, false},
+		{"C +Inf", func(o *Options) { o.C = math.Inf(1) }, false},
+		{"C -Inf", func(o *Options) { o.C = math.Inf(-1) }, false},
+		{"PruneEps NaN", func(o *Options) { o.PruneEps = math.NaN() }, false},
+		{"PruneEps +Inf", func(o *Options) { o.PruneEps = math.Inf(1) }, false},
+		{"Epsilon NaN", func(o *Options) { o.Epsilon = math.NaN() }, false},
+		{"Epsilon +Inf", func(o *Options) { o.Epsilon = math.Inf(1) }, false},
+		{"Epsilon -Inf", func(o *Options) { o.Epsilon = math.Inf(-1) }, false},
+		{"Epsilon negative", func(o *Options) { o.Epsilon = -0.01 }, false},
+		{"Epsilon one", func(o *Options) { o.Epsilon = 1 }, false},
+		{"Delta NaN", func(o *Options) { o.Epsilon = 0.01; o.Delta = math.NaN() }, false},
+		{"Delta +Inf", func(o *Options) { o.Epsilon = 0.01; o.Delta = math.Inf(1) }, false},
+		{"Delta negative", func(o *Options) { o.Delta = -0.1 }, false},
+		{"Delta one", func(o *Options) { o.Delta = 1 }, false},
+		{"adaptive pair", func(o *Options) { o.Epsilon = 0.01; o.Delta = 0.05 }, true},
+		{"legacy zero epsilon", func(o *Options) { o.Epsilon = 0 }, true},
+	}
+	for _, tc := range cases {
+		o := DefaultOptions()
+		tc.mutate(&o)
+		if err := o.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestBuildSystemAdaptiveWorkerInvariant: the adaptive row estimator
+// keeps the batched engine's contract — for a fixed seed the built
+// system is bit-identical at any worker count, because every walker
+// owns substream i·R+w regardless of which wave or shard ran it.
+func TestBuildSystemAdaptiveWorkerInvariant(t *testing.T) {
+	g, err := gen.RMAT(300, 2400, gen.DefaultRMAT, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{C: 0.6, T: 8, L: 3, R: 400, RPrime: 1000, Seed: 5,
+		Epsilon: 0.02, Delta: 0.05}
+	build := func(workers int) *sparse.Matrix {
+		o := opts
+		o.Workers = workers
+		a, err := BuildSystem(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a1, a4 := build(1), build(4)
+	for i := 0; i < a1.Rows(); i++ {
+		r1, r4 := a1.Row(i), a4.Row(i)
+		if len(r1.Idx) != len(r4.Idx) {
+			t.Fatalf("row %d: nnz %d vs %d", i, len(r1.Idx), len(r4.Idx))
+		}
+		for k := range r1.Idx {
+			if r1.Idx[k] != r4.Idx[k] || r1.Val[k] != r4.Val[k] {
+				t.Fatalf("row %d entry %d differs across worker counts", i, k)
+			}
+		}
+	}
+}
+
+// TestIndexSerializationRoundtripAdaptive: Epsilon/Delta survive the v2
+// on-disk format, and a v1 header (written by the previous release)
+// still reads back with them zeroed.
+func TestIndexSerializationRoundtripAdaptive(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 150, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.T = 6
+	opts.R = 50
+	opts.Epsilon = 0.01
+	opts.Delta = 0.1
+	idx, _, err := BuildIndex(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Opts != idx.Opts {
+		t.Fatalf("options changed across roundtrip: %+v vs %+v", got.Opts, idx.Opts)
+	}
+	if got.Opts.Epsilon != 0.01 || got.Opts.Delta != 0.1 {
+		t.Fatalf("adaptive params lost: %+v", got.Opts)
+	}
+}

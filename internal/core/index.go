@@ -41,7 +41,17 @@ func BuildRow(g *graph.Graph, i int, opts Options) *sparse.Vector {
 // output is identical to BuildRow for the same (graph, i, opts): walker
 // w of row i draws from stream opts.Seed/(i·R+w), so a row's value does
 // not depend on which worker — or which simulated machine — computes it.
+// With Options.Epsilon > 0 the row runs adaptively: waves of walkers
+// stop early once the row's confidence half-width is below Epsilon
+// (still capped by R, still per-row deterministic — the stop point
+// depends only on the row's own walkers).
 func BuildRowWith(est *walk.RowEstimator, i int, opts Options) *sparse.Vector {
+	if opts.Epsilon > 0 {
+		L, b := adaptiveRowParams(opts)
+		out := &sparse.Vector{}
+		est.EstimateRowAdaptiveInto(i, opts.T, opts.C, opts.Seed, opts.Epsilon, L, b, out)
+		return out
+	}
 	return est.EstimateRow(i, opts.T, opts.C, opts.Seed)
 }
 

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 )
 
@@ -33,6 +34,16 @@ type Options struct {
 	// PruneEps truncates entries smaller than this during the exact-pull
 	// single-source estimator, bounding frontier growth. 0 keeps all.
 	PruneEps float64
+	// Epsilon enables adaptive sampling: walkers launch in geometric
+	// waves and a query stops as soon as its empirical-Bernstein
+	// confidence half-width falls below Epsilon (capped by R/RPrime, so
+	// the worst case costs exactly the fixed budget). 0 disables it —
+	// the legacy fixed-budget path, bit-identical across versions.
+	Epsilon float64
+	// Delta is the confidence parameter of adaptive sampling: intervals
+	// hold with probability at least 1-Delta. Required in (0,1) when
+	// Epsilon > 0; ignored when Epsilon == 0.
+	Delta float64
 }
 
 // DefaultOptions returns the paper's default parameter table
@@ -46,11 +57,18 @@ func DefaultOptions() Options {
 		RPrime:  10000,
 		Workers: 0,
 		Seed:    1,
+		Delta:   0.05,
 	}
 }
 
-// Validate reports the first invalid parameter.
+// Validate reports the first invalid parameter. Range checks alone are
+// not enough: every comparison with NaN is false, so a NaN parameter
+// sails through `< 0 || > 1`-style guards — each float field is checked
+// for finiteness explicitly.
 func (o Options) Validate() error {
+	if math.IsNaN(o.C) || math.IsInf(o.C, 0) {
+		return fmt.Errorf("core: decay C=%g is not finite", o.C)
+	}
 	if o.C <= 0 || o.C >= 1 {
 		return fmt.Errorf("core: decay C=%g outside (0,1)", o.C)
 	}
@@ -69,8 +87,26 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative worker count %d", o.Workers)
 	}
+	if math.IsNaN(o.PruneEps) || math.IsInf(o.PruneEps, 0) {
+		return fmt.Errorf("core: prune threshold %g is not finite", o.PruneEps)
+	}
 	if o.PruneEps < 0 {
 		return fmt.Errorf("core: negative prune threshold %g", o.PruneEps)
+	}
+	if math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0) {
+		return fmt.Errorf("core: epsilon %g is not finite", o.Epsilon)
+	}
+	if o.Epsilon < 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("core: epsilon %g outside [0,1)", o.Epsilon)
+	}
+	if math.IsNaN(o.Delta) || math.IsInf(o.Delta, 0) {
+		return fmt.Errorf("core: delta %g is not finite", o.Delta)
+	}
+	if o.Epsilon > 0 && (o.Delta <= 0 || o.Delta >= 1) {
+		return fmt.Errorf("core: adaptive sampling (epsilon=%g) needs delta in (0,1), got %g", o.Epsilon, o.Delta)
+	}
+	if o.Delta < 0 || o.Delta >= 1 {
+		return fmt.Errorf("core: delta %g outside [0,1)", o.Delta)
 	}
 	return nil
 }

@@ -24,15 +24,22 @@ type Querier struct {
 	vw    *graph.WalkView
 	ct    []float64 // ct[t] = C^t, built by repeated multiplication
 	pool  sync.Pool // *queryScratch
+
+	// maxDiag is max(Diag), a factor of the adaptive pair path's
+	// calibrated sample range b = c·max(D).
+	maxDiag float64
 }
 
 // queryScratch is the pooled per-query workspace: one dense walk scratch
 // (which owns the batched engine's walker state and per-walker RNG
 // substreams) and two distribution buffers (the two endpoints of a pair
-// query).
+// query), plus the adaptive paths' cross-wave count accumulators and
+// per-walker position traces.
 type queryScratch struct {
 	sc         *walk.Scratch
 	bufA, bufB walk.DistBuf
+	wavA, wavB walk.WaveAccum
+	trA, trB   []int32
 }
 
 // NewQuerier binds an index to its graph.
@@ -55,6 +62,11 @@ func NewQuerier(g *graph.Graph, index *Index) (*Querier, error) {
 		vw:    g.WalkView(),
 		ct:    ct,
 	}
+	for _, d := range index.Diag {
+		if d > q.maxDiag {
+			q.maxDiag = d
+		}
+	}
 	q.pool.New = func() any {
 		return &queryScratch{sc: walk.NewScratch(g.NumNodes())}
 	}
@@ -69,7 +81,10 @@ func (q *Querier) Index() *Index { return q.index }
 
 // SinglePair is MCSP: s(i,j) ≈ Σ_t c^t (p̂_t^i)ᵀ D (p̂_t^j) with p̂ the
 // empirical distributions of R' independent backward walkers from each
-// endpoint. Cost O(T·R'), independent of graph size.
+// endpoint. Cost O(T·R'), independent of graph size. When the index was
+// built with Options.Epsilon > 0, the query runs the adaptive path
+// (SinglePairAdaptive) at that default (ε,δ) instead of the fixed
+// budget.
 func (q *Querier) SinglePair(i, j int) (float64, error) {
 	if err := q.checkNode(i); err != nil {
 		return 0, err
@@ -80,6 +95,16 @@ func (q *Querier) SinglePair(i, j int) (float64, error) {
 	if i == j {
 		return 1, nil
 	}
+	if opts := q.index.Opts; opts.Epsilon > 0 {
+		pe, err := q.singlePairAdaptive(i, j, opts.Epsilon, opts.Delta)
+		return pe.Score, err
+	}
+	return q.singlePairFixed(i, j)
+}
+
+// singlePairFixed is the legacy fixed-budget MCSP body, bit-identical
+// across versions for a fixed seed.
+func (q *Querier) singlePairFixed(i, j int) (float64, error) {
 	opts := q.index.Opts
 	qs := q.pool.Get().(*queryScratch)
 	defer q.pool.Put(qs)
@@ -168,6 +193,10 @@ func (qr *Querier) SingleSourceInto(q int, mode SingleSourceMode, out *sparse.Ve
 	opts := qr.index.Opts
 	switch mode {
 	case WalkSS:
+		if opts.Epsilon > 0 {
+			_, err := qr.SingleSourceAdaptiveInto(q, opts.Epsilon, opts.Delta, out)
+			return err
+		}
 		return qr.singleSourceWalk(q, opts, out)
 	case PullSS:
 		return qr.singleSourcePull(q, opts, out)

@@ -12,9 +12,13 @@ import (
 // diagonal as float64s. Little-endian throughout. The offline stage for a
 // billion-node graph takes 110 hours in the paper — persisting its output
 // is part of the system, not a convenience.
+//
+// Version history: v1 carried 8 option scalars; v2 appends Epsilon and
+// Delta (adaptive sampling defaults). Readers accept both — a v1 index
+// loads with Epsilon = Delta = 0, the legacy fixed-budget behavior.
 const (
 	indexMagic   = 0x43574958 // "CWIX"
-	indexVersion = 1
+	indexVersion = 2
 )
 
 // Save serializes the index.
@@ -30,6 +34,8 @@ func (ix *Index) Save(w io.Writer) error {
 		uint64(ix.Opts.RPrime),
 		ix.Opts.Seed,
 		math.Float64bits(ix.Opts.PruneEps),
+		math.Float64bits(ix.Opts.Epsilon),
+		math.Float64bits(ix.Opts.Delta),
 		uint64(len(ix.Diag)),
 	}
 	for _, h := range header {
@@ -43,37 +49,52 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadIndex deserializes an index written by WriteTo.
+// ReadIndex deserializes an index written by Save (versions 1 and 2).
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
-	var header [10]uint64
-	for i := range header {
-		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+	var fixed [9]uint64
+	for i := range fixed {
+		if err := binary.Read(br, binary.LittleEndian, &fixed[i]); err != nil {
 			return nil, fmt.Errorf("core: reading index header: %v", err)
 		}
 	}
-	if header[0] != indexMagic {
-		return nil, fmt.Errorf("core: bad index magic %#x", header[0])
+	if fixed[0] != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %#x", fixed[0])
 	}
-	if header[1] != indexVersion {
-		return nil, fmt.Errorf("core: unsupported index version %d", header[1])
+	version := fixed[1]
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("core: unsupported index version %d", version)
 	}
-	n := int(header[9])
+	ix := &Index{
+		Opts: Options{
+			C:        math.Float64frombits(fixed[2]),
+			T:        int(fixed[3]),
+			L:        int(fixed[4]),
+			R:        int(fixed[5]),
+			RPrime:   int(fixed[6]),
+			Seed:     fixed[7],
+			PruneEps: math.Float64frombits(fixed[8]),
+		},
+	}
+	if version >= 2 {
+		var adaptive [2]uint64
+		for i := range adaptive {
+			if err := binary.Read(br, binary.LittleEndian, &adaptive[i]); err != nil {
+				return nil, fmt.Errorf("core: reading index header: %v", err)
+			}
+		}
+		ix.Opts.Epsilon = math.Float64frombits(adaptive[0])
+		ix.Opts.Delta = math.Float64frombits(adaptive[1])
+	}
+	var nWord uint64
+	if err := binary.Read(br, binary.LittleEndian, &nWord); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %v", err)
+	}
+	n := int(nWord)
 	if n < 0 {
 		return nil, fmt.Errorf("core: negative index size %d", n)
 	}
-	ix := &Index{
-		Diag: make([]float64, n),
-		Opts: Options{
-			C:        math.Float64frombits(header[2]),
-			T:        int(header[3]),
-			L:        int(header[4]),
-			R:        int(header[5]),
-			RPrime:   int(header[6]),
-			Seed:     header[7],
-			PruneEps: math.Float64frombits(header[8]),
-		},
-	}
+	ix.Diag = make([]float64, n)
 	if err := binary.Read(br, binary.LittleEndian, ix.Diag); err != nil {
 		return nil, fmt.Errorf("core: reading diagonal: %v", err)
 	}

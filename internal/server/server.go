@@ -13,6 +13,16 @@
 //	GET  /pair?i=..&j=..                      single-pair SimRank (MCSP)
 //	POST /pairs   {"pairs":[[i,j],...]}       batched MCSP
 //	GET  /source?node=..&mode=walk|pull&k=..  single-source top-k (MCSS)
+//
+// /pair and /source (walk mode) additionally accept epsilon= and delta=
+// parameters (and /pairs the matching body fields) selecting the adaptive
+// sampling path: walkers launch in waves and stop once the estimate's
+// confidence half-width is below epsilon at confidence 1−delta (see
+// core.SinglePairAdaptive). epsilon=0 forces the fixed budget; absent
+// parameters inherit the index's build-time Epsilon/Delta. The effective
+// (epsilon, delta) is part of the cache and coalescing key, so adaptive
+// and fixed answers never alias.
+//
 //	GET  /topk?node=..&k=..                   precomputed MCAP lookup
 //	POST /edges   {"insert":[[u,v],...],...}  incremental edge updates (dynamic mode)
 //	POST /refresh[?wait=1]                    compaction + snapshot hot-swap (dynamic mode)
@@ -162,7 +172,12 @@ type Server struct {
 	updates   *metrics.Counter // edge deltas applied through POST /edges
 	swaps     *metrics.Counter // completed compaction hot-swaps
 	snapSaves *metrics.Counter // serving snapshots persisted to disk
-	latency   map[string]*latencyRecorder
+	// Adaptive-sampling counters, incremented per underlying computation
+	// (cache hits re-serve the stored estimate without re-spending — or
+	// re-saving — walkers).
+	walkersSaved    *metrics.Counter // walkers the adaptive paths did not run
+	adaptiveStopped *metrics.Counter // adaptive computations that stopped early
+	latency         map[string]*latencyRecorder
 
 	// testComputeHook, when set, runs at the start of every underlying
 	// computation (inside the singleflight, outside the cache). Tests use
@@ -278,6 +293,10 @@ func (s *Server) initMetrics() {
 		"Completed compaction hot-swaps.")
 	s.snapSaves = r.NewCounter("cloudwalker_snapshots_written_total",
 		"Serving snapshots persisted to disk through POST /snapshot.")
+	s.walkersSaved = r.NewCounter("cloudwalker_walkers_saved_total",
+		"Walkers the adaptive sampling paths avoided running (budget minus launched, summed over both endpoints of pair queries).")
+	s.adaptiveStopped = r.NewCounter("cloudwalker_adaptive_stopped_total",
+		"Adaptive query computations that stopped before the full walker budget.")
 	r.NewGaugeFunc("cloudwalker_in_flight",
 		"Query requests currently being served.",
 		func() float64 { return float64(s.inFlight.Load()) })
@@ -405,6 +424,56 @@ func parseNode(snap *Snapshot, r *http.Request, name string) (int, error) {
 	return v, nil
 }
 
+// parseAdaptive reads the optional epsilon/delta query parameters.
+// Absent parameters inherit the index's build-time defaults (with a 0.05
+// delta fallback for indices that predate adaptive sampling), so a daemon
+// started with -epsilon serves adaptive answers to plain requests; an
+// explicit epsilon=0 forces the fixed-budget path either way.
+func parseAdaptive(snap *Snapshot, r *http.Request) (eps, delta float64, err error) {
+	opts := snap.Q.Index().Opts
+	eps, delta = opts.Epsilon, opts.Delta
+	if delta == 0 {
+		delta = core.DefaultOptions().Delta
+	}
+	if raw := r.URL.Query().Get("epsilon"); raw != "" {
+		eps, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("parameter \"epsilon\": %q is not a number", raw)
+		}
+	}
+	if raw := r.URL.Query().Get("delta"); raw != "" {
+		delta, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("parameter \"delta\": %q is not a number", raw)
+		}
+	}
+	return eps, delta, checkAdaptive(eps, delta)
+}
+
+// checkAdaptive range-checks an effective (epsilon, delta) so malformed
+// requests answer 400 instead of surfacing core's validation as a 500.
+func checkAdaptive(eps, delta float64) error {
+	if !(eps >= 0 && eps < 1) { // NaN fails too
+		return fmt.Errorf("parameter \"epsilon\": %g outside [0,1)", eps)
+	}
+	if eps > 0 && !(delta > 0 && delta < 1) {
+		return fmt.Errorf("parameter \"delta\": %g outside (0,1)", delta)
+	}
+	return nil
+}
+
+// adaptiveSuffix is the cache-key suffix of an adaptive query: the
+// effective (epsilon, delta) must be part of the key, or an adaptive
+// answer could satisfy a fixed-budget request (and vice versa) for the
+// same endpoints. Fixed-budget queries (eps == 0) keep their legacy keys.
+func adaptiveSuffix(eps, delta float64) string {
+	if eps == 0 {
+		return ""
+	}
+	return "/e" + strconv.FormatFloat(eps, 'g', -1, 64) +
+		"/d" + strconv.FormatFloat(delta, 'g', -1, 64)
+}
+
 // parseK reads an optional top-k parameter with a default and a cap.
 func parseK(r *http.Request, def int) (int, error) {
 	raw := r.URL.Query().Get("k")
@@ -450,13 +519,20 @@ func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, from
 // pairResponse is the /pair reply. Score is the MCSP estimate for the
 // canonicalized pair; Cached reports whether it came from the result
 // cache (the value is bit-identical either way); Gen is the graph
-// generation the estimate was computed against.
+// generation the estimate was computed against. The adaptive fields are
+// present only on adaptive answers (effective epsilon > 0): the
+// confidence half-width at the stop point, the walkers actually run per
+// endpoint, and whether the query stopped before the full budget.
 type pairResponse struct {
-	I      int     `json:"i"`
-	J      int     `json:"j"`
-	Score  float64 `json:"score"`
-	Cached bool    `json:"cached"`
-	Gen    uint64  `json:"gen"`
+	I         int     `json:"i"`
+	J         int     `json:"j"`
+	Score     float64 `json:"score"`
+	Cached    bool    `json:"cached"`
+	Gen       uint64  `json:"gen"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	HalfWidth float64 `json:"half_width,omitempty"`
+	Walkers   int     `json:"walkers,omitempty"`
+	Stopped   bool    `json:"stopped,omitempty"`
 }
 
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
@@ -471,16 +547,53 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	eps, delta, err := parseAdaptive(snap, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ci, cj := core.CanonicalPair(i, j)
-	val, hit, err := s.cached(pairKey(snap.Gen, ci, cj), "pair", func() (any, error) {
-		return snap.Q.SinglePair(ci, cj)
-	})
+	key := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
+	val, hit, err := s.cached(key, "pair", s.pairCompute(snap, ci, cj, eps, delta))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	setGen(w, snap.Gen)
+	if eps > 0 {
+		pe := val.(core.PairEstimate)
+		writeJSON(w, pairResponse{
+			I: i, J: j, Score: pe.Score, Cached: hit, Gen: snap.Gen,
+			Epsilon: eps, HalfWidth: pe.HalfWidth, Walkers: pe.Walkers, Stopped: pe.Stopped,
+		})
+		return
+	}
 	writeJSON(w, pairResponse{I: i, J: j, Score: val.(float64), Cached: hit, Gen: snap.Gen})
+}
+
+// pairCompute builds the cache compute function for one canonical pair at
+// the effective (epsilon, delta). Adaptive computations (eps > 0) store
+// the full core.PairEstimate — the /pair handler serves its interval
+// fields, and /pairs extracts the score — and account saved walkers once
+// per computation (both endpoints save Budget−Walkers each). Fixed-budget
+// computations store the bare score under the legacy key, via an explicit
+// eps = 0 call so a client's epsilon=0 opt-out forces the fixed path even
+// when the index was built with an adaptive default.
+func (s *Server) pairCompute(snap *Snapshot, ci, cj int, eps, delta float64) func() (any, error) {
+	return func() (any, error) {
+		pe, err := snap.Q.SinglePairAdaptive(ci, cj, eps, delta)
+		if err != nil {
+			return nil, err
+		}
+		if eps == 0 {
+			return pe.Score, nil
+		}
+		s.walkersSaved.Add(uint64(2 * (pe.Budget - pe.Walkers)))
+		if pe.Stopped {
+			s.adaptiveStopped.Inc()
+		}
+		return pe, nil
+	}
 }
 
 // genKey prefixes a cache/singleflight key with the snapshot generation:
@@ -498,9 +611,13 @@ func pairKey(gen uint64, ci, cj int) string {
 }
 
 // pairsRequest is the /pairs body; pairsResponse aligns Scores with the
-// request's pair order.
+// request's pair order. Epsilon/Delta are optional adaptive-sampling
+// targets (pointers so an explicit 0 — "force the fixed budget" — is
+// distinguishable from absent — "inherit the index default").
 type pairsRequest struct {
-	Pairs [][2]int `json:"pairs"`
+	Pairs   [][2]int `json:"pairs"`
+	Epsilon *float64 `json:"epsilon,omitempty"`
+	Delta   *float64 `json:"delta,omitempty"`
 }
 
 type pairsResponse struct {
@@ -544,6 +661,31 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "pair %d: node out of range [0,%d): [%d,%d]", idx, n, p[0], p[1])
 			return
 		}
+	}
+	opts := snap.Q.Index().Opts
+	eps, delta := opts.Epsilon, opts.Delta
+	if delta == 0 {
+		delta = core.DefaultOptions().Delta
+	}
+	if req.Epsilon != nil {
+		eps = *req.Epsilon
+	}
+	if req.Delta != nil {
+		delta = *req.Delta
+	}
+	if err := checkAdaptive(eps, delta); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if eps > 0 || opts.Epsilon > 0 {
+		// Adaptive batches (or an explicit fixed-budget override of an
+		// adaptive index default) run pair by pair through the same cached
+		// compute path as GET /pair: each pair stops on its own confidence
+		// bound, so there is no fixed-size batch to fan out, and sharing
+		// the point-query key space means batch results serve later point
+		// queries and vice versa.
+		s.handlePairsPointwise(w, snap, req.Pairs, eps, delta)
+		return
 	}
 	scores := make([]float64, len(req.Pairs))
 	hits := 0
@@ -658,6 +800,32 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, pairsResponse{Scores: scores, Hits: hits, Gen: snap.Gen})
 }
 
+// handlePairsPointwise serves a /pairs batch pair by pair through the
+// cached point-query path (see the adaptive branch of handlePairs).
+func (s *Server) handlePairsPointwise(w http.ResponseWriter, snap *Snapshot, pairs [][2]int, eps, delta float64) {
+	scores := make([]float64, len(pairs))
+	hits := 0
+	for idx, p := range pairs {
+		ci, cj := core.CanonicalPair(p[0], p[1])
+		key := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
+		val, hit, err := s.cached(key, "pair", s.pairCompute(snap, ci, cj, eps, delta))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if eps > 0 {
+			scores[idx] = val.(core.PairEstimate).Score
+		} else {
+			scores[idx] = val.(float64)
+		}
+		if hit {
+			hits++
+		}
+	}
+	setGen(w, snap.Gen)
+	writeJSON(w, pairsResponse{Scores: scores, Hits: hits, Gen: snap.Gen})
+}
+
 // neighborJSON is one top-k entry on the wire.
 type neighborJSON struct {
 	Node  int32   `json:"node"`
@@ -676,6 +844,21 @@ type sourceResponse struct {
 	Cached  bool           `json:"cached"`
 	Gen     uint64         `json:"gen"`
 	Results []neighborJSON `json:"results"`
+	// Adaptive fields, present when the effective epsilon > 0 (walk mode
+	// only): the per-entry confidence heuristic's half-width at the stop
+	// point, walkers actually run, and whether the estimate stopped before
+	// the full budget.
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	HalfWidth float64 `json:"half_width,omitempty"`
+	Walkers   int     `json:"walkers,omitempty"`
+	Stopped   bool    `json:"stopped,omitempty"`
+}
+
+// sourceAdaptiveEntry is the cached value of an adaptive /source answer:
+// the truncated top-k plus the stop-point stats the response reports.
+type sourceAdaptiveEntry struct {
+	results []neighborJSON
+	est     core.SourceEstimate
 }
 
 // NodePart returns the scatter partition of a node among parts: the fleet
@@ -761,17 +944,28 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	eps, delta, err := parseAdaptive(snap, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if eps > 0 && ssMode != core.WalkSS {
+		// The pull estimator has no walker population to stop early; only
+		// the walk path is adaptive. An index-default epsilon must not
+		// break pull requests, so only an explicit parameter rejects.
+		if r.URL.Query().Get("epsilon") != "" {
+			writeError(w, http.StatusBadRequest, "parameter \"epsilon\": adaptive sampling requires mode=walk, got %q", mode)
+			return
+		}
+		eps = 0
+	}
 	suffix, partLabel := "", ""
 	if parts > 0 {
 		partLabel = strconv.Itoa(part) + "/" + strconv.Itoa(parts)
 		suffix = "/pt" + partLabel
 	}
-	key := genKey(snap.Gen, "s/"+mode+"/"+strconv.Itoa(k)+"/"+strconv.Itoa(node)+suffix)
-	val, hit, err := s.cached(key, "source", func() (any, error) {
-		v, err := snap.Q.SingleSource(node, ssMode)
-		if err != nil {
-			return nil, err
-		}
+	key := genKey(snap.Gen, "s/"+mode+"/"+strconv.Itoa(k)+"/"+strconv.Itoa(node)+suffix) + adaptiveSuffix(eps, delta)
+	topk := func(v *sparse.Vector) []neighborJSON {
 		if parts > 0 {
 			// Partition-restricted top-k for a fleet scatter: the walk is
 			// the same full single-source estimate (deterministic per
@@ -779,7 +973,48 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 			// partials are bit-identical to a whole-space answer.
 			v = partVector(v, part, parts)
 		}
-		return toNeighborJSON(core.TopKNeighbors(v, node, k)), nil
+		return toNeighborJSON(core.TopKNeighbors(v, node, k))
+	}
+	if eps > 0 {
+		val, hit, err := s.cached(key, "source", func() (any, error) {
+			v, est, err := snap.Q.SingleSourceAdaptive(node, eps, delta)
+			if err != nil {
+				return nil, err
+			}
+			s.walkersSaved.Add(uint64(est.Budget - est.Walkers))
+			if est.Stopped {
+				s.adaptiveStopped.Inc()
+			}
+			return sourceAdaptiveEntry{results: topk(v), est: est}, nil
+		})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		entry := val.(sourceAdaptiveEntry)
+		setGen(w, snap.Gen)
+		writeJSON(w, sourceResponse{
+			Node: node, Mode: mode, K: k, Part: partLabel, Cached: hit, Gen: snap.Gen,
+			Results: entry.results,
+			Epsilon: eps, HalfWidth: entry.est.HalfWidth, Walkers: entry.est.Walkers, Stopped: entry.est.Stopped,
+		})
+		return
+	}
+	val, hit, err := s.cached(key, "source", func() (any, error) {
+		var v *sparse.Vector
+		var err error
+		if ssMode == core.WalkSS {
+			// Explicit eps = 0 call: a client's epsilon=0 opt-out forces
+			// the fixed budget even when the index carries an adaptive
+			// default, so the legacy key only ever holds fixed answers.
+			v, _, err = snap.Q.SingleSourceAdaptive(node, 0, delta)
+		} else {
+			v, err = snap.Q.SingleSource(node, ssMode)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return topk(v), nil
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -875,6 +1110,8 @@ type Stats struct {
 	Coalesced     uint64                  `json:"coalesced"`
 	Updates       uint64                  `json:"updates"`
 	Swaps         uint64                  `json:"swaps"`
+	WalkersSaved  uint64                  `json:"walkers_saved"`
+	Stopped       uint64                  `json:"adaptive_stopped"`
 	Gen           uint64                  `json:"gen"`
 	Cache         *CacheStats             `json:"cache,omitempty"`
 	Endpoints     map[string]LatencyStats `json:"endpoints"`
@@ -890,6 +1127,8 @@ func (s *Server) StatsSnapshot() Stats {
 		Coalesced:     s.coalesced.Value(),
 		Updates:       s.updates.Value(),
 		Swaps:         s.swaps.Value(),
+		WalkersSaved:  s.walkersSaved.Value(),
+		Stopped:       s.adaptiveStopped.Value(),
 		Gen:           s.snaps.Load().Gen,
 		Endpoints:     make(map[string]LatencyStats, len(s.latency)),
 	}

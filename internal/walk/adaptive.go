@@ -1,0 +1,440 @@
+// Adaptive sampling: the wave-mode entry points of the batched engine.
+//
+// The fixed-budget kernels (batch.go) always run R walkers. The adaptive
+// layer launches the same walker population in geometric waves — walker
+// IDs [0, n₁), [n₁, n₂), … following AdaptiveSchedule — and lets the
+// caller stop as soon as an empirical-Bernstein confidence interval on
+// its estimate is narrower than the requested ε. Three invariants make
+// early stopping safe:
+//
+//   - Walker w of a wave draws from xrand.NewStream(seed, first+w), the
+//     SAME substream it would own in the one-shot run, so the set of
+//     trajectories depends only on the stop point, never on the wave
+//     boundaries.
+//   - Waves emit integer visit counts that WaveAccum merges by integer
+//     addition, and the caller converts each per-node total to float64
+//     exactly once. Running every wave to the cap therefore reproduces
+//     the fixed-budget integers — and the fixed-budget floats — bit for
+//     bit.
+//   - The schedule is capped by the configured budget, so the worst case
+//     costs exactly what the fixed-budget path costs.
+package walk
+
+import (
+	"math"
+
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+)
+
+// adaptiveMinWave is the smallest first wave: below this the variance
+// estimate is too noisy to act on and the checkpoint overhead exceeds
+// the walkers it could save.
+const adaptiveMinWave = 32
+
+// AdaptiveSchedule returns the cumulative walker targets of the geometric
+// wave schedule for a budget of R walkers: roughly R/8 doubling up to R,
+// e.g. 126, 252, 504, 1000 for R = 1000. Every intermediate target is
+// even so estimators that pair consecutive walkers never straddle a
+// checkpoint; the final target is the budget itself (the cap). A budget
+// small enough for one wave yields a single entry and no checkpoints.
+func AdaptiveSchedule(budget int) []int {
+	if budget <= 0 {
+		return nil
+	}
+	r0 := (budget + 7) / 8
+	if r0 < adaptiveMinWave {
+		r0 = adaptiveMinWave
+	}
+	r0 = (r0 + 1) &^ 1 // round up to even
+	if r0 >= budget {
+		return []int{budget}
+	}
+	sched := make([]int, 0, 5)
+	for c := r0; c < budget; c *= 2 {
+		sched = append(sched, c)
+	}
+	return append(sched, budget)
+}
+
+// AdaptiveLogTerm distributes the caller's failure probability δ over the
+// schedule's intermediate checkpoints (union bound) and returns the log
+// term L = ln(3/δ′) the half-width formula consumes. checkpoints is
+// len(AdaptiveSchedule(R)) - 1; with no checkpoints there is no stopping
+// decision and the term is moot but still finite.
+func AdaptiveLogTerm(delta float64, checkpoints int) float64 {
+	if checkpoints < 1 {
+		checkpoints = 1
+	}
+	return math.Log(3 * float64(checkpoints) / delta)
+}
+
+// AdaptiveHalfWidth is the empirical-Bernstein-style confidence half
+// width for the mean of n iid samples in [0, b] with running sum and sum
+// of squares: sqrt(2·V̂·L/n) + b·L/n, where V̂ is the biased empirical
+// variance and L = AdaptiveLogTerm(δ, checkpoints). The variance term is
+// the textbook Audibert–Munos–Szepesvári bound; the additive range term
+// uses κ = 1 instead of the worst-case κ = 3 — calibrated, not proven,
+// and the coverage test in internal/core pins that the resulting
+// intervals still cover the exact value well beyond 1−δ on SimRank
+// workloads (meeting indicators concentrate far below their range).
+func AdaptiveHalfWidth(sum, sumsq float64, n int, L, b float64) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	fn := float64(n)
+	mean := sum / fn
+	v := sumsq/fn - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(2*v*L/fn) + b*L/fn
+}
+
+// DistCountsWave runs one wave of R walkers (IDs first..first+R-1 in the
+// seed's stream space) from start for T levels, filling buf with the
+// wave's per-level integer visit counts exactly like distCounts, and
+// records every walker's position in trace: trace[(t-1)·R + w] is the
+// node walker first+w occupies at level t, or -1 once it has died (the
+// first T·R entries of trace are overwritten). The trace is what lets
+// per-walker samples — meeting indicators between two coupled waves —
+// be computed without ever touching the walk order, so the counts stay
+// bit-compatible with the fixed-budget engine.
+func (s *Scratch) DistCountsWave(buf *DistBuf, vw *graph.WalkView, start, T, R int, seed, first uint64, trace []int32) {
+	trace = trace[:T*R]
+	for i := range trace {
+		trace[i] = -1
+	}
+	s.distCountsTraced(buf, vw, start, T, R, seed, first, trace)
+}
+
+// WaveAccum accumulates the integer visit counts of successive waves.
+// Each level's (node, count) list is kept sorted by node; Merge sums a
+// new wave in by a two-pointer integer merge, so after any number of
+// waves the lists are exactly the integers the one-shot run over the
+// same walker population would have emitted, in the same order.
+type WaveAccum struct {
+	idx [][]int32
+	cnt [][]int32
+	val [][]float64
+	// tIdx/tCnt are the merge scratch, reused across levels and calls.
+	tIdx []int32
+	tCnt []int32
+	vecs []sparse.Vector
+}
+
+// Reset clears the accumulator for T+1 levels, keeping capacity.
+func (a *WaveAccum) Reset(T int) {
+	for len(a.idx) < T+1 {
+		a.idx = append(a.idx, nil)
+		a.cnt = append(a.cnt, nil)
+		a.val = append(a.val, nil)
+	}
+	for t := 0; t <= T; t++ {
+		a.idx[t] = a.idx[t][:0]
+		a.cnt[t] = a.cnt[t][:0]
+	}
+	if cap(a.vecs) < T+1 {
+		a.vecs = make([]sparse.Vector, T+1)
+	}
+	a.vecs = a.vecs[:T+1]
+}
+
+// Merge folds one wave's per-level counts (as filled by DistCountsWave)
+// into the accumulator.
+func (a *WaveAccum) Merge(buf *DistBuf, T int) {
+	for t := 0; t <= T; t++ {
+		ai, ac := a.idx[t], a.cnt[t]
+		bi, bc := buf.idx[t], buf.cnt[t]
+		if len(bi) == 0 {
+			continue
+		}
+		if len(ai) == 0 {
+			a.idx[t] = append(ai, bi...)
+			a.cnt[t] = append(ac, bc...)
+			continue
+		}
+		mi, mc := a.tIdx[:0], a.tCnt[:0]
+		i, j := 0, 0
+		for i < len(ai) && j < len(bi) {
+			switch {
+			case ai[i] < bi[j]:
+				mi = append(mi, ai[i])
+				mc = append(mc, ac[i])
+				i++
+			case ai[i] > bi[j]:
+				mi = append(mi, bi[j])
+				mc = append(mc, bc[j])
+				j++
+			default:
+				mi = append(mi, ai[i])
+				mc = append(mc, ac[i]+bc[j])
+				i++
+				j++
+			}
+		}
+		mi = append(mi, ai[i:]...)
+		mc = append(mc, ac[i:]...)
+		mi = append(mi, bi[j:]...)
+		mc = append(mc, bc[j:]...)
+		a.idx[t] = append(a.idx[t][:0], mi...)
+		a.cnt[t] = append(a.cnt[t][:0], mc...)
+		a.tIdx, a.tCnt = mi[:0], mc[:0]
+	}
+}
+
+// Level returns the accumulated (node, count) list of level t.
+func (a *WaveAccum) Level(t int) ([]int32, []int32) { return a.idx[t], a.cnt[t] }
+
+// Scale converts the accumulated integer counts into empirical
+// distributions over a total population of n walkers — val = count/n,
+// one float64 conversion per entry, exactly DistBuf.scale over the
+// merged integers. The returned vectors alias the accumulator.
+func (a *WaveAccum) Scale(T, n int) []sparse.Vector {
+	invN := 1.0 / float64(n)
+	for t := 0; t <= T; t++ {
+		idx, cnt := a.idx[t], a.cnt[t]
+		val := a.val[t][:0]
+		for i := range idx {
+			val = append(val, float64(cnt[i])*invN)
+		}
+		a.val[t] = val
+		a.vecs[t] = sparse.Vector{Idx: idx, Val: val}
+	}
+	return a.vecs[:T+1]
+}
+
+// RowStats reports what an adaptive row estimate actually spent.
+type RowStats struct {
+	Walkers   int     // walkers run (= budget when the cap was hit)
+	Budget    int     // the configured cap R
+	HalfWidth float64 // confidence half-width at the stop point
+	Stopped   bool    // stopped before the cap
+}
+
+// EstimateRowAdaptiveInto is EstimateRowInto with confidence-driven early
+// stopping: walkers launch in AdaptiveSchedule(R) waves (walker w of row
+// i still draws from xrand.NewStream(seed, i·R+w), so any stop point is
+// a prefix of the fixed-budget walker population), and after each
+// intermediate wave the estimator checks an empirical-Bernstein interval
+// on the row's self-similarity mass Σ_{t≥1} c^t‖p̂_t‖² — the quantity the
+// squared counts estimate — using consecutive walker pairs as iid
+// meeting samples bounded by b. It stops when the half-width is ≤ eps.
+// L is AdaptiveLogTerm(δ, checkpoints) and b the sample range bound
+// (Σ_{t≥1} c^t for rows); callers derive both from Options once.
+//
+// Run to the cap, the emitted row is bit-identical to EstimateRowInto:
+// the merged wave counts are the one-shot integers and the per-node
+// c^t·(count/R)² terms accumulate in the same level order.
+func (re *RowEstimator) EstimateRowAdaptiveInto(i, T int, c float64, seed uint64, eps, L, b float64, out *sparse.Vector) RowStats {
+	s := re.walk
+	s.grow(re.vw.NumNodes())
+	if len(re.ct) < T+1 || re.ctC != c {
+		re.ct = append(re.ct[:0], 1)
+		for t := 1; t <= T; t++ {
+			re.ct = append(re.ct, re.ct[t-1]*c)
+		}
+		re.ctC = c
+	}
+	sched := AdaptiveSchedule(re.r)
+	re.wav.Reset(T)
+	var sum, sumsq float64
+	samples := 0
+	prev := 0
+	hw := math.Inf(1)
+	stopped := false
+	for wi, cum := range sched {
+		rw := cum - prev
+		if cap(re.trace) < T*rw {
+			re.trace = make([]int32, T*rw)
+		}
+		trace := re.trace[:T*rw]
+		s.DistCountsWave(&re.wbuf, re.vw, i, T, rw, seed, uint64(i)*uint64(re.r)+uint64(prev), trace)
+		re.wav.Merge(&re.wbuf, T)
+		// Consecutive walkers pair into iid meeting samples; intermediate
+		// cumulative targets are even, so pairs never straddle a wave (a
+		// final odd walker goes uncounted by the statistic but still
+		// contributes its visit counts).
+		for k := 0; k+1 < rw; k += 2 {
+			x := 0.0
+			for t := 1; t <= T; t++ {
+				a := trace[(t-1)*rw+k]
+				if a < 0 {
+					break // dead walkers never meet again
+				}
+				if a == trace[(t-1)*rw+k+1] {
+					x += re.ct[t]
+				}
+			}
+			sum += x
+			sumsq += x * x
+			samples++
+		}
+		prev = cum
+		hw = AdaptiveHalfWidth(sum, sumsq, samples, L, b)
+		if wi < len(sched)-1 && hw <= eps {
+			stopped = true
+			break
+		}
+	}
+	// Emit the row from the cumulative integer counts, mirroring
+	// emitPairs: the exact t = 0 diagonal term first, then each node's
+	// c^t·(count/R)² terms in ascending level order — the same float64
+	// accumulation sequence as the fixed-budget paths.
+	out.Idx = out.Idx[:0]
+	out.Val = out.Val[:0]
+	s.Add(int32(i), 1)
+	invR := 1.0 / float64(prev)
+	for t := 1; t <= T; t++ {
+		idx, cnt := re.wav.idx[t], re.wav.cnt[t]
+		ctt := re.ct[t]
+		for k := range idx {
+			frac := float64(cnt[k]) * invR
+			s.Add(idx[k], ctt*frac*frac)
+		}
+	}
+	s.FlushInto(out)
+	return RowStats{Walkers: prev, Budget: re.r, HalfWidth: hw, Stopped: stopped}
+}
+
+// SingleSourceWalkWave runs walkers first..first+R-1 of the MCSS
+// single-source estimator and accumulates their phase-two deposits
+// UNSCALED into the scratch histogram: no 1/R factor (the caller divides
+// by the total population once, at FlushScaledInto) and no t = 0
+// self-term (core pins the query node to exactly 1 after clamping, so
+// the term never survives anyway). Waves therefore accumulate into one
+// histogram and any stop point is a valid estimate.
+//
+// Alongside each deposit the kernel maintains hist2, the per-node sum of
+// SQUARED deposits, and returns the largest single deposit and the
+// largest per-node hist2 value seen so far — the ingredients of the
+// caller's per-entry confidence heuristic (the entry with the largest
+// second moment bounds every entry's interval).
+func (s *Scratch) SingleSourceWalkWave(vw *graph.WalkView, q, T, R int, ctTable, diag []float64, seed, first uint64) (dMax, m2Max float64) {
+	n := vw.NumNodes()
+	s.grow(n)
+	if len(s.hist2) < len(s.hist) {
+		s.hist2 = make([]float64, len(s.hist))
+	}
+	s.prepBatch(R, seed, first)
+	for w := range s.keys {
+		s.keys[w] = uint64(q)<<32 | uint64(w)
+	}
+	if cap(s.fkeys) < R {
+		s.fkeys = make([]uint64, R)
+		s.fwts = make([]float64, R)
+	}
+	m := R
+	maxNode := uint32(n - 1)
+	for t := 1; t <= T && m > 0; t++ {
+		w0 := ctTable[t]
+		fm := 0
+		if m >= batchSortMin {
+			m = s.stepSorted(vw, m)
+			s.sortFrontier(m, maxNode)
+			keys := s.keys
+			for i := 0; i < m; {
+				v := int32(keys[i] >> 32)
+				j := i
+				for j < m && int32(keys[j]>>32) == v {
+					j++
+				}
+				if d0 := w0 * diag[v]; d0 != 0 {
+					for k := i; k < j; k++ {
+						s.fkeys[fm] = keys[k]
+						s.fwts[fm] = d0
+						fm++
+					}
+				}
+				i = j
+			}
+		} else {
+			keys := s.keys[:m]
+			out := 0
+			for i := 0; i < m; i++ {
+				v := int32(keys[i] >> 32)
+				base, d := vw.InRow(v)
+				if d == 0 {
+					continue // dead entry: spawned its last walk already
+				}
+				id := uint32(keys[i])
+				next := vw.InAt(base + int64(s.srcs[id].Intn(int(d))))
+				if d0 := w0 * diag[next]; d0 != 0 {
+					s.fkeys[fm] = uint64(next)<<32 | uint64(id)
+					s.fwts[fm] = d0
+					fm++
+				}
+				keys[out] = uint64(next)<<32 | uint64(id)
+				out++
+			}
+			m = out
+		}
+		d, m2 := s.forwardDepositWave(vw, t, fm)
+		if d > dMax {
+			dMax = d
+		}
+		if m2 > m2Max {
+			m2Max = m2
+		}
+	}
+	return dMax, m2Max
+}
+
+// forwardDepositWave is forwardDeposit tracking the squared-deposit
+// histogram: it returns this batch's largest single deposit and the
+// largest CUMULATIVE hist2 entry it bumped (hist2 carries across waves,
+// so the returned maximum is already population-wide).
+func (s *Scratch) forwardDepositWave(vw *graph.WalkView, steps, fm int) (dMax, m2Max float64) {
+	for sub := 0; sub < steps && fm > 0; sub++ {
+		keys, wts := s.fkeys, s.fwts
+		out := 0
+		for i := 0; i < fm; i++ {
+			v := int32(keys[i] >> 32)
+			base, dOut := vw.OutRow(v)
+			if dOut == 0 {
+				continue
+			}
+			id := uint32(keys[i])
+			next := vw.OutAt(base + int64(s.srcs[id].Intn(int(dOut))))
+			keys[out] = uint64(next)<<32 | uint64(id)
+			wts[out] = wts[i] * (float64(dOut) / float64(vw.InDeg(next)))
+			out++
+		}
+		fm = out
+	}
+	for i := 0; i < fm; i++ {
+		if w := s.fwts[i]; w != 0 {
+			k := int32(s.fkeys[i] >> 32)
+			s.Add(k, w)
+			if w > dMax {
+				dMax = w
+			}
+			m2 := s.hist2[k] + w*w
+			s.hist2[k] = m2
+			if m2 > m2Max {
+				m2Max = m2
+			}
+		}
+	}
+	return dMax, m2Max
+}
+
+// FlushScaledInto is FlushInto with every emitted value multiplied by
+// scale; it also clears the squared-deposit histogram the wave kernels
+// maintain, so the scratch is clean for either engine afterwards.
+func (s *Scratch) FlushScaledInto(v *sparse.Vector, scale float64) {
+	s.sortTouched()
+	v.Idx = v.Idx[:0]
+	v.Val = v.Val[:0]
+	for _, k := range s.touched {
+		if x := s.hist[k]; x != 0 {
+			v.Idx = append(v.Idx, k)
+			v.Val = append(v.Val, x*scale)
+		}
+		s.hist[k] = 0
+		if int(k) < len(s.hist2) {
+			s.hist2[k] = 0
+		}
+	}
+	s.touched = s.touched[:0]
+}

@@ -257,6 +257,17 @@ func (s *Scratch) emitCounts(buf *DistBuf, t int) {
 // visit counts. Callers divide by the total walker population exactly
 // once (DistBuf.scale), so shards merge by integer addition.
 func (s *Scratch) distCounts(buf *DistBuf, vw *graph.WalkView, start, T, R int, seed, first uint64) {
+	s.distCountsTraced(buf, vw, start, T, R, seed, first, nil)
+}
+
+// distCountsTraced is distCounts with optional per-walker position
+// tracing: when trace is non-nil (length T·R, pre-filled with -1 by the
+// caller), trace[(t-1)·R + w] records the node walker w occupies at
+// level t. After the step at level t the frontier holds exactly the
+// walkers counted at that level — dead arrivals included, dropped
+// uncounted by the next level's d == 0 check — so scattering the
+// frontier keys is an exact position record in both stepping modes.
+func (s *Scratch) distCountsTraced(buf *DistBuf, vw *graph.WalkView, start, T, R int, seed, first uint64, trace []int32) {
 	s.grow(vw.NumNodes())
 	buf.prep(T)
 	buf.idx[0] = append(buf.idx[0], int32(start))
@@ -280,6 +291,12 @@ func (s *Scratch) distCounts(buf *DistBuf, vw *graph.WalkView, start, T, R int, 
 		} else {
 			m = s.stepScatter(vw, m)
 			s.emitCounts(buf, t)
+		}
+		if trace != nil {
+			row := trace[(t-1)*R : t*R]
+			for _, k := range s.keys[:m] {
+				row[uint32(k)] = int32(k >> 32)
+			}
 		}
 	}
 }
@@ -380,6 +397,13 @@ type RowEstimator struct {
 	// instead (bit-identical — each (node, level) deposit is the same
 	// ct·(count/R)² term, summed in the same level order).
 	row *Scratch
+
+	// Adaptive-mode state (EstimateRowAdaptiveInto): per-wave count
+	// buffer, the cross-wave integer accumulator, and the per-walker
+	// position trace the stopping statistic reads.
+	wbuf  DistBuf
+	wav   WaveAccum
+	trace []int32
 }
 
 // NewRowEstimator creates an estimator for graph g with R walkers.
