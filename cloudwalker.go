@@ -34,6 +34,7 @@ import (
 	"cloudwalker/internal/fleet"
 	"cloudwalker/internal/gen"
 	"cloudwalker/internal/graph"
+	"cloudwalker/internal/linserve"
 	"cloudwalker/internal/server"
 	"cloudwalker/internal/simstore"
 	"cloudwalker/internal/sparse"
@@ -190,6 +191,47 @@ func SaveSystem(w io.Writer, a *IndexingSystem) error { return sparse.WriteMatri
 
 // LoadSystem deserializes a system written by SaveSystem.
 func LoadSystem(r io.Reader) (*IndexingSystem, error) { return sparse.ReadMatrix(r) }
+
+// LinEngine is the linearized serving backend: it evaluates the
+// truncated series S ≈ Σ_t c^t (Pᵀ)^t D P^t deterministically against a
+// precomputed diagonal (no walks at query time). Wire one into
+// ServerConfig.Lin to enable backend=lin and -backend auto routing.
+type LinEngine = linserve.Engine
+
+// LinOptions tunes a LinEngine build (series depth, Jacobi sweeps,
+// pruning thresholds, optional low-rank factorization).
+type LinOptions = linserve.Options
+
+// LinBuildReport describes a LinEngine build (solver residual, sweeps,
+// timings).
+type LinBuildReport = linserve.BuildReport
+
+// DefaultLinOptions returns the linearized backend's default parameters
+// (matching DefaultOptions where they overlap: c=0.6, T=10).
+func DefaultLinOptions() LinOptions { return linserve.DefaultOptions() }
+
+// BuildLinEngine precomputes the linearized backend for g: exact sparse
+// expansion of the indexing system plus a Jacobi solve for the diagonal.
+func BuildLinEngine(g *Graph, opts LinOptions) (*LinEngine, error) {
+	return linserve.Build(g, opts)
+}
+
+// SaveLinEngine serializes an engine (the CWLN section also rides inside
+// serving snapshots automatically).
+func SaveLinEngine(w io.Writer, e *LinEngine) error { return e.Save(w) }
+
+// LoadLinEngine deserializes an engine written by SaveLinEngine, binding
+// it against g (which must be the graph it was built for).
+func LoadLinEngine(r io.Reader, g *Graph) (*LinEngine, error) { return linserve.Load(r, g) }
+
+// Backend names for ServerConfig.Backend and the backend= query
+// parameter: "mc" (Monte Carlo), "lin" (linearized), "auto" (route hot
+// cache entries to lin, the tail to mc).
+const (
+	BackendMC   = server.BackendMC
+	BackendLin  = server.BackendLin
+	BackendAuto = server.BackendAuto
+)
 
 // SimilarityStore persists all-pair (MCAP) top-k results.
 type SimilarityStore = simstore.Store

@@ -30,6 +30,13 @@
 //
 //	benchtab -compare-adaptive BENCH_walk.json -tolerance 0.1
 //
+// The backend accuracy gate re-measures both serving backends' errors
+// against exact SimRank on the pinned accuracy workload (deterministic,
+// in-process) and fails when any error exceeds the recorded trajectory
+// by more than -tolerance, or when the pinned workload drifted:
+//
+//	benchtab -compare-accuracy BENCH_accuracy.json -tolerance 0.05
+//
 // Scale multiplies the synthetic dataset sizes (and the simulated
 // per-machine memory, keeping the paper's broadcast-model memory wall at
 // the same relative position). Scale 1.0 runs the full synthetic profile
@@ -56,11 +63,12 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = all cores)")
-	jsonOut := flag.String("json-out", "", "bench-walk only: append the run to this JSON trajectory file")
-	label := flag.String("label", "", "bench-walk only: label for the appended run")
+	jsonOut := flag.String("json-out", "", "bench-walk/bench-accuracy: append the run to this JSON trajectory file")
+	label := flag.String("label", "", "bench-walk/bench-accuracy: label for the appended run")
 	compare := flag.String("compare", "", "regression gate: trajectory JSON to compare `go test -bench` output against (exits 1 on regression)")
 	compareServing := flag.String("compare-serving", "", "serving regression gate: trajectory JSON (BENCH_serving.json) to compare a cloudwalkerload -record measurement against (exits 1 on regression)")
 	compareAdaptive := flag.String("compare-adaptive", "", "adaptive-sampling gate: trajectory JSON (BENCH_walk.json) whose recorded walker_steps_saved_pct a fresh deterministic measurement must match (exits 1 on regression)")
+	compareAccuracy := flag.String("compare-accuracy", "", "backend accuracy gate: trajectory JSON (BENCH_accuracy.json) whose recorded per-backend errors vs exact SimRank a fresh deterministic measurement must match (exits 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "compare mode: tolerated fractional walker-steps/s (or serving QPS) drop")
 	input := flag.String("input", "-", "compare mode: bench output or measurement file ('-' = stdin)")
 	gomaxprocs := flag.Int("gomaxprocs", 0, "compare mode: match the baseline row recorded at this GOMAXPROCS (0 = latest run regardless)")
@@ -69,6 +77,16 @@ func main() {
 	if *compareAdaptive != "" {
 		// Needs no -input: the measurement is recomputed in-process.
 		if err := bench.RunAdaptiveGate(*compareAdaptive, *tolerance, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *compareAccuracy != "" {
+		// Also in-process: both backends' errors against exact SimRank are
+		// deterministic for the pinned workload.
+		if err := bench.RunAccuracyGate(*compareAccuracy, *tolerance, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -9,6 +9,7 @@
 //	cloudwalker index -graph graph.bin -out index.cw
 //	cloudwalkerd -graph graph.bin -index index.cw [-store topk.cw] [-addr :8089]
 //	cloudwalkerd -graph graph.bin -index index.cw -dynamic -refresh-after 1000
+//	cloudwalkerd -graph graph.bin -index index.cw -backend auto
 //
 // Endpoints: /pair, /pairs, /source, /topk, /healthz, /stats, /metrics
 // (Prometheus text format; see internal/server); with -dynamic also POST
@@ -16,6 +17,14 @@
 // hot-swap to a fresh snapshot); with -snapshot also POST /snapshot
 // (persist the serving state — a restart restores it and skips
 // re-walking). SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// -backend mc|lin|auto selects the default answering engine: mc is the
+// paper's Monte Carlo estimator, lin evaluates the linearized truncated
+// series deterministically against a precomputed diagonal, and auto
+// routes cache-hot queries to lin and the tail to mc. lin and auto build
+// the linearized engine at startup (or restore it from a snapshot that
+// carries one); -lin builds it under an mc default so clients can still
+// opt in per request with ?backend=lin.
 //
 // The same binary also runs a serving fleet (see internal/fleet): start N
 // shard daemons (optionally named with -shard), then a router frontend
@@ -37,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -69,6 +79,11 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	snapDir := fs.String("snapshot", "", "snapshot directory: POST /snapshot persists the serving state here, and a snapshot found here at startup is restored instead of -graph/-index/-store (resumes the saved generation, skips re-walking)")
 	epsilon := fs.Float64("epsilon", -1, "adaptive sampling default: serve queries adaptively with this target confidence half-width (0 = fixed budget, -1 = keep the index's build-time value); clients override per request with ?epsilon=")
 	deltaFlag := fs.Float64("delta", -1, "adaptive sampling default confidence failure probability in (0,1) (-1 = keep the index's value, falling back to 0.05)")
+	backendFlag := fs.String("backend", "mc", "default answering engine: mc, lin, or auto (lin/auto need a linearized engine: built at startup, or restored from -snapshot)")
+	linOn := fs.Bool("lin", false, "build the linearized engine at startup even under -backend mc, so clients can request ?backend=lin")
+	linSweeps := fs.Int("lin-sweeps", 0, "Jacobi sweeps for the linearized diagonal solve (0 = default)")
+	linPrune := fs.Float64("lin-prune", -1, "pruning threshold for linearized build and queries (-1 = serving defaults, 0 = exact)")
+	linRank := fs.Int("lin-rank", 0, "low-rank factorization rank for linearized single-source (0 = none)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for production profiling")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 	router := fs.Bool("router", false, "run as a fleet router over -shards instead of serving a graph")
@@ -98,6 +113,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		g        *cloudwalker.Graph
 		idx      *cloudwalker.Index
 		store    *cloudwalker.SimilarityStore
+		lin      *cloudwalker.LinEngine
 		gen      uint64
 		restored bool
 	)
@@ -105,9 +121,13 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		ps, err := cloudwalker.ReadServingSnapshot(*snapDir)
 		switch {
 		case err == nil:
-			g, idx, store, gen, restored = ps.Graph, ps.Index, ps.Store, ps.Gen, true
-			fmt.Fprintf(out, "restored snapshot gen %d from %s (no re-walk)\n",
-				gen, cloudwalker.ServingSnapshotPath(*snapDir))
+			g, idx, store, lin, gen, restored = ps.Graph, ps.Index, ps.Store, ps.Lin, ps.Gen, true
+			extra := ""
+			if lin != nil {
+				extra = ", with linearized engine"
+			}
+			fmt.Fprintf(out, "restored snapshot gen %d from %s (no re-walk%s)\n",
+				gen, cloudwalker.ServingSnapshotPath(*snapDir), extra)
 		case errors.Is(err, os.ErrNotExist):
 			// cold start below
 		default:
@@ -166,6 +186,36 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if idx.Opts.Epsilon > 0 {
 		fmt.Fprintf(out, "adaptive sampling default: epsilon=%g delta=%g\n", idx.Opts.Epsilon, idx.Opts.Delta)
 	}
+	// The linearized engine is startup-time prep like the index load: a
+	// restored snapshot's engine wins (it is the state that was serving),
+	// otherwise -backend lin|auto or -lin builds one here. Decay and series
+	// depth come from the index so the two backends answer the same
+	// truncation of the same similarity.
+	if lin == nil && (*linOn || *backendFlag == cloudwalker.BackendLin || *backendFlag == cloudwalker.BackendAuto) {
+		lopts := cloudwalker.DefaultLinOptions()
+		lopts.C = idx.Opts.C
+		lopts.T = idx.Opts.T
+		lopts.Workers = runtime.GOMAXPROCS(0)
+		if *linSweeps > 0 {
+			lopts.Sweeps = *linSweeps
+		}
+		if *linPrune >= 0 {
+			lopts.BuildPruneEps, lopts.PruneEps = *linPrune, *linPrune
+		} else {
+			// Serving defaults: prune the build harder than DefaultLinOptions'
+			// exact expansion so startup stays in seconds on dense-tailed
+			// graphs, and keep query frontiers sparse at invisible error.
+			lopts.BuildPruneEps, lopts.PruneEps = 1e-6, 1e-4
+		}
+		lopts.Rank = *linRank
+		t0 := time.Now()
+		lin, err = cloudwalker.BuildLinEngine(g, lopts)
+		if err != nil {
+			return fmt.Errorf("building linearized engine: %w", err)
+		}
+		fmt.Fprintf(out, "linearized engine ready in %v (T=%d sweeps=%d rank=%d)\n",
+			time.Since(t0).Round(time.Millisecond), lopts.T, lopts.Sweeps, lopts.Rank)
+	}
 	cfg := cloudwalker.ServerConfig{
 		CacheSize:   *cacheSize,
 		CacheShards: *cacheShards,
@@ -176,6 +226,11 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		SnapshotDir: *snapDir,
 		InitialGen:  gen,
 		Store:       store,
+		Lin:         lin,
+		Backend:     *backendFlag,
+	}
+	if lin != nil {
+		fmt.Fprintf(out, "backend default: %s (linearized engine available)\n", *backendFlag)
 	}
 	if *pprofOn {
 		fmt.Fprintln(out, "pprof enabled at /debug/pprof/")

@@ -173,6 +173,103 @@ func TestRouterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonLinBackend boots the daemon with -backend auto (building the
+// linearized engine at startup), drives one pair hot until the auto
+// router flips it to lin, and checks the backend surfaces: response
+// header, explicit ?backend= override, and /healthz advertisement.
+func TestDaemonLinBackend(t *testing.T) {
+	gpath, ipath := writeArtifacts(t)
+
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-graph", gpath, "-index", ipath, "-addr", "127.0.0.1:0",
+			"-backend", "auto", "-lin-sweeps", "6",
+		}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	getBackend := func(path string) (string, float64) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pr struct {
+			Score float64 `json:"score"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cloudwalker-Backend"), pr.Score
+	}
+
+	// Explicit per-request override answers from lin immediately.
+	linBackend, linScore := getBackend("/pair?i=3&j=4&backend=lin")
+	if linBackend != "lin" {
+		t.Fatalf("explicit backend=lin answered by %q", linBackend)
+	}
+
+	// Under auto, a cold pair goes to mc; hammering it past the hot
+	// threshold flips it to the deterministic engine, which must agree
+	// with the explicit-lin answer bit-identically.
+	for i := 0; i < 6; i++ {
+		getBackend("/pair?i=3&j=4")
+	}
+	autoBackend, autoScore := getBackend("/pair?i=3&j=4")
+	if autoBackend != "lin" {
+		t.Fatalf("hot pair still answered by %q under -backend auto", autoBackend)
+	}
+	if autoScore != linScore {
+		t.Fatalf("auto-routed score %v != lin score %v", autoScore, linScore)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Backend  string   `json:"backend"`
+		Backends []string `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Backend != "auto" || len(hz.Backends) != 2 {
+		t.Fatalf("healthz backend %q backends %v, want auto + [mc lin]", hz.Backend, hz.Backends)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never drained")
+	}
+	if !strings.Contains(out.String(), "linearized engine ready") {
+		t.Fatalf("missing lin build log:\n%s", out.String())
+	}
+}
+
 // TestDaemonEndToEnd builds artifacts with the library (standing in for
 // the cloudwalker CLI), boots the daemon on an ephemeral port, queries
 // it, and shuts it down with SIGTERM — the full operational loop.

@@ -17,6 +17,10 @@
 //	cloudwalkerd -graph g.bin -index i.cw -addr :8089 &
 //	cloudwalkerload -base http://localhost:8089 -label "my change" -out BENCH_serving.json
 //
+// With -epsilon it adds a pair_adaptive phase (adaptive sampling) and
+// with -lin a pair_lin phase (the linearized backend), both reusing the
+// pinned hot pairs so the base phases' request streams never change.
+//
 // With -record FILE it writes the raw measurement (workload + run) as
 // JSON for the CI gate: `benchtab -compare-serving BENCH_serving.json
 // -input FILE` fails when any phase's QPS regressed beyond tolerance.
@@ -56,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("out", "", "append the run to this trajectory JSON (BENCH_serving.json)")
 	record := fs.String("record", "", "write the raw measurement JSON here (input for benchtab -compare-serving)")
 	epsilon := fs.Float64("epsilon", 0, "when > 0, add a pair_adaptive phase driving /pair with this epsilon (adaptive sampling)")
+	lin := fs.Bool("lin", false, "add a pair_lin phase driving /pair with backend=lin (daemon must serve a linearized engine)")
 	clients := fs.Int("clients", wl.Clients, "closed-loop client goroutines")
 	duration := fs.Duration("duration", time.Duration(wl.DurationMs)*time.Millisecond, "measured window per phase")
 	warmup := fs.Duration("warmup", time.Duration(wl.WarmupMs)*time.Millisecond, "untimed warmup per phase (seeds the cache)")
@@ -76,8 +81,9 @@ func run(args []string, out io.Writer) error {
 	}}
 
 	var hz struct {
-		Nodes int `json:"nodes"`
-		Edges int `json:"edges"`
+		Nodes    int      `json:"nodes"`
+		Edges    int      `json:"edges"`
+		Backends []string `json:"backends"`
 	}
 	if err := getJSON(hc, baseURL+"/healthz", &hz); err != nil {
 		return fmt.Errorf("daemon not reachable: %w", err)
@@ -85,6 +91,17 @@ func run(args []string, out io.Writer) error {
 	if hz.Nodes != wl.Nodes || hz.Edges != wl.Edges {
 		return fmt.Errorf("daemon serves %d nodes / %d edges, workload pins %d / %d — wrong artifacts (see the doc comment for the gen/index commands)",
 			hz.Nodes, hz.Edges, wl.Nodes, wl.Edges)
+	}
+	if *lin {
+		// Fail up front instead of recording a phase of 400s: the lin phase
+		// needs a daemon started with -lin or -backend lin|auto.
+		hasLin := false
+		for _, b := range hz.Backends {
+			hasLin = hasLin || b == "lin"
+		}
+		if !hasLin {
+			return fmt.Errorf("daemon advertises backends %v, -lin needs \"lin\" (start cloudwalkerd with -lin or -backend lin|auto)", hz.Backends)
+		}
 	}
 
 	// The fixed hot set, derived from a pinned seed so every run (and
@@ -142,6 +159,18 @@ func run(args []string, out io.Writer) error {
 			do   func(i int) error
 		}{"pair_adaptive", func(i int) error {
 			return drainGet(hc, baseURL+pairPaths[i%len(pairPaths)]+eps)
+		}})
+	}
+	if *lin {
+		// Same pinned hot pairs, answered by the deterministic linearized
+		// engine: the recorded QPS is the serving-side cost of backend=lin
+		// (distinct cache keys, so this phase's misses are real lin
+		// computations, not rides on the mc phase's warm entries).
+		phases = append(phases, struct {
+			name string
+			do   func(i int) error
+		}{"pair_lin", func(i int) error {
+			return drainGet(hc, baseURL+pairPaths[i%len(pairPaths)]+"&backend=lin")
 		}})
 	}
 

@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// accuracyTestWorkload is a shrunken workload so the unit tests measure
+// in milliseconds; the gate semantics don't depend on scale.
+func accuracyTestWorkload() AccuracyWorkload {
+	return AccuracyWorkload{
+		Nodes:          150,
+		EdgesRequested: 1200,
+		Edges:          0, // unpinned: the first measurement fills it
+		GraphSeed:      23,
+		C:              0.6,
+		T:              5,
+		R:              50,
+		RPrime:         300,
+		WalkSeed:       1,
+		LinSweeps:      6,
+		ExactIters:     15,
+		Pairs:          24,
+		Sources:        6,
+		QuerySeed:      7,
+	}
+}
+
+// measureAccuracyOnce caches one measurement across the tests in this
+// file (the exact reference and index build dominate the cost).
+var accuracyMeasured *AccuracyMeasurement
+
+func measureAccuracy(t *testing.T) *AccuracyMeasurement {
+	t.Helper()
+	if accuracyMeasured == nil {
+		m, err := MeasureAccuracy(Config{}, accuracyTestWorkload())
+		if err != nil {
+			t.Fatal(err)
+		}
+		accuracyMeasured = m
+	}
+	return accuracyMeasured
+}
+
+// accuracyFileFor wraps a measurement as a one-run trajectory file. The
+// metrics map is deep-copied so tests can doctor the file without
+// mutating the shared measurement.
+func accuracyFileFor(m *AccuracyMeasurement, label string) *AccuracyFile {
+	run := m.Run
+	run.Label = label
+	run.Metrics = make(map[string]AccuracyMetric, len(m.Run.Metrics))
+	for name, met := range m.Run.Metrics {
+		run.Metrics[name] = met
+	}
+	return &AccuracyFile{Schema: accuracySchema, Workload: m.Workload, Runs: []AccuracyRun{run}}
+}
+
+func TestMeasureAccuracySanity(t *testing.T) {
+	m := measureAccuracy(t)
+	for _, name := range []string{"pair_mc", "pair_lin", "source_mc", "source_lin"} {
+		met, ok := m.Run.Metrics[name]
+		if !ok {
+			t.Fatalf("no %s metric in measurement", name)
+		}
+		if met.MaxAbsErr <= 0 || met.MaxAbsErr < met.MeanAbsErr {
+			t.Fatalf("%s errors out of order: max %g, mean %g", name, met.MaxAbsErr, met.MeanAbsErr)
+		}
+		// Smoke ceilings: the linearized engine is deterministic on the
+		// truncated series, so its error is pure truncation bias and must
+		// stay small in absolute terms; Monte Carlo gets a loose bound
+		// (coincident-walk pairs on degenerate chains bias it visibly —
+		// which is exactly why the lin backend exists).
+		ceiling := 0.5
+		if strings.HasSuffix(name, "_lin") {
+			ceiling = 0.05
+		}
+		if met.MaxAbsErr > ceiling {
+			t.Fatalf("%s max |err| %g vs exact SimRank — backend broken", name, met.MaxAbsErr)
+		}
+	}
+	// The linearized engine is exact on the truncated series: its error
+	// (pure truncation + diagonal solve residual) must undercut the Monte
+	// Carlo estimator's sampling noise on the same pairs.
+	if lin, mc := m.Run.Metrics["pair_lin"].MaxAbsErr, m.Run.Metrics["pair_mc"].MaxAbsErr; lin >= mc {
+		t.Fatalf("pair_lin max |err| %g not below pair_mc %g", lin, mc)
+	}
+	if m.Workload.Edges == 0 {
+		t.Fatal("measurement did not pin the generated edge count")
+	}
+}
+
+func TestMeasureAccuracyDeterministic(t *testing.T) {
+	m1 := measureAccuracy(t)
+	m2, err := MeasureAccuracy(Config{}, accuracyTestWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, met1 := range m1.Run.Metrics {
+		met2 := met1
+		met2.AvgUs = m2.Run.Metrics[name].AvgUs // timing may differ; errors may not
+		if !reflect.DeepEqual(met2, m2.Run.Metrics[name]) {
+			t.Fatalf("%s not reproducible: %+v vs %+v", name, met1, m2.Run.Metrics[name])
+		}
+	}
+}
+
+func TestCompareAccuracyPasses(t *testing.T) {
+	m := measureAccuracy(t)
+	file := accuracyFileFor(m, "baseline")
+	results, baseline, err := CompareAccuracy(file, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Label != "baseline" {
+		t.Fatalf("compared against %q", baseline.Label)
+	}
+	// 4 phases x 2 gated stats.
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Fatalf("identical re-measurement failed %s %s: measured %g, recorded %g",
+				r.Phase, r.Stat, r.Measured, r.Recorded)
+		}
+	}
+}
+
+// TestCompareAccuracyDoctoredRegression is the gate's reason to exist: a
+// trajectory whose recorded errors are better than what the code now
+// produces (here: doctored to a tenth) must fail the comparison.
+func TestCompareAccuracyDoctoredRegression(t *testing.T) {
+	m := measureAccuracy(t)
+	file := accuracyFileFor(m, "doctored")
+	met := file.Runs[0].Metrics["pair_lin"]
+	met.MaxAbsErr /= 10
+	file.Runs[0].Metrics["pair_lin"] = met
+
+	results, _, err := CompareAccuracy(file, m, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed []string
+	for _, r := range results {
+		if !r.Pass {
+			failed = append(failed, r.Phase+"/"+r.Stat)
+		}
+	}
+	if len(failed) != 1 || failed[0] != "pair_lin/max_abs_err" {
+		t.Fatalf("failed stats %v, want exactly pair_lin/max_abs_err", failed)
+	}
+}
+
+func TestCompareAccuracyWorkloadDrift(t *testing.T) {
+	m := measureAccuracy(t)
+	file := accuracyFileFor(m, "drift")
+	file.Workload.R += 10
+	if _, _, err := CompareAccuracy(file, m, 0.05); err == nil ||
+		!strings.Contains(err.Error(), "workload") {
+		t.Fatalf("err = %v, want workload drift rejection", err)
+	}
+}
+
+func TestCompareAccuracyMissingPhase(t *testing.T) {
+	m := measureAccuracy(t)
+	file := accuracyFileFor(m, "baseline")
+	partial := *m
+	partial.Run.Metrics = make(map[string]AccuracyMetric)
+	for name, met := range m.Run.Metrics {
+		if name != "source_lin" {
+			partial.Run.Metrics[name] = met
+		}
+	}
+	if _, _, err := CompareAccuracy(file, &partial, 0.05); err == nil ||
+		!strings.Contains(err.Error(), "source_lin") {
+		t.Fatalf("err = %v, want missing-phase rejection naming source_lin", err)
+	}
+}
+
+func TestCompareAccuracySkippedPhase(t *testing.T) {
+	m := measureAccuracy(t)
+	file := accuracyFileFor(m, "baseline")
+	met := file.Runs[0].Metrics["source_mc"]
+	met.SkipReason = "flaky on CI"
+	file.Runs[0].Metrics["source_mc"] = met
+
+	// A skipped phase passes even when absent from the measurement.
+	partial := *m
+	partial.Run.Metrics = make(map[string]AccuracyMetric)
+	for name, mm := range m.Run.Metrics {
+		if name != "source_mc" {
+			partial.Run.Metrics[name] = mm
+		}
+	}
+	results, _, err := CompareAccuracy(file, &partial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skipped int
+	for _, r := range results {
+		if r.Skipped != "" {
+			skipped++
+		}
+		if !r.Pass {
+			t.Fatalf("%s %s failed", r.Phase, r.Stat)
+		}
+	}
+	if skipped != 1 {
+		t.Fatalf("%d skipped results, want 1", skipped)
+	}
+}
+
+func TestAccuracyTrajectoryRoundTrip(t *testing.T) {
+	m := measureAccuracy(t)
+	path := filepath.Join(t.TempDir(), "BENCH_accuracy.json")
+	run := m.Run
+	run.Label = "first"
+	if err := AppendAccuracyRun(path, m.Workload, run); err != nil {
+		t.Fatal(err)
+	}
+	run.Label = "second"
+	if err := AppendAccuracyRun(path, m.Workload, run); err != nil {
+		t.Fatal(err)
+	}
+	file, err := LoadAccuracyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != accuracySchema || len(file.Runs) != 2 || file.Runs[1].Label != "second" {
+		t.Fatalf("round trip: schema %q, %d runs", file.Schema, len(file.Runs))
+	}
+	if file.Workload != m.Workload {
+		t.Fatalf("workload drifted through the file: %+v vs %+v", file.Workload, m.Workload)
+	}
+	// Appending under a different workload must be refused.
+	other := m.Workload
+	other.Pairs++
+	if err := AppendAccuracyRun(path, other, run); err == nil {
+		t.Fatal("appended a run recorded under a different workload")
+	}
+}

@@ -282,8 +282,8 @@ func TestThroughputExperiment(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := ExperimentNames()
-	if len(names) != 13 {
-		t.Fatalf("experiment count %d, want 13", len(names))
+	if len(names) != 14 {
+		t.Fatalf("experiment count %d, want 14", len(names))
 	}
 	var buf bytes.Buffer
 	if err := Run("params", tinyConfig(), &buf, false); err != nil {

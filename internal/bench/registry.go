@@ -25,6 +25,7 @@ var Experiments = map[string]Runner{
 	"fig-throughput":    RunThroughput,
 	"ablation":          RunAblation,
 	"bench-walk":        RunWalkBench,
+	"bench-accuracy":    RunAccuracyBench,
 }
 
 // ExperimentNames returns the sorted experiment ids.

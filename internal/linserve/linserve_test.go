@@ -1,0 +1,449 @@
+package linserve
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cloudwalker/internal/exact"
+	"cloudwalker/internal/gen"
+	"cloudwalker/internal/graph"
+)
+
+func testGraph(t *testing.T, n, m int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(n, m, gen.DefaultRMAT, seed)
+	if err != nil {
+		t.Fatalf("RMAT: %v", err)
+	}
+	return g
+}
+
+func testOptions() Options {
+	o := DefaultOptions()
+	o.T = 8
+	o.Sweeps = 8
+	return o
+}
+
+// TestSeriesMatchesDenseReference checks the sparse query kernels against
+// the dense evaluation of the same truncated series with the same
+// diagonal: the two must agree to FP noise, isolating the matvec code
+// from the diagonal-solve accuracy question.
+func TestSeriesMatchesDenseReference(t *testing.T) {
+	g := testGraph(t, 80, 400, 11)
+	e, err := Build(g, testOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ref, err := exact.FromDiagonal(g, e.opts.C, e.opts.T, e.Diag())
+	if err != nil {
+		t.Fatalf("FromDiagonal: %v", err)
+	}
+	n := g.NumNodes()
+	for i := 0; i < n; i += 7 {
+		for j := 0; j < n; j += 13 {
+			if i == j {
+				continue
+			}
+			got, err := e.SinglePair(i, j)
+			if err != nil {
+				t.Fatalf("SinglePair(%d,%d): %v", i, j, err)
+			}
+			if want := ref.At(i, j); math.Abs(got-want) > 1e-10 {
+				t.Fatalf("SinglePair(%d,%d) = %g, dense series says %g", i, j, got, want)
+			}
+		}
+	}
+	for q := 0; q < n; q += 11 {
+		v, err := e.SingleSource(q)
+		if err != nil {
+			t.Fatalf("SingleSource(%d): %v", q, err)
+		}
+		dense := v.Dense(n)
+		for j := 0; j < n; j++ {
+			want := ref.At(q, j)
+			if j == q {
+				want = 1 // the engine pins self-similarity
+			}
+			if math.Abs(dense[j]-want) > 1e-10 {
+				t.Fatalf("SingleSource(%d)[%d] = %g, dense series says %g", q, j, dense[j], want)
+			}
+		}
+	}
+}
+
+// TestAgreesWithExactSimRank closes the whole pipeline against Jeh–Widom
+// ground truth: row assembly, Jacobi diagonal solve, and query kernels
+// together must land within the truncation + sweep error budget.
+func TestAgreesWithExactSimRank(t *testing.T) {
+	g := testGraph(t, 60, 300, 7)
+	opts := testOptions()
+	opts.T = 10
+	opts.Sweeps = 10
+	e, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	truth, err := exact.Naive(g, opts.C, 25)
+	if err != nil {
+		t.Fatalf("Naive: %v", err)
+	}
+	worst := 0.0
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			got, err := e.SinglePair(i, j)
+			if err != nil {
+				t.Fatalf("SinglePair: %v", err)
+			}
+			if d := math.Abs(got - truth.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	// c^{T+1} = 0.6^11 ≈ 0.0036 truncation plus solve error.
+	if worst > 0.02 {
+		t.Fatalf("worst |lin - exact| = %g, want <= 0.02", worst)
+	}
+}
+
+// TestPruneEpsBoundsError checks that query-time truncation stays a
+// small, bounded perturbation rather than a structural change.
+func TestPruneEpsBoundsError(t *testing.T) {
+	g := testGraph(t, 120, 700, 3)
+	opts := testOptions()
+	eExact, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	opts.PruneEps = 1e-4
+	ePruned, err := New(g, eExact.Diag(), opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for i := 0; i < g.NumNodes(); i += 9 {
+		j := (i*7 + 13) % g.NumNodes()
+		if i == j {
+			continue
+		}
+		a, err := eExact.SinglePair(i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ePruned.SinglePair(i, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 0.01 {
+			t.Fatalf("pair (%d,%d): pruned %g vs exact %g", i, j, b, a)
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	g := testGraph(t, 40, 160, 5)
+	e, err := Build(g, testOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if s, err := e.SinglePair(3, 3); err != nil || s != 1 {
+		t.Fatalf("SinglePair(3,3) = %g, %v; want 1", s, err)
+	}
+	if _, err := e.SinglePair(-1, 0); err == nil {
+		t.Fatal("SinglePair(-1,0) should fail")
+	}
+	if _, err := e.SinglePair(0, g.NumNodes()); err == nil {
+		t.Fatal("SinglePair out of range should fail")
+	}
+	if err := e.SingleSourceInto(g.NumNodes(), nil); err == nil {
+		t.Fatal("SingleSourceInto out of range should fail")
+	}
+	v, err := e.SingleSource(7)
+	if err != nil {
+		t.Fatalf("SingleSource: %v", err)
+	}
+	if got := v.Get(7); got != 1 {
+		t.Fatalf("self similarity pinned to %g, want 1", got)
+	}
+	for k, val := range v.Val {
+		if val < 0 || val > 1 {
+			t.Fatalf("entry %d = %g outside [0,1]", v.Idx[k], val)
+		}
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatalf("single-source result invalid: %v", err)
+	}
+}
+
+// TestQueriesDeterministic exercises the pooled workspace: repeated and
+// interleaved queries must be bit-identical — the property the server
+// sells the lin backend on.
+func TestQueriesDeterministic(t *testing.T) {
+	g := testGraph(t, 100, 500, 19)
+	opts := testOptions()
+	opts.PruneEps = 1e-5
+	e, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	first := make(map[[2]int]float64)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 20; i++ {
+			j := (i*13 + 31) % g.NumNodes()
+			s, err := e.SinglePair(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := [2]int{i, j}
+			if round == 0 {
+				first[key] = s
+			} else if first[key] != s {
+				t.Fatalf("pair %v: round %d gave %g, first round %g", key, round, s, first[key])
+			}
+			// Interleave single-source traffic through the same pool.
+			if _, err := e.SingleSource(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestBuildWorkerInvariance: the prep stage is parallel across rows and
+// the Jacobi sweep is parallel across chunks, but both must produce
+// bit-identical diagonals at any worker count.
+func TestBuildWorkerInvariance(t *testing.T) {
+	g := testGraph(t, 90, 450, 23)
+	opts := testOptions()
+	opts.Workers = 1
+	e1, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build workers=1: %v", err)
+	}
+	opts.Workers = 7
+	e7, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build workers=7: %v", err)
+	}
+	for i := range e1.Diag() {
+		if e1.Diag()[i] != e7.Diag()[i] {
+			t.Fatalf("diag[%d]: workers=1 gives %g, workers=7 gives %g", i, e1.Diag()[i], e7.Diag()[i])
+		}
+	}
+}
+
+// TestLowRankFullRankMatchesSeries: with rank = n the factorization spans
+// the whole space, so factor-based single-source must reproduce the
+// series evaluation to orthonormalization noise.
+func TestLowRankFullRankMatchesSeries(t *testing.T) {
+	g := testGraph(t, 30, 150, 13)
+	opts := testOptions()
+	series, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	opts.Rank = g.NumNodes()
+	opts.Seed = 99
+	factored, err := New(g, series.Diag(), opts)
+	if err != nil {
+		t.Fatalf("New rank=n: %v", err)
+	}
+	if !factored.HasLowRank() {
+		t.Fatal("rank option did not build a factorization")
+	}
+	n := g.NumNodes()
+	for q := 0; q < n; q += 3 {
+		a, err := series.SingleSource(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := factored.SingleSource(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		da, db := a.Dense(n), b.Dense(n)
+		for j := 0; j < n; j++ {
+			if math.Abs(da[j]-db[j]) > 1e-6 {
+				t.Fatalf("source %d entry %d: series %g vs full-rank factors %g", q, j, da[j], db[j])
+			}
+		}
+	}
+}
+
+// TestLowRankApproximation: a modest rank on a hubby graph should track
+// the dominant structure (loose tolerance — this documents behavior, the
+// accuracy trajectory in BENCH_accuracy.json is the real gate).
+func TestLowRankApproximation(t *testing.T) {
+	g := testGraph(t, 80, 600, 29)
+	opts := testOptions()
+	series, err := Build(g, opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	opts.Rank = 40
+	low, err := New(g, series.Diag(), opts)
+	if err != nil {
+		t.Fatalf("New rank=40: %v", err)
+	}
+	n := g.NumNodes()
+	worst := 0.0
+	for q := 0; q < n; q += 5 {
+		a, _ := series.SingleSource(q)
+		b, _ := low.SingleSource(q)
+		da, db := a.Dense(n), b.Dense(n)
+		for j := 0; j < n; j++ {
+			if j == q {
+				continue
+			}
+			if d := math.Abs(da[j] - db[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 0.15 {
+		t.Fatalf("rank-40 worst deviation %g, want <= 0.15", worst)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{C: 0, T: 5, Sweeps: 3},
+		{C: 1, T: 5, Sweeps: 3},
+		{C: 0.6, T: -1, Sweeps: 3},
+		{C: 0.6, T: 5, Sweeps: 0},
+		{C: 0.6, T: 5, Sweeps: 3, PruneEps: -1},
+		{C: 0.6, T: 5, Sweeps: 3, BuildPruneEps: -1},
+		{C: 0.6, T: 5, Sweeps: 3, Rank: -2},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("case %d: options %+v should not validate", i, o)
+		}
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+}
+
+func TestNewRejectsBadDiagonal(t *testing.T) {
+	g := testGraph(t, 20, 60, 2)
+	opts := testOptions()
+	if _, err := New(g, make([]float64, 5), opts); err == nil {
+		t.Fatal("short diagonal accepted")
+	}
+	d := make([]float64, g.NumNodes())
+	d[3] = math.NaN()
+	if _, err := New(g, d, opts); err == nil {
+		t.Fatal("NaN diagonal accepted")
+	}
+	d[3] = 1.5
+	if _, err := New(g, d, opts); err == nil {
+		t.Fatal("out-of-range diagonal accepted")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	g := testGraph(t, 50, 250, 31)
+	for _, rank := range []int{0, 16} {
+		opts := testOptions()
+		opts.Rank = rank
+		opts.PruneEps = 1e-5
+		opts.Seed = 7
+		e, err := Build(g, opts)
+		if err != nil {
+			t.Fatalf("Build rank=%d: %v", rank, err)
+		}
+		var buf bytes.Buffer
+		if err := e.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()), g)
+		if err != nil {
+			t.Fatalf("Load rank=%d: %v", rank, err)
+		}
+		if got.Options().T != opts.T || got.Options().PruneEps != opts.PruneEps {
+			t.Fatalf("options drifted through codec: %+v vs %+v", got.Options(), opts)
+		}
+		if got.HasLowRank() != (rank > 0) {
+			t.Fatalf("rank=%d: HasLowRank = %v", rank, got.HasLowRank())
+		}
+		for i := range e.Diag() {
+			if e.Diag()[i] != got.Diag()[i] {
+				t.Fatalf("diag[%d] drifted through codec", i)
+			}
+		}
+		// Loaded engines must answer bit-identically.
+		for i := 0; i < 10; i++ {
+			j := (i*17 + 3) % g.NumNodes()
+			a, _ := e.SinglePair(i, j)
+			b, _ := got.SinglePair(i, j)
+			if a != b {
+				t.Fatalf("pair (%d,%d): saved %g, loaded %g", i, j, a, b)
+			}
+			va, _ := e.SingleSource(j)
+			vb, _ := got.SingleSource(j)
+			if len(va.Idx) != len(vb.Idx) {
+				t.Fatalf("source %d: nnz drifted through codec", j)
+			}
+			for k := range va.Val {
+				if va.Val[k] != vb.Val[k] {
+					t.Fatalf("source %d entry %d drifted", j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	g := testGraph(t, 40, 160, 37)
+	e, err := Build(g, testOptions())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	good := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 8, 70, len(good) - 1} {
+			if _, err := Load(bytes.NewReader(good[:cut]), g); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xff
+		if _, err := Load(bytes.NewReader(b), g); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[8] = 99
+		if _, err := Load(bytes.NewReader(b), g); err == nil {
+			t.Fatal("bad version accepted")
+		}
+	})
+	t.Run("graph mismatch", func(t *testing.T) {
+		other := testGraph(t, 41, 160, 37)
+		if _, err := Load(bytes.NewReader(good), other); err == nil {
+			t.Fatal("node-count mismatch accepted")
+		}
+	})
+	t.Run("non-finite diagonal", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		// First diagonal float sits right after the 10-word header.
+		for i := 0; i < 8; i++ {
+			b[80+i] = 0xff
+		}
+		if _, err := Load(bytes.NewReader(b), g); err == nil {
+			t.Fatal("NaN diagonal accepted")
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package linserve
+
+import (
+	"math"
+
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/sparse"
+	"cloudwalker/internal/xrand"
+)
+
+// lowRank is the factorization R ≈ Q M Qᵀ (Q orthonormal n×r, M = Qᵀ R Q
+// symmetric r×r) built by a randomized range sketch, after Oseledets &
+// Ovchinnikov's low-rank SimRank approximation. A single-source query
+// becomes two skinny matvecs: S e_q ≈ Q (M (Qᵀ e_q)), O(n·r) with no
+// graph traversal at all — the memory-bounded serving form for graphs
+// whose T-hop frontiers approach m.
+//
+// R = S − D is the t ≥ 1 tail of the series: the t = 0 term D is
+// diagonal, so it only ever contributes to self-similarity — which
+// queries pin to exactly 1 regardless. Dropping it from the factorization
+// target removes a flat, full-rank spectral component that a rank-r
+// sketch could never compress, at zero cost to the answers.
+type lowRank struct {
+	n, r int
+	q    []float64 // column-major: q[c*n+i] = Q(i,c)
+	core []float64 // row-major r×r
+}
+
+const lowRankSketchSalt = 0x4c524b53 // "LRKS": stream space of the sketch
+
+// buildLowRank factorizes the truncated-series operator defined by
+// (g, diag, opts). Deterministic given opts.Seed. Cost: 2·r operator
+// applications (each a T-step dense forward/backward sweep, O(T·(n+m)))
+// plus O(n·r²) orthonormalization — prep-time work, far below the
+// diagonal solve's row expansion.
+func buildLowRank(g *graph.Graph, diag []float64, opts Options) *lowRank {
+	n := g.NumNodes()
+	r := opts.Rank
+	if r > n {
+		r = n
+	}
+	lr := &lowRank{n: n, r: r, q: make([]float64, n*r), core: make([]float64, r*r)}
+	if n == 0 || r == 0 {
+		return lr
+	}
+	p := sparse.NewTransition(g)
+	// Range sketch: Y = S·Ω with Gaussian Ω, one deterministic stream per
+	// column so the sketch is independent of build parallelism.
+	for c := 0; c < r; c++ {
+		src := xrand.NewStream(xrand.Mix(opts.Seed, lowRankSketchSalt), uint64(c))
+		omega := make([]float64, n)
+		for i := range omega {
+			omega[i] = src.NormFloat64()
+		}
+		copy(lr.col(c), applyRDense(p, diag, opts.C, opts.T, omega))
+	}
+	lr.orthonormalize()
+	// One subspace iteration (Q ← orth(R·Q)): R is symmetric, so a single
+	// extra pass sharpens the captured spectrum the way two would for a
+	// general operator — the standard fix for slowly decaying tails.
+	for c := 0; c < r; c++ {
+		copy(lr.col(c), applyRDense(p, diag, opts.C, opts.T, lr.col(c)))
+	}
+	lr.orthonormalize()
+	// Core: M = Qᵀ (R Q), symmetrized to wash out the one-sided FP error.
+	for c := 0; c < r; c++ {
+		sq := applyRDense(p, diag, opts.C, opts.T, lr.col(c))
+		for a := 0; a < r; a++ {
+			lr.core[a*r+c] = dotDense(lr.col(a), sq)
+		}
+	}
+	for a := 0; a < r; a++ {
+		for b := a + 1; b < r; b++ {
+			m := (lr.core[a*r+b] + lr.core[b*r+a]) / 2
+			lr.core[a*r+b] = m
+			lr.core[b*r+a] = m
+		}
+	}
+	return lr
+}
+
+// applySDense evaluates y = S x = Σ_{t=0}^{T} c^t (Pᵀ)^t D P^t x densely:
+// forward levels v_t = P^t x, then the Horner recursion
+// w ← D v_t + c Pᵀ w from t = T down to 0.
+func applySDense(p *sparse.Transition, diag []float64, c float64, T int, x []float64) []float64 {
+	levels := make([][]float64, T+1)
+	levels[0] = x
+	for t := 1; t <= T; t++ {
+		levels[t] = p.ApplyDense(levels[t-1])
+	}
+	w := make([]float64, len(x))
+	for t := T; t >= 0; t-- {
+		if t < T {
+			w = p.ApplyTDense(w)
+			for i := range w {
+				w[i] *= c
+			}
+		}
+		for i, v := range levels[t] {
+			w[i] += diag[i] * v
+		}
+	}
+	return w
+}
+
+// applyRDense evaluates the tail y = (S − D) x: the full series minus
+// its diagonal t = 0 term.
+func applyRDense(p *sparse.Transition, diag []float64, c float64, T int, x []float64) []float64 {
+	w := applySDense(p, diag, c, T, x)
+	for i := range w {
+		w[i] -= diag[i] * x[i]
+	}
+	return w
+}
+
+func dotDense(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// col returns column c of Q as a slice aliasing the factor storage.
+func (lr *lowRank) col(c int) []float64 {
+	return lr.q[c*lr.n : (c+1)*lr.n]
+}
+
+// orthonormalize runs modified Gram–Schmidt over the sketch columns.
+// Columns that collapse below tolerance (rank-deficient sketch) are
+// zeroed: they then contribute nothing to queries rather than injecting
+// amplified noise.
+func (lr *lowRank) orthonormalize() {
+	for c := 0; c < lr.r; c++ {
+		qc := lr.col(c)
+		for p := 0; p < c; p++ {
+			qp := lr.col(p)
+			d := dotDense(qp, qc)
+			for i := range qc {
+				qc[i] -= d * qp[i]
+			}
+		}
+		norm := math.Sqrt(dotDense(qc, qc))
+		if norm < 1e-12 {
+			for i := range qc {
+				qc[i] = 0
+			}
+			continue
+		}
+		inv := 1 / norm
+		for i := range qc {
+			qc[i] *= inv
+		}
+	}
+}
+
+// singleSourceInto writes Q (M (Qᵀ e_q)) into out as a sparse vector.
+func (lr *lowRank) singleSourceInto(qnode int, out *sparse.Vector) {
+	r, n := lr.r, lr.n
+	// Qᵀ e_q is row qnode of Q.
+	proj := make([]float64, r)
+	for c := 0; c < r; c++ {
+		proj[c] = lr.q[c*n+qnode]
+	}
+	y := make([]float64, r)
+	for a := 0; a < r; a++ {
+		s := 0.0
+		for b := 0; b < r; b++ {
+			s += lr.core[a*r+b] * proj[b]
+		}
+		y[a] = s
+	}
+	out.Idx = out.Idx[:0]
+	out.Val = out.Val[:0]
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for c := 0; c < r; c++ {
+			s += lr.q[c*n+i] * y[c]
+		}
+		if s != 0 {
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, s)
+		}
+	}
+}

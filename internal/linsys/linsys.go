@@ -61,6 +61,51 @@ func (r Report) FinalResidual() float64 {
 	return r.Residuals[len(r.Residuals)-1]
 }
 
+// Diverged reports whether the solve failed to make progress: no sweeps
+// ran, the final residual is non-finite, or the residual grew from the
+// first sweep to the last (the classic signature of an iteration applied
+// to a system that is not diagonally dominant).
+func (r Report) Diverged() bool {
+	if len(r.Residuals) == 0 {
+		return true
+	}
+	last := r.Residuals[len(r.Residuals)-1]
+	if math.IsNaN(last) || math.IsInf(last, 0) {
+		return true
+	}
+	return last > r.Residuals[0]
+}
+
+// Dominance returns the minimum over rows of |a_ii| − Σ_{j≠i}|a_ij| and
+// the row attaining it. A positive margin (strict diagonal dominance)
+// guarantees both Jacobi and Gauss–Seidel converge; CloudWalker's row
+// systems have a_ii ≥ 1 with off-diagonal squared-probability mass, so
+// the margin is positive in practice but not by construction — callers
+// that assemble their own systems can check before iterating.
+func (s *System) Dominance() (margin float64, row int) {
+	margin = math.Inf(1)
+	for i := 0; i < s.A.Rows(); i++ {
+		r := s.A.Row(i)
+		diag := 0.0
+		off := 0.0
+		for k, j := range r.Idx {
+			if int(j) == i {
+				diag = math.Abs(r.Val[k])
+				continue
+			}
+			off += math.Abs(r.Val[k])
+		}
+		if m := diag - off; m < margin {
+			margin = m
+			row = i
+		}
+	}
+	if s.A.Rows() == 0 {
+		margin = 0
+	}
+	return margin, row
+}
+
 // Jacobi runs `sweeps` parallel Jacobi iterations with `workers`
 // goroutines, starting from x0 (nil means the zero vector). Rows whose
 // diagonal is zero (possible only if the Monte Carlo row is missing — e.g.

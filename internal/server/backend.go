@@ -1,0 +1,132 @@
+// Backend selection: every query endpoint can answer through one of two
+// engines — "mc", the paper's Monte Carlo estimator (core.Querier), or
+// "lin", the linearized truncated-series engine (linserve.Engine) with
+// its precomputed diagonal. "auto" routes per query: pairs and sources
+// whose cache entries have proven hot (EntryHits at or above the
+// configured threshold) are answered by the deterministic linearized
+// engine, while the cold tail stays on Monte Carlo, whose cost is
+// independent of frontier size. The effective backend is part of every
+// cache/singleflight key, so an mc estimate can never satisfy a lin
+// request (or vice versa), and it is surfaced in the response body, the
+// X-Cloudwalker-Backend header, /stats, and /metrics.
+
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"cloudwalker/internal/sparse"
+)
+
+// Backend names accepted by Config.Backend, the backend= query
+// parameter, and the /pairs "backend" body field.
+const (
+	BackendMC   = "mc"   // Monte Carlo estimator (core.Querier)
+	BackendLin  = "lin"  // linearized truncated series (linserve.Engine)
+	BackendAuto = "auto" // per-query routing: hot entries to lin, tail to mc
+)
+
+// DefaultAutoHotHits is how many cache hits an entry needs before the
+// auto router considers its query hot and moves it to the linearized
+// backend.
+const DefaultAutoHotHits = 3
+
+// checkBackendName validates a backend name from a request (empty means
+// "inherit the server default").
+func (s *Server) checkBackendName(name string) (string, error) {
+	if name == "" {
+		return s.defaultBackend, nil
+	}
+	switch name {
+	case BackendMC, BackendLin, BackendAuto:
+		return name, nil
+	}
+	return "", fmt.Errorf("parameter \"backend\": want mc, lin, or auto, got %q", name)
+}
+
+// parseBackend reads the optional backend= query parameter. explicit
+// reports whether the request named a backend itself (feature-conflict
+// rules only reject explicit choices; inherited defaults degrade).
+func (s *Server) parseBackend(r *http.Request) (name string, explicit bool, err error) {
+	raw := r.URL.Query().Get("backend")
+	name, err = s.checkBackendName(raw)
+	return name, raw != "", err
+}
+
+// checkBackendAvailable resolves a validated backend name against the
+// snapshot being served. lin without an engine is a client-visible error
+// (the snapshot has no diagonal — hot-swaps drop it); auto degrades to
+// mc so a dynamic deployment keeps answering across swaps.
+func checkBackendAvailable(snap *Snapshot, name string) (string, error) {
+	if name == BackendMC || snap.Lin != nil {
+		return name, nil
+	}
+	if name == BackendAuto {
+		return BackendMC, nil
+	}
+	return "", fmt.Errorf("backend \"lin\": no linearized diagonal for this snapshot (start cloudwalkerd with -lin or -backend lin|auto, or restore a snapshot that has one; hot-swaps drop it)")
+}
+
+// routeAuto turns "auto" into the concrete backend for one query by
+// consulting the cache's per-entry hit counters: a query whose entry
+// (under either backend's key) has been served hot often enough moves to
+// the linearized engine. Without a cache there is no popularity signal,
+// so everything stays on Monte Carlo.
+func (s *Server) routeAuto(backend, mcKey, linKey string) string {
+	if backend != BackendAuto {
+		return backend
+	}
+	if s.cache == nil {
+		return BackendMC
+	}
+	if s.cache.EntryHits(mcKey)+s.cache.EntryHits(linKey) >= uint64(s.autoHotHits) {
+		return BackendLin
+	}
+	return BackendMC
+}
+
+// backendSuffix is the cache-key suffix distinguishing backends.
+// Monte Carlo keeps its legacy keys (so auto's mc arm, explicit
+// backend=mc, and backend-less requests all share entries); lin answers
+// live under their own keys because the two backends return different
+// numbers for the same pair.
+func backendSuffix(backend string) string {
+	if backend == BackendLin {
+		return "/b=lin"
+	}
+	return ""
+}
+
+// setBackend stamps the effective backend on a response. Like setGen it
+// must run before the body is written.
+func setBackend(w http.ResponseWriter, backend string) {
+	w.Header().Set(BackendHeader, backend)
+}
+
+// linPairCompute builds the cache compute function answering one
+// canonical pair through the linearized engine.
+func (s *Server) linPairCompute(snap *Snapshot, ci, cj int) func() (any, error) {
+	return func() (any, error) {
+		score, err := snap.Lin.SinglePair(ci, cj)
+		if err != nil {
+			return nil, err
+		}
+		s.backendQueries[BackendLin].Inc()
+		return score, nil
+	}
+}
+
+// linSourceCompute builds the cache compute function answering one
+// single-source query through the linearized engine, post-processed by
+// the same top-k/partition closure the Monte Carlo paths use.
+func (s *Server) linSourceCompute(snap *Snapshot, node int, topk func(*sparse.Vector) []neighborJSON) func() (any, error) {
+	return func() (any, error) {
+		v, err := snap.Lin.SingleSource(node)
+		if err != nil {
+			return nil, err
+		}
+		s.backendQueries[BackendLin].Inc()
+		return topk(v), nil
+	}
+}

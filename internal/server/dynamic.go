@@ -203,8 +203,10 @@ func (s *Server) refreshLocked() (bool, error) {
 	if q.Graph() != g {
 		return false, fmt.Errorf("reindex returned a querier for a different graph")
 	}
-	// TopK stores are precomputed for one graph; a hot-swap drops them
-	// rather than serving stale all-pair results (see Snapshot.TopK).
+	// TopK stores and lin engines are precomputed for one graph; a
+	// hot-swap drops both rather than serving stale results (see
+	// Snapshot.TopK and Snapshot.Lin — auto routing degrades to mc,
+	// explicit backend=lin answers 400 until re-provisioned).
 	s.snaps.Swap(&Snapshot{Gen: gen, Q: q})
 	s.swaps.Inc()
 	return true, nil

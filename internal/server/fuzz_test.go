@@ -1,0 +1,72 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"cloudwalker/internal/graph"
+	"cloudwalker/internal/linserve"
+)
+
+// snapshotImage encodes a small serving snapshot (with a lin section) to
+// bytes through the real writer, so fuzz seeds are genuine encodings.
+func snapshotImage(f *testing.F, withLin bool) []byte {
+	f.Helper()
+	g := graph.MustFromEdges(8, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0}, {4, 1}, {5, 2}, {6, 3}, {7, 0},
+	})
+	snap := &Snapshot{Gen: 5, Q: buildDynQuerier(f, g)}
+	if withLin {
+		opts := linserve.DefaultOptions()
+		opts.T = 4
+		opts.Sweeps = 4
+		opts.Rank = 3
+		eng, err := linserve.Build(g, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		snap.Lin = eng
+	}
+	dir := f.TempDir()
+	if _, err := WriteSnapshot(dir, snap); err != nil {
+		f.Fatal(err)
+	}
+	raw, err := os.ReadFile(SnapshotPath(dir))
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzSnapshotDecode drives the snapshot-file decoder (including the new
+// lin section) with arbitrary bytes: it must never panic and never
+// accept an image whose sections do not reassemble a coherent snapshot.
+// The crc32 trailer screens most mutations cheaply; what survives it
+// exercises the section framing and the per-section codecs.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(snapshotImage(f, false))
+	f.Add(snapshotImage(f, true))
+	f.Add([]byte{})
+	f.Add([]byte{0x4e, 0x53, 0x57, 0x43}) // magic alone
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		if ps.Graph == nil || ps.Index == nil {
+			t.Fatal("accepted snapshot missing graph or index")
+		}
+		if ps.Lin != nil {
+			// An accepted engine must be bound to the decoded graph and
+			// answer queries in range.
+			s, err := ps.Lin.SinglePair(0, ps.Graph.NumNodes()-1)
+			if err != nil {
+				t.Fatalf("accepted lin engine cannot answer: %v", err)
+			}
+			if s < 0 || s > 1 {
+				t.Fatalf("accepted lin engine score %v outside [0,1]", s)
+			}
+		}
+	})
+}

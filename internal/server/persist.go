@@ -9,12 +9,14 @@
 // File format ("CWSN", little-endian):
 //
 //	uint32 magic "CWSN"   uint32 version
-//	uint64 flags          (bit0: a top-k store section follows the index)
+//	uint64 flags          (bit0: a top-k store section follows the index;
+//	                       bit1: a linearized-engine section follows it)
 //	uint64 generation
 //	sections, each:  uint64 byteLength + payload
 //	    graph   (graph.WriteBinary)
 //	    index   (core.Index.Save — includes the walk Options)
 //	    store   (simstore.Save; only when flags bit0 is set)
+//	    lin     (linserve.Engine.Save; only when flags bit1 is set)
 //	uint32 crc32(IEEE) over everything above
 //
 // Sections are length-prefixed because the inner codecs wrap their
@@ -38,6 +40,7 @@ import (
 
 	"cloudwalker/internal/core"
 	"cloudwalker/internal/graph"
+	"cloudwalker/internal/linserve"
 	"cloudwalker/internal/simstore"
 )
 
@@ -45,6 +48,7 @@ const (
 	snapshotMagic        = 0x4357534e // "CWSN"
 	snapshotVersion      = 1
 	snapshotFlagHasStore = 1 << 0
+	snapshotFlagHasLin   = 1 << 1
 )
 
 // SnapshotFileName is the file a snapshot directory holds; one directory
@@ -61,13 +65,14 @@ type PersistedSnapshot struct {
 	Gen   uint64
 	Graph *graph.Graph
 	Index *core.Index
-	Store *simstore.Store // nil when the snapshot had none
+	Store *simstore.Store  // nil when the snapshot had none
+	Lin   *linserve.Engine // nil when the snapshot had none
 }
 
 // WriteSnapshot persists snap atomically into dir (temp file + rename).
 // It returns the byte size written.
 func WriteSnapshot(dir string, snap *Snapshot) (int64, error) {
-	sections := make([][]byte, 0, 3)
+	sections := make([][]byte, 0, 4)
 	var buf bytes.Buffer
 	if err := graph.WriteBinary(&buf, snap.Q.Graph()); err != nil {
 		return 0, fmt.Errorf("server: snapshot graph: %w", err)
@@ -86,6 +91,17 @@ func WriteSnapshot(dir string, snap *Snapshot) (int64, error) {
 		}
 		sections = append(sections, append([]byte(nil), buf.Bytes()...))
 		flags |= snapshotFlagHasStore
+	}
+	if snap.Lin != nil {
+		// The diagonal solve (and optional low-rank sketch) is prep-time
+		// work on par with the walk index; persisting it means a restart
+		// serves backend=lin immediately instead of re-solving.
+		buf.Reset()
+		if err := snap.Lin.Save(&buf); err != nil {
+			return 0, fmt.Errorf("server: snapshot lin engine: %w", err)
+		}
+		sections = append(sections, append([]byte(nil), buf.Bytes()...))
+		flags |= snapshotFlagHasLin
 	}
 
 	tmp, err := os.CreateTemp(dir, SnapshotFileName+".tmp-*")
@@ -145,6 +161,14 @@ func ReadSnapshot(dir string) (*PersistedSnapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeSnapshot(raw)
+}
+
+// decodeSnapshot parses and validates one snapshot file image. Split
+// from ReadSnapshot so the decoder is fuzzable without a filesystem.
+// The crc32 trailer is verified before any section is parsed, so
+// corrupt input is rejected in O(len) without large allocations.
+func decodeSnapshot(raw []byte) (*PersistedSnapshot, error) {
 	le := binary.LittleEndian
 	if len(raw) < 24+4 {
 		return nil, fmt.Errorf("server: snapshot truncated (%d bytes)", len(raw))
@@ -196,6 +220,18 @@ func ReadSnapshot(dir string) (*PersistedSnapshot, error) {
 		}
 		if ps.Store, err = simstore.Load(bytes.NewReader(ssec)); err != nil {
 			return nil, fmt.Errorf("server: snapshot store: %w", err)
+		}
+	}
+	if flags&snapshotFlagHasLin != 0 {
+		lsec, err := next("lin")
+		if err != nil {
+			return nil, err
+		}
+		// Binding against the graph decoded above validates the engine's
+		// node count; linserve.Load checks the rest (options, diagonal
+		// range, factor finiteness).
+		if ps.Lin, err = linserve.Load(bytes.NewReader(lsec), ps.Graph); err != nil {
+			return nil, fmt.Errorf("server: snapshot lin engine: %w", err)
 		}
 	}
 	if len(rest) != 0 {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"cloudwalker/internal/core"
+	"cloudwalker/internal/linserve"
 	"cloudwalker/internal/simstore"
 )
 
@@ -69,6 +70,48 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		}
 		if got != want {
 			t.Fatalf("restored s(%d,%d) = %v, want bit-identical %v", p[0], p[1], got, want)
+		}
+	}
+}
+
+// TestSnapshotWithLin pins the lin section round trip: a snapshot
+// carrying a linearized engine restores one that answers bit-identically
+// (the factors are persisted, not re-sketched).
+func TestSnapshotWithLin(t *testing.T) {
+	q := querier(t)
+	opts := linserve.DefaultOptions()
+	opts.T = 5
+	opts.Sweeps = 6
+	opts.Rank = 8
+	eng, err := linserve.Build(q.Graph(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := WriteSnapshot(dir, &Snapshot{Gen: 9, Q: q, Lin: eng}); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := ReadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Lin == nil {
+		t.Fatal("lin engine not restored")
+	}
+	if !ps.Lin.HasLowRank() {
+		t.Fatal("low-rank factors not restored")
+	}
+	for _, p := range [][2]int{{1, 2}, {10, 11}, {100, 200}} {
+		want, err := eng.SinglePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ps.Lin.SinglePair(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("restored lin s(%d,%d) = %v, want bit-identical %v", p[0], p[1], got, want)
 		}
 	}
 }

@@ -23,6 +23,15 @@
 // (epsilon, delta) is part of the cache and coalescing key, so adaptive
 // and fixed answers never alias.
 //
+// Every query endpoint additionally accepts a backend= parameter (and
+// /pairs a "backend" body field) choosing the answering engine: mc (the
+// Monte Carlo estimator), lin (the linearized truncated-series engine
+// over a precomputed diagonal, when one is loaded), or auto (hot queries
+// — by cache entry hit count — to lin, the cold tail to mc). Absent, the
+// daemon's -backend default applies. The effective backend is part of
+// the cache key, stamped on responses as X-Cloudwalker-Backend, and
+// counted in cloudwalker_backend_queries_total.
+//
 //	GET  /topk?node=..&k=..                   precomputed MCAP lookup
 //	POST /edges   {"insert":[[u,v],...],...}  incremental edge updates (dynamic mode)
 //	POST /refresh[?wait=1]                    compaction + snapshot hot-swap (dynamic mode)
@@ -47,6 +56,7 @@ import (
 
 	"cloudwalker/internal/core"
 	"cloudwalker/internal/graph"
+	"cloudwalker/internal/linserve"
 	"cloudwalker/internal/metrics"
 	"cloudwalker/internal/simstore"
 	"cloudwalker/internal/sparse"
@@ -72,6 +82,20 @@ type Config struct {
 	// Store serves /topk point lookups (optional; /topk answers 503
 	// without it).
 	Store *simstore.Store
+	// Lin is the optional linearized engine answering backend=lin queries
+	// (built by cloudwalkerd -lin or restored from a snapshot's lin
+	// section). It must be bound to the querier's graph. Without it,
+	// explicit backend=lin requests answer 400 and auto degrades to mc.
+	Lin *linserve.Engine
+	// Backend is the default answering engine for requests that do not
+	// name one: "mc" (the zero value), "lin", or "auto". lin and auto
+	// require Lin at construction — a daemon asked to default to the
+	// linearized backend without a diagonal is a deployment error, not
+	// something to discover one 400 at a time.
+	Backend string
+	// AutoHotHits is the cache-hit count at which the auto router moves a
+	// query to the linearized backend. 0 means DefaultAutoHotHits.
+	AutoHotHits int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ so serving
 	// hotspots (walk kernels, cache contention) are profilable in
 	// production. Off by default: the profile endpoints expose internals
@@ -139,6 +163,12 @@ const (
 	// ShardHeader carries Config.ShardName, identifying which process
 	// served a response.
 	ShardHeader = "X-Cloudwalker-Shard"
+	// BackendHeader carries the effective backend of a query response —
+	// for auto requests, the concrete engine the router picked (mc or
+	// lin), so routing decisions are observable without parsing bodies.
+	// /pairs batches may mix backends per pair and stamp the requested
+	// name instead.
+	BackendHeader = "X-Cloudwalker-Backend"
 )
 
 // Server is the HTTP serving tier. Create with New, expose with Handler.
@@ -160,6 +190,10 @@ type Server struct {
 	snapDir   string // "" disables POST /snapshot
 	start     time.Time
 
+	// Backend routing (see backend.go).
+	defaultBackend string
+	autoHotHits    int
+
 	inFlight atomic.Int64
 
 	// Serving counters live in the metrics registry, and /stats reads the
@@ -177,7 +211,10 @@ type Server struct {
 	// re-saving — walkers).
 	walkersSaved    *metrics.Counter // walkers the adaptive paths did not run
 	adaptiveStopped *metrics.Counter // adaptive computations that stopped early
-	latency         map[string]*latencyRecorder
+	// backendQueries counts underlying computations per answering engine
+	// (cache hits re-serve without recomputing, so they do not count).
+	backendQueries map[string]*metrics.Counter
+	latency        map[string]*latencyRecorder
 
 	// testComputeHook, when set, runs at the start of every underlying
 	// computation (inside the singleflight, outside the cache). Tests use
@@ -194,7 +231,22 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: store has %d nodes, graph has %d",
 			cfg.Store.NumNodes(), q.Graph().NumNodes())
 	}
-	initial := &Snapshot{Q: q, TopK: cfg.Store, Gen: cfg.InitialGen}
+	if cfg.Lin != nil && cfg.Lin.Graph() != q.Graph() {
+		return nil, fmt.Errorf("server: linearized engine is bound to a different graph than the querier")
+	}
+	switch cfg.Backend {
+	case "", BackendMC:
+	case BackendLin, BackendAuto:
+		if cfg.Lin == nil {
+			return nil, fmt.Errorf("server: default backend %q requires a linearized engine (Config.Lin)", cfg.Backend)
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q (want mc, lin, or auto)", cfg.Backend)
+	}
+	if cfg.AutoHotHits < 0 {
+		return nil, fmt.Errorf("server: negative auto-hot threshold %d", cfg.AutoHotHits)
+	}
+	initial := &Snapshot{Q: q, TopK: cfg.Store, Lin: cfg.Lin, Gen: cfg.InitialGen}
 	s := &Server{
 		snaps:        NewStore(initial),
 		dyn:          cfg.Dynamic,
@@ -206,6 +258,14 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		snapDir:      cfg.SnapshotDir,
 		start:        time.Now(),
 		latency:      make(map[string]*latencyRecorder),
+	}
+	s.defaultBackend = cfg.Backend
+	if s.defaultBackend == "" {
+		s.defaultBackend = BackendMC
+	}
+	s.autoHotHits = cfg.AutoHotHits
+	if s.autoHotHits == 0 {
+		s.autoHotHits = DefaultAutoHotHits
 	}
 	if cfg.Dynamic != nil {
 		if cfg.Reindex == nil {
@@ -297,6 +357,12 @@ func (s *Server) initMetrics() {
 		"Walkers the adaptive sampling paths avoided running (budget minus launched, summed over both endpoints of pair queries).")
 	s.adaptiveStopped = r.NewCounter("cloudwalker_adaptive_stopped_total",
 		"Adaptive query computations that stopped before the full walker budget.")
+	s.backendQueries = make(map[string]*metrics.Counter, 2)
+	for _, b := range []string{BackendMC, BackendLin} {
+		s.backendQueries[b] = r.NewCounter("cloudwalker_backend_queries_total",
+			"Underlying query computations per answering backend (cache hits excluded).",
+			metrics.Label{Key: "backend", Value: b})
+	}
 	r.NewGaugeFunc("cloudwalker_in_flight",
 		"Query requests currently being served.",
 		func() float64 { return float64(s.inFlight.Load()) })
@@ -524,11 +590,15 @@ func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, from
 // confidence half-width at the stop point, the walkers actually run per
 // endpoint, and whether the query stopped before the full budget.
 type pairResponse struct {
-	I         int     `json:"i"`
-	J         int     `json:"j"`
-	Score     float64 `json:"score"`
-	Cached    bool    `json:"cached"`
-	Gen       uint64  `json:"gen"`
+	I      int     `json:"i"`
+	J      int     `json:"j"`
+	Score  float64 `json:"score"`
+	Cached bool    `json:"cached"`
+	Gen    uint64  `json:"gen"`
+	// Backend is the engine that computed (or originally computed, for a
+	// cache hit) the score: mc or lin — for auto requests, whichever the
+	// router picked.
+	Backend   string  `json:"backend"`
 	Epsilon   float64 `json:"epsilon,omitempty"`
 	HalfWidth float64 `json:"half_width,omitempty"`
 	Walkers   int     `json:"walkers,omitempty"`
@@ -547,28 +617,61 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	backend, explicitBackend, err := s.parseBackend(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	eps, delta, err := parseAdaptive(snap, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Adaptive sampling is a Monte Carlo notion (there is no walker
+	// population to stop early in a series evaluation). An explicit
+	// epsilon with an explicit backend=lin is a contradiction → 400; an
+	// explicit epsilon under auto (or a lin server default) picks the mc
+	// arm; a merely inherited index-default epsilon never breaks a lin
+	// request — lin answers are deterministic, so it is ignored.
+	if backend != BackendMC && eps > 0 {
+		if r.URL.Query().Get("epsilon") != "" {
+			if backend == BackendLin && explicitBackend {
+				writeError(w, http.StatusBadRequest, "parameter \"epsilon\": adaptive sampling requires backend=mc (the linearized engine is deterministic)")
+				return
+			}
+			backend = BackendMC
+		} else if backend == BackendLin {
+			eps = 0
+		}
+	}
+	if backend, err = checkBackendAvailable(snap, backend); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	ci, cj := core.CanonicalPair(i, j)
-	key := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
-	val, hit, err := s.cached(key, "pair", s.pairCompute(snap, ci, cj, eps, delta))
+	mcKey := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
+	linKey := pairKey(snap.Gen, ci, cj) + backendSuffix(BackendLin)
+	backend = s.routeAuto(backend, mcKey, linKey)
+	key, compute := mcKey, s.pairCompute(snap, ci, cj, eps, delta)
+	if backend == BackendLin {
+		key, compute, eps = linKey, s.linPairCompute(snap, ci, cj), 0
+	}
+	val, hit, err := s.cached(key, "pair", compute)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	setGen(w, snap.Gen)
+	setBackend(w, backend)
 	if eps > 0 {
 		pe := val.(core.PairEstimate)
 		writeJSON(w, pairResponse{
-			I: i, J: j, Score: pe.Score, Cached: hit, Gen: snap.Gen,
+			I: i, J: j, Score: pe.Score, Cached: hit, Gen: snap.Gen, Backend: backend,
 			Epsilon: eps, HalfWidth: pe.HalfWidth, Walkers: pe.Walkers, Stopped: pe.Stopped,
 		})
 		return
 	}
-	writeJSON(w, pairResponse{I: i, J: j, Score: val.(float64), Cached: hit, Gen: snap.Gen})
+	writeJSON(w, pairResponse{I: i, J: j, Score: val.(float64), Cached: hit, Gen: snap.Gen, Backend: backend})
 }
 
 // pairCompute builds the cache compute function for one canonical pair at
@@ -585,6 +688,7 @@ func (s *Server) pairCompute(snap *Snapshot, ci, cj int, eps, delta float64) fun
 		if err != nil {
 			return nil, err
 		}
+		s.backendQueries[BackendMC].Inc()
 		if eps == 0 {
 			return pe.Score, nil
 		}
@@ -618,6 +722,11 @@ type pairsRequest struct {
 	Pairs   [][2]int `json:"pairs"`
 	Epsilon *float64 `json:"epsilon,omitempty"`
 	Delta   *float64 `json:"delta,omitempty"`
+	// Backend chooses the answering engine for the whole batch (mc, lin,
+	// or auto; empty inherits the server default). auto routes pair by
+	// pair, so one batch may mix engines — Backends in the response
+	// reports the per-engine split.
+	Backend string `json:"backend,omitempty"`
 }
 
 type pairsResponse struct {
@@ -627,6 +736,10 @@ type pairsResponse struct {
 	// against (the handler pins one snapshot for the whole batch, so a
 	// batched response can never mix generations).
 	Gen uint64 `json:"gen"`
+	// Backends counts how many of the batch's scores each engine
+	// answered (cache hits attribute to the engine that computed the
+	// entry's key space).
+	Backends map[string]int `json:"backends"`
 }
 
 // handlePairs serves batched MCSP. Cached pairs are answered from the
@@ -662,6 +775,11 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	backend, err := s.checkBackendName(req.Backend)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	opts := snap.Q.Index().Opts
 	eps, delta := opts.Epsilon, opts.Delta
 	if delta == 0 {
@@ -677,14 +795,35 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if eps > 0 || opts.Epsilon > 0 {
+	// Same backend/adaptive conflict rules as GET /pair: an explicit
+	// epsilon with an explicitly-requested lin backend is a 400, an
+	// explicit epsilon otherwise picks the mc arm, and an inherited
+	// index-default epsilon is ignored on lin.
+	if backend != BackendMC && eps > 0 {
+		if req.Epsilon != nil {
+			if backend == BackendLin && req.Backend != "" {
+				writeError(w, http.StatusBadRequest, "field \"epsilon\": adaptive sampling requires backend=mc (the linearized engine is deterministic)")
+				return
+			}
+			backend = BackendMC
+		} else if backend == BackendLin {
+			eps = 0
+		}
+	}
+	if backend, err = checkBackendAvailable(snap, backend); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if backend != BackendMC || eps > 0 || opts.Epsilon > 0 {
 		// Adaptive batches (or an explicit fixed-budget override of an
 		// adaptive index default) run pair by pair through the same cached
 		// compute path as GET /pair: each pair stops on its own confidence
 		// bound, so there is no fixed-size batch to fan out, and sharing
 		// the point-query key space means batch results serve later point
-		// queries and vice versa.
-		s.handlePairsPointwise(w, snap, req.Pairs, eps, delta)
+		// queries and vice versa. Non-mc backends also go pairwise: auto
+		// routes each pair on its own popularity, and lin shares the point
+		// query key space the same way.
+		s.handlePairsPointwise(w, snap, req.Pairs, eps, delta, backend)
 		return
 	}
 	scores := make([]float64, len(req.Pairs))
@@ -759,6 +898,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 				s.testComputeHook(fmt.Sprintf("pairs:%d", len(missing)))
 			}
 			s.computes.Inc()
+			s.backendQueries[BackendMC].Add(uint64(len(missing)))
 			return snap.Q.SinglePairs(missing)
 		}()
 		if err != nil {
@@ -797,33 +937,50 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	setGen(w, snap.Gen)
-	writeJSON(w, pairsResponse{Scores: scores, Hits: hits, Gen: snap.Gen})
+	setBackend(w, BackendMC)
+	writeJSON(w, pairsResponse{
+		Scores: scores, Hits: hits, Gen: snap.Gen,
+		Backends: map[string]int{BackendMC: len(req.Pairs)},
+	})
 }
 
 // handlePairsPointwise serves a /pairs batch pair by pair through the
-// cached point-query path (see the adaptive branch of handlePairs).
-func (s *Server) handlePairsPointwise(w http.ResponseWriter, snap *Snapshot, pairs [][2]int, eps, delta float64) {
+// cached point-query path (see the adaptive and non-mc branches of
+// handlePairs). backend is the batch-level choice; auto resolves per
+// pair, so the response's Backends split may mix engines.
+func (s *Server) handlePairsPointwise(w http.ResponseWriter, snap *Snapshot, pairs [][2]int, eps, delta float64, backend string) {
 	scores := make([]float64, len(pairs))
 	hits := 0
+	split := make(map[string]int, 2)
 	for idx, p := range pairs {
 		ci, cj := core.CanonicalPair(p[0], p[1])
-		key := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
-		val, hit, err := s.cached(key, "pair", s.pairCompute(snap, ci, cj, eps, delta))
+		mcKey := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
+		linKey := pairKey(snap.Gen, ci, cj) + backendSuffix(BackendLin)
+		pairBackend := s.routeAuto(backend, mcKey, linKey)
+		key, compute, pairEps := mcKey, s.pairCompute(snap, ci, cj, eps, delta), eps
+		if pairBackend == BackendLin {
+			key, compute, pairEps = linKey, s.linPairCompute(snap, ci, cj), 0
+		}
+		val, hit, err := s.cached(key, "pair", compute)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		if eps > 0 {
+		if pairEps > 0 {
 			scores[idx] = val.(core.PairEstimate).Score
 		} else {
 			scores[idx] = val.(float64)
 		}
+		split[pairBackend]++
 		if hit {
 			hits++
 		}
 	}
 	setGen(w, snap.Gen)
-	writeJSON(w, pairsResponse{Scores: scores, Hits: hits, Gen: snap.Gen})
+	// Batches may mix engines under auto; the header carries the batch
+	// request's backend, the body the per-engine split.
+	setBackend(w, backend)
+	writeJSON(w, pairsResponse{Scores: scores, Hits: hits, Gen: snap.Gen, Backends: split})
 }
 
 // neighborJSON is one top-k entry on the wire.
@@ -837,12 +994,15 @@ type neighborJSON struct {
 // restriction of a fleet scatter request ("i/N"), empty for a whole-space
 // answer.
 type sourceResponse struct {
-	Node    int            `json:"node"`
-	Mode    string         `json:"mode"`
-	K       int            `json:"k"`
-	Part    string         `json:"part,omitempty"`
-	Cached  bool           `json:"cached"`
-	Gen     uint64         `json:"gen"`
+	Node   int    `json:"node"`
+	Mode   string `json:"mode"`
+	K      int    `json:"k"`
+	Part   string `json:"part,omitempty"`
+	Cached bool   `json:"cached"`
+	Gen    uint64 `json:"gen"`
+	// Backend is the engine that computed the answer (mc or lin); Mode
+	// stays the walk/pull estimator choice, which only applies to mc.
+	Backend string         `json:"backend"`
 	Results []neighborJSON `json:"results"`
 	// Adaptive fields, present when the effective epsilon > 0 (walk mode
 	// only): the per-entry confidence heuristic's half-width at the stop
@@ -920,6 +1080,11 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	backend, explicitBackend, err := s.parseBackend(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	mode := r.URL.Query().Get("mode")
 	if mode == "" {
 		mode = "walk"
@@ -933,6 +1098,17 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "parameter \"mode\": want walk or pull, got %q", mode)
 		return
+	}
+	if ssMode == core.PullSS && backend != BackendMC {
+		// walk/pull selects between the two Monte Carlo estimators; the
+		// linearized engine is neither. Naming both pull and lin in one
+		// request is a contradiction → 400; an inherited lin/auto default
+		// just yields to the explicitly requested pull estimator.
+		if explicitBackend && backend == BackendLin {
+			writeError(w, http.StatusBadRequest, "parameter \"mode\": the pull estimator requires backend=mc (mode selects between Monte Carlo estimators)")
+			return
+		}
+		backend = BackendMC
 	}
 	k, err := parseK(r, defaultTopK)
 	if err != nil {
@@ -959,12 +1135,35 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 		eps = 0
 	}
+	// Backend/adaptive conflicts, mirroring GET /pair.
+	if backend != BackendMC && eps > 0 {
+		if r.URL.Query().Get("epsilon") != "" {
+			if backend == BackendLin && explicitBackend {
+				writeError(w, http.StatusBadRequest, "parameter \"epsilon\": adaptive sampling requires backend=mc (the linearized engine is deterministic)")
+				return
+			}
+			backend = BackendMC
+		} else if backend == BackendLin {
+			eps = 0
+		}
+	}
+	if backend, err = checkBackendAvailable(snap, backend); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	suffix, partLabel := "", ""
 	if parts > 0 {
 		partLabel = strconv.Itoa(part) + "/" + strconv.Itoa(parts)
 		suffix = "/pt" + partLabel
 	}
-	key := genKey(snap.Gen, "s/"+mode+"/"+strconv.Itoa(k)+"/"+strconv.Itoa(node)+suffix) + adaptiveSuffix(eps, delta)
+	tail := "/" + strconv.Itoa(k) + "/" + strconv.Itoa(node) + suffix
+	mcKey := genKey(snap.Gen, "s/"+mode+tail) + adaptiveSuffix(eps, delta)
+	// lin occupies its own mode slot in the key space: the same (node, k,
+	// part) under lin and mc answer different numbers and must never
+	// alias.
+	linKey := genKey(snap.Gen, "s/lin"+tail)
+	backend = s.routeAuto(backend, mcKey, linKey)
+	key := mcKey
 	topk := func(v *sparse.Vector) []neighborJSON {
 		if parts > 0 {
 			// Partition-restricted top-k for a fleet scatter: the walk is
@@ -975,12 +1174,27 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 		return toNeighborJSON(core.TopKNeighbors(v, node, k))
 	}
+	if backend == BackendLin {
+		val, hit, err := s.cached(linKey, "source", s.linSourceCompute(snap, node, topk))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		setGen(w, snap.Gen)
+		setBackend(w, backend)
+		writeJSON(w, sourceResponse{
+			Node: node, Mode: mode, K: k, Part: partLabel, Cached: hit, Gen: snap.Gen,
+			Backend: backend, Results: val.([]neighborJSON),
+		})
+		return
+	}
 	if eps > 0 {
 		val, hit, err := s.cached(key, "source", func() (any, error) {
 			v, est, err := snap.Q.SingleSourceAdaptive(node, eps, delta)
 			if err != nil {
 				return nil, err
 			}
+			s.backendQueries[BackendMC].Inc()
 			s.walkersSaved.Add(uint64(est.Budget - est.Walkers))
 			if est.Stopped {
 				s.adaptiveStopped.Inc()
@@ -993,9 +1207,10 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		}
 		entry := val.(sourceAdaptiveEntry)
 		setGen(w, snap.Gen)
+		setBackend(w, backend)
 		writeJSON(w, sourceResponse{
 			Node: node, Mode: mode, K: k, Part: partLabel, Cached: hit, Gen: snap.Gen,
-			Results: entry.results,
+			Backend: backend, Results: entry.results,
 			Epsilon: eps, HalfWidth: entry.est.HalfWidth, Walkers: entry.est.Walkers, Stopped: entry.est.Stopped,
 		})
 		return
@@ -1014,6 +1229,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.backendQueries[BackendMC].Inc()
 		return topk(v), nil
 	})
 	if err != nil {
@@ -1021,9 +1237,10 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setGen(w, snap.Gen)
+	setBackend(w, backend)
 	writeJSON(w, sourceResponse{
 		Node: node, Mode: mode, K: k, Part: partLabel, Cached: hit, Gen: snap.Gen,
-		Results: val.([]neighborJSON),
+		Backend: backend, Results: val.([]neighborJSON),
 	})
 }
 
@@ -1080,23 +1297,34 @@ type healthzResponse struct {
 	Store   bool   `json:"store"`
 	Dynamic bool   `json:"dynamic"`
 	Gen     uint64 `json:"gen"`
-	Pending int    `json:"pending,omitempty"`
+	// Backend is the server's default answering engine; Backends lists
+	// the engines the CURRENT snapshot can actually serve ("lin" drops
+	// out after a hot-swap until re-provisioned).
+	Backend  string   `json:"backend"`
+	Backends []string `json:"backends"`
+	Pending  int      `json:"pending,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.snaps.Load()
 	resp := healthzResponse{
-		Status:  "ok",
-		Nodes:   snap.Q.Graph().NumNodes(),
-		Edges:   snap.Q.Graph().NumEdges(),
-		Store:   snap.TopK != nil,
-		Dynamic: s.dyn != nil,
-		Gen:     snap.Gen,
+		Status:   "ok",
+		Nodes:    snap.Q.Graph().NumNodes(),
+		Edges:    snap.Q.Graph().NumEdges(),
+		Store:    snap.TopK != nil,
+		Dynamic:  s.dyn != nil,
+		Gen:      snap.Gen,
+		Backend:  s.defaultBackend,
+		Backends: []string{BackendMC},
+	}
+	if snap.Lin != nil {
+		resp.Backends = append(resp.Backends, BackendLin)
 	}
 	if s.dyn != nil {
 		resp.Pending = s.dyn.Pending()
 	}
 	setGen(w, snap.Gen)
+	setBackend(w, s.defaultBackend)
 	writeJSON(w, resp)
 }
 
@@ -1113,6 +1341,7 @@ type Stats struct {
 	WalkersSaved  uint64                  `json:"walkers_saved"`
 	Stopped       uint64                  `json:"adaptive_stopped"`
 	Gen           uint64                  `json:"gen"`
+	Backends      map[string]uint64       `json:"backend_queries"`
 	Cache         *CacheStats             `json:"cache,omitempty"`
 	Endpoints     map[string]LatencyStats `json:"endpoints"`
 }
@@ -1130,7 +1359,11 @@ func (s *Server) StatsSnapshot() Stats {
 		WalkersSaved:  s.walkersSaved.Value(),
 		Stopped:       s.adaptiveStopped.Value(),
 		Gen:           s.snaps.Load().Gen,
+		Backends:      make(map[string]uint64, len(s.backendQueries)),
 		Endpoints:     make(map[string]LatencyStats, len(s.latency)),
+	}
+	for b, c := range s.backendQueries {
+		st.Backends[b] = c.Value()
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()

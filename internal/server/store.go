@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"cloudwalker/internal/core"
+	"cloudwalker/internal/linserve"
 	"cloudwalker/internal/simstore"
 )
 
@@ -26,6 +27,12 @@ type Snapshot struct {
 	// MCAP results precomputed for an older graph would be silently
 	// stale (the /topk endpoint then answers 503 until re-provisioned).
 	TopK *simstore.Store
+	// Lin is the optional linearized engine (precomputed diagonal +
+	// truncated-series evaluation) answering backend=lin queries. Like
+	// TopK it is dropped on hot-swap: its diagonal was solved for the old
+	// graph, so after a swap explicit lin requests answer 400 and the
+	// auto router degrades to Monte Carlo until re-provisioned.
+	Lin *linserve.Engine
 }
 
 // Store holds the server's current Snapshot behind an atomic pointer and

@@ -15,6 +15,10 @@ import (
 const (
 	matrixMagic   = 0x43575359 // "CWSY"
 	matrixVersion = 1
+	// maxMatrixDim bounds the dimensions a decoder will allocate for:
+	// a corrupt header must produce an error, not a multi-gigabyte
+	// allocation (the row nnz fields are bounded by cols afterwards).
+	maxMatrixDim = 1 << 24
 )
 
 // WriteMatrix serializes m.
@@ -56,10 +60,10 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 	if header[1] != matrixVersion {
 		return nil, fmt.Errorf("sparse: unsupported matrix version %d", header[1])
 	}
-	rows, cols := int(header[2]), int(header[3])
-	if rows < 0 || cols < 0 {
-		return nil, fmt.Errorf("sparse: negative matrix dimensions %d×%d", rows, cols)
+	if header[2] > maxMatrixDim || header[3] > maxMatrixDim {
+		return nil, fmt.Errorf("sparse: implausible matrix dimensions %d×%d", header[2], header[3])
 	}
+	rows, cols := int(header[2]), int(header[3])
 	m := NewMatrix(rows, cols)
 	for i := 0; i < rows; i++ {
 		var nnz uint32

@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSparseCodec drives ReadMatrix with arbitrary bytes: it must never
+// panic, and any matrix it accepts must satisfy the CSR invariants and
+// survive a write/read round trip bit-identically. Seeds start from real
+// encodings so the fuzzer mutates structure, not just headers.
+func FuzzSparseCodec(f *testing.F) {
+	empty := NewMatrix(0, 0)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	m := NewMatrix(3, 4)
+	m.SetRow(0, &Vector{Idx: []int32{0, 2}, Val: []float64{1.5, -2.25}})
+	m.SetRow(2, &Vector{Idx: []int32{1, 2, 3}, Val: []float64{0.5, 0.25, 8}})
+	buf.Reset()
+	if err := WriteMatrix(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x59, 0x53, 0x57, 0x43}) // magic alone
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadMatrix(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteMatrix(&out, got); err != nil {
+			t.Fatalf("accepted matrix cannot be written: %v", err)
+		}
+		back, err := ReadMatrix(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Rows() != got.Rows() || back.Cols() != got.Cols() {
+			t.Fatalf("round trip changed dimensions: %dx%d vs %dx%d",
+				back.Rows(), back.Cols(), got.Rows(), got.Cols())
+		}
+		for i := 0; i < got.Rows(); i++ {
+			a, b := got.Row(i), back.Row(i)
+			if a.NNZ() != b.NNZ() {
+				t.Fatalf("row %d nnz changed", i)
+			}
+			for k := range a.Idx {
+				if a.Idx[k] != b.Idx[k] || a.Val[k] != b.Val[k] {
+					t.Fatalf("row %d entry %d changed", i, k)
+				}
+			}
+		}
+	})
+}
+
+// TestSparseCodecRejectsCorruption pins the corruption classes the fuzz
+// target explores: truncation, bad magic/version, and lying length
+// fields must all be rejected.
+func TestSparseCodecRejectsCorruption(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.SetRow(0, &Vector{Idx: []int32{0, 2}, Val: []float64{1, 2}})
+	m.SetRow(1, &Vector{Idx: []int32{1}, Val: []float64{3}})
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadMatrix(bytes.NewReader(good)); err != nil {
+		t.Fatalf("canonical encoding rejected: %v", err)
+	}
+	for _, cut := range []int{0, 7, 16, 33, len(good) - 1} {
+		if _, err := ReadMatrix(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	b := append([]byte(nil), good...)
+	b[0] ^= 0x01
+	if _, err := ReadMatrix(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	b = append([]byte(nil), good...)
+	b[8] = 42
+	if _, err := ReadMatrix(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Row nnz claiming more entries than the matrix has columns.
+	b = append([]byte(nil), good...)
+	b[32] = 200 // first row's nnz byte (after the 4-word header)
+	if _, err := ReadMatrix(bytes.NewReader(b)); err == nil {
+		t.Fatal("oversized row length accepted")
+	}
+}
