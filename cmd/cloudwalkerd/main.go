@@ -90,6 +90,10 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	shards := fs.String("shards", "", "comma-separated shard addresses for -router (host:port,...)")
 	modeFlag := fs.String("mode", "replicated", "fleet deployment mode for -router: replicated or partitioned")
 	shardName := fs.String("shard", "", "shard name stamped on responses (X-Cloudwalker-Shard) when serving behind a fleet router")
+	hedgeFlag := fs.String("hedge", "off", "router request hedging: off, auto (delay = observed p99), or a fixed delay like 50ms (replicated-mode GETs only)")
+	retryBudget := fs.Float64("retry-budget", 0, "router retry-budget token bucket size (0 = default 10, negative = unlimited retries)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive shard failures that open its circuit breaker (0 = default 5, negative = breakers off)")
+	maxPartialLoss := fs.Int("max-partial-loss", 0, "max partitions a /source?allow_partial=1 answer may omit (0 = default 1, negative = partial answers off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +101,20 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		if *gpath != "" || *ipath != "" || *spath != "" || *dynamic || *shardName != "" || *snapDir != "" {
 			return fmt.Errorf("-router takes -shards/-mode, not -graph/-index/-store/-dynamic/-shard/-snapshot")
 		}
-		return runRouter(*shards, *modeFlag, *addr, *drain, out, ready)
+		hedge, err := parseHedge(*hedgeFlag)
+		if err != nil {
+			return err
+		}
+		return runRouter(routerConfig{
+			shards:           *shards,
+			mode:             *modeFlag,
+			addr:             *addr,
+			drain:            *drain,
+			hedge:            hedge,
+			retryBudget:      *retryBudget,
+			breakerThreshold: *breakerThreshold,
+			maxPartialLoss:   *maxPartialLoss,
+		}, out, ready)
 	}
 	if *refreshAfter != 0 && !*dynamic {
 		return fmt.Errorf("-refresh-after requires -dynamic")
@@ -191,23 +208,24 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	// otherwise -backend lin|auto or -lin builds one here. Decay and series
 	// depth come from the index so the two backends answer the same
 	// truncation of the same similarity.
-	if lin == nil && (*linOn || *backendFlag == cloudwalker.BackendLin || *backendFlag == cloudwalker.BackendAuto) {
-		lopts := cloudwalker.DefaultLinOptions()
-		lopts.C = idx.Opts.C
-		lopts.T = idx.Opts.T
-		lopts.Workers = runtime.GOMAXPROCS(0)
-		if *linSweeps > 0 {
-			lopts.Sweeps = *linSweeps
-		}
-		if *linPrune >= 0 {
-			lopts.BuildPruneEps, lopts.PruneEps = *linPrune, *linPrune
-		} else {
-			// Serving defaults: prune the build harder than DefaultLinOptions'
-			// exact expansion so startup stays in seconds on dense-tailed
-			// graphs, and keep query frontiers sparse at invisible error.
-			lopts.BuildPruneEps, lopts.PruneEps = 1e-6, 1e-4
-		}
-		lopts.Rank = *linRank
+	lopts := cloudwalker.DefaultLinOptions()
+	lopts.C = idx.Opts.C
+	lopts.T = idx.Opts.T
+	lopts.Workers = runtime.GOMAXPROCS(0)
+	if *linSweeps > 0 {
+		lopts.Sweeps = *linSweeps
+	}
+	if *linPrune >= 0 {
+		lopts.BuildPruneEps, lopts.PruneEps = *linPrune, *linPrune
+	} else {
+		// Serving defaults: prune the build harder than DefaultLinOptions'
+		// exact expansion so startup stays in seconds on dense-tailed
+		// graphs, and keep query frontiers sparse at invisible error.
+		lopts.BuildPruneEps, lopts.PruneEps = 1e-6, 1e-4
+	}
+	lopts.Rank = *linRank
+	linWanted := *linOn || *backendFlag == cloudwalker.BackendLin || *backendFlag == cloudwalker.BackendAuto
+	if lin == nil && linWanted {
 		t0 := time.Now()
 		lin, err = cloudwalker.BuildLinEngine(g, lopts)
 		if err != nil {
@@ -252,6 +270,14 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 			}
 			return cloudwalker.NewQuerier(ng, idx2)
 		}
+		if lin != nil || linWanted {
+			// A hot-swap drops the lin engine (solved for the old graph);
+			// re-solve it in the background with the same build options so
+			// lin/auto serving recovers without blocking the swap.
+			cfg.RebuildLin = func(nq *cloudwalker.Querier) (*cloudwalker.LinEngine, error) {
+				return cloudwalker.BuildLinEngine(nq.Graph(), lopts)
+			}
+		}
 		fmt.Fprintf(out, "dynamic updates enabled (POST /edges, POST /refresh, refresh-after=%d)\n", *refreshAfter)
 	}
 	srv, err := cloudwalker.NewServer(q, cfg)
@@ -269,26 +295,59 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	})
 }
 
+// parseHedge maps the -hedge flag to fleet.Config.HedgeDelay: "off" (or
+// empty) disables, "auto" derives the delay from the observed p99, and
+// anything else must be a positive Go duration.
+func parseHedge(s string) (time.Duration, error) {
+	switch s {
+	case "", "off":
+		return 0, nil
+	case "auto":
+		return -1, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("-hedge: want off, auto, or a positive duration, got %q", s)
+	}
+	return d, nil
+}
+
+// routerConfig carries the -router flags to runRouter.
+type routerConfig struct {
+	shards           string
+	mode             string
+	addr             string
+	drain            time.Duration
+	hedge            time.Duration
+	retryBudget      float64
+	breakerThreshold int
+	maxPartialLoss   int
+}
+
 // runRouter runs the fleet-router mode: no graph, no index — just the
 // frontend that routes, scatters, and fails over across shard daemons.
-func runRouter(shards, modeFlag, addr string, drain time.Duration, out io.Writer, ready chan<- string) error {
-	if shards == "" {
+func runRouter(rc routerConfig, out io.Writer, ready chan<- string) error {
+	if rc.shards == "" {
 		return fmt.Errorf("-router requires -shards host:port[,host:port,...]")
 	}
-	mode, err := cloudwalker.ParseFleetMode(modeFlag)
+	mode, err := cloudwalker.ParseFleetMode(rc.mode)
 	if err != nil {
 		return err
 	}
 	rt, err := cloudwalker.NewFleetRouter(cloudwalker.FleetConfig{
-		Shards: strings.Split(shards, ","),
-		Mode:   mode,
+		Shards:           strings.Split(rc.shards, ","),
+		Mode:             mode,
+		HedgeDelay:       rc.hedge,
+		RetryBudget:      rc.retryBudget,
+		BreakerThreshold: rc.breakerThreshold,
+		MaxPartialLoss:   rc.maxPartialLoss,
 	})
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
-	banner := fmt.Sprintf("fleet router (%s mode, %d shards) serving", mode, len(strings.Split(shards, ",")))
-	return serveHTTP(rt.Handler(), addr, drain, out, ready, banner, func(w io.Writer) {
+	banner := fmt.Sprintf("fleet router (%s mode, %d shards) serving", mode, len(strings.Split(rc.shards, ",")))
+	return serveHTTP(rt.Handler(), rc.addr, rc.drain, out, ready, banner, func(w io.Writer) {
 		st := rt.StatsSnapshot()
 		fmt.Fprintf(w, "drained; routed %d requests, %d failovers, %d scatters\n",
 			st.Requests, st.Failovers, st.Scatters)

@@ -57,6 +57,13 @@ type AccuracyWorkload struct {
 	// Linearized engine build.
 	LinSweeps int `json:"lin_sweeps"`
 	LinRank   int `json:"lin_rank"`
+	// LinRankVariant, when positive, additionally measures a low-rank
+	// engine (Options.Rank = LinRankVariant) as the source_lin_rank
+	// phase: the rank-r factorization answers single-source from an
+	// O(nr) sketch instead of the full series, trading error for a
+	// flat memory/latency profile. Pair answers don't use the sketch,
+	// so only the source phase gets a variant row.
+	LinRankVariant int `json:"lin_rank_variant"`
 	// ExactIters is the power-iteration count of the ground-truth
 	// reference (internal/exact.Naive).
 	ExactIters int `json:"exact_iters"`
@@ -83,6 +90,7 @@ func DefaultAccuracyWorkload() AccuracyWorkload {
 		WalkSeed:       1,
 		LinSweeps:      8,
 		LinRank:        0,
+		LinRankVariant: 32,
 		ExactIters:     25,
 		Pairs:          64,
 		Sources:        16,
@@ -116,7 +124,9 @@ type AccuracyRun struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	// Metrics keys: pair_mc, pair_lin, source_mc, source_lin.
+	// Metrics keys: pair_mc, pair_lin, source_mc, source_lin, and
+	// source_lin_rank (the low-rank variant) when the workload pins
+	// LinRankVariant.
 	Metrics map[string]AccuracyMetric `json:"metrics"`
 }
 
@@ -252,6 +262,21 @@ func MeasureAccuracy(cfg Config, wl AccuracyWorkload) (*AccuracyMeasurement, err
 	}
 	if err := measureSources("source_lin", eng.SingleSource); err != nil {
 		return nil, err
+	}
+	if wl.LinRankVariant > 0 {
+		ropts := lopts
+		ropts.Rank = wl.LinRankVariant
+		cfg.logf("[bench-accuracy] building low-rank linearized engine (rank=%d)...", ropts.Rank)
+		reng, err := linserve.Build(g, ropts)
+		if err != nil {
+			return nil, err
+		}
+		if !reng.HasLowRank() {
+			return nil, fmt.Errorf("bench: rank-%d engine built without a low-rank factorization", ropts.Rank)
+		}
+		if err := measureSources("source_lin_rank", reng.SingleSource); err != nil {
+			return nil, err
+		}
 	}
 	return &AccuracyMeasurement{Workload: wl, Run: run}, nil
 }
@@ -474,8 +499,11 @@ func RunAccuracyBench(cfg Config) ([]*Table, error) {
 		fmt.Sprintf("Backend accuracy vs exact SimRank (rmat @ %d nodes / %d edges, c=%g, T=%d, R=%d, R'=%d)",
 			wl.Nodes, m.Workload.Edges, wl.C, wl.T, wl.R, wl.RPrime),
 		"Phase", "queries", "max |err|", "mean |err|", "avg us")
-	for _, name := range []string{"pair_mc", "pair_lin", "source_mc", "source_lin"} {
-		met := m.Run.Metrics[name]
+	for _, name := range []string{"pair_mc", "pair_lin", "source_mc", "source_lin", "source_lin_rank"} {
+		met, ok := m.Run.Metrics[name]
+		if !ok {
+			continue
+		}
 		t.Add(name,
 			fmt.Sprintf("%d", met.Queries),
 			fmt.Sprintf("%.2e", met.MaxAbsErr),

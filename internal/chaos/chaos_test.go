@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backend returns a plain test server answering a fixed body.
+func backend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func proxyFor(t *testing.T, in *Injector, target string) *Proxy {
+	t.Helper()
+	p, err := NewProxy(in, target)
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// freshClient avoids cross-test connection reuse.
+func freshClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 10 * time.Second}
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	srv := backend(t, `{"ok":true}`)
+	p := proxyFor(t, NewInjector(1), srv.URL)
+	resp, err := freshClient().Get(p.URL() + "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || string(b) != `{"ok":true}` {
+		t.Fatalf("got %d %q", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type not relayed: %q", ct)
+	}
+}
+
+func TestProxyInjectedErrors(t *testing.T) {
+	srv := backend(t, "ok")
+	in := NewInjector(2)
+	in.Set(Fault{ErrorRate: 1})
+	p := proxyFor(t, in, srv.URL)
+	for i := 0; i < 5; i++ {
+		resp, err := freshClient().Get(p.URL() + "/x")
+		if err != nil {
+			t.Fatalf("get: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 500 {
+			t.Fatalf("want injected 500, got %d", resp.StatusCode)
+		}
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	srv := backend(t, "ok")
+	in := NewInjector(3)
+	const lat = 80 * time.Millisecond
+	in.Set(Fault{Latency: lat})
+	p := proxyFor(t, in, srv.URL)
+	start := time.Now()
+	resp, err := freshClient().Get(p.URL() + "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if el := time.Since(start); el < lat {
+		t.Fatalf("request returned in %v, want >= %v", el, lat)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	srv := backend(t, "ok")
+	in := NewInjector(4)
+	in.Set(Fault{ResetRate: 1})
+	p := proxyFor(t, in, srv.URL)
+	if _, err := freshClient().Get(p.URL() + "/x"); err == nil {
+		t.Fatal("want transport error from reset, got nil")
+	}
+}
+
+func TestProxyDown(t *testing.T) {
+	srv := backend(t, "ok")
+	in := NewInjector(5)
+	in.Set(Fault{Down: true})
+	p := proxyFor(t, in, srv.URL)
+	if _, err := freshClient().Get(p.URL() + "/x"); err == nil {
+		t.Fatal("want error while down, got nil")
+	}
+	in.SetDown(false)
+	resp, err := freshClient().Get(p.URL() + "/x")
+	if err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("after recovery got %d", resp.StatusCode)
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	srv := backend(t, strings.Repeat("x", 4096))
+	in := NewInjector(6)
+	in.Set(Fault{TruncateRate: 1})
+	p := proxyFor(t, in, srv.URL)
+	resp, err := freshClient().Get(p.URL() + "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err) // headers arrive intact
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil && len(b) >= 4096 {
+		t.Fatalf("body arrived whole (%d bytes), want truncation error", len(b))
+	}
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "reset") {
+		t.Logf("truncation surfaced as: %v", err) // any read failure is acceptable
+	}
+}
+
+func TestProxyDribble(t *testing.T) {
+	srv := backend(t, strings.Repeat("y", 64))
+	in := NewInjector(7)
+	in.Set(Fault{DribbleRate: 1, DribbleChunk: 16, DribbleDelay: 20 * time.Millisecond})
+	p := proxyFor(t, in, srv.URL)
+	start := time.Now()
+	resp, err := freshClient().Get(p.URL() + "/x")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(b) != 64 {
+		t.Fatalf("dribbled body incomplete: %d bytes", len(b))
+	}
+	// Head+body span several chunks, so the transfer must take multiple
+	// dribble delays.
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("dribble finished in %v, too fast", el)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	mk := func() []Decision {
+		in := NewInjector(42)
+		in.Set(Fault{Jitter: time.Millisecond, ErrorRate: 0.3, ResetRate: 0.2, TruncateRate: 0.1, DribbleRate: 0.25})
+		out := make([]Decision, 200)
+		for i := range out {
+			out[i] = in.Decide()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different seeds should not produce the same sequence.
+	other := NewInjector(43)
+	other.Set(Fault{Jitter: time.Millisecond, ErrorRate: 0.3, ResetRate: 0.2, TruncateRate: 0.1, DribbleRate: 0.25})
+	same := true
+	for i := range a {
+		if other.Decide() != a[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical decision sequences")
+	}
+}
+
+func TestInjectorPlanSwapKeepsStream(t *testing.T) {
+	// The same positions are consumed whether or not a rate is active, so
+	// installing a plan mid-stream must not change *which* draws later
+	// requests see. We verify by comparing the error draw pattern of a
+	// run that flips plans against one that holds the final plan from a
+	// shifted start.
+	inA := NewInjector(9)
+	inA.Set(Fault{})
+	for i := 0; i < 50; i++ {
+		inA.Decide()
+	}
+	inA.Set(Fault{ErrorRate: 0.5})
+	var gotA []bool
+	for i := 0; i < 100; i++ {
+		gotA = append(gotA, inA.Decide().Error)
+	}
+
+	inB := NewInjector(9)
+	inB.Set(Fault{ErrorRate: 0.5})
+	for i := 0; i < 50; i++ {
+		inB.Decide()
+	}
+	var gotB []bool
+	for i := 0; i < 100; i++ {
+		gotB = append(gotB, inB.Decide().Error)
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("position %d: plan swap perturbed the stream", i)
+		}
+	}
+}
+
+func TestHandlerMiddleware(t *testing.T) {
+	in := NewInjector(11)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "inner")
+	})
+	srv := httptest.NewServer(in.Handler(inner))
+	defer srv.Close()
+
+	resp, err := freshClient().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("clean get: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(b) != "inner" {
+		t.Fatalf("clean pass got %d %q", resp.StatusCode, b)
+	}
+
+	in.Set(Fault{ErrorRate: 1})
+	resp, err = freshClient().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("error get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("want injected 500 via middleware, got %d", resp.StatusCode)
+	}
+
+	in.Set(Fault{Down: true})
+	if _, err := freshClient().Get(srv.URL); err == nil {
+		t.Fatal("want dropped connection while down")
+	}
+}

@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Proxy is an HTTP-aware TCP proxy: it listens on a loopback port, parses
+// one HTTP request at a time off each accepted connection, asks its
+// Injector for a fault decision, and either damages the exchange
+// (error / reset / truncate / dribble / refuse) or relays it to the
+// target backend. Point a fleet router at proxy.URL() instead of the real
+// shard and the shard browns out on command.
+//
+// The proxy dials the target once per relayed request (no connection
+// pooling) — chaos tests care about fault semantics, not proxy
+// throughput — and it always answers `Connection: close` so clients
+// re-handshake every request and each request gets its own decision.
+type Proxy struct {
+	in     *Injector
+	target string // host:port of the real backend
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy in front of targetURL (scheme ignored; only the
+// host matters) drawing fault decisions from in. It listens on an
+// ephemeral loopback port; Close releases it.
+func NewProxy(in *Injector, targetURL string) (*Proxy, error) {
+	host := targetURL
+	if i := strings.Index(host, "://"); i >= 0 {
+		host = host[i+3:]
+	}
+	host = strings.TrimSuffix(host, "/")
+	if host == "" {
+		return nil, fmt.Errorf("chaos: empty proxy target")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{in: in, target: host, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// URL returns the proxy's listen address as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Addr returns the proxy's host:port listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting, severs in-flight connections, and waits for the
+// connection handlers to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !p.track(conn) {
+			conn.Close()
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(conn)
+			p.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client connection: exactly one request per
+// connection (every response carries Connection: close), so each request
+// maps to one fault decision.
+func (p *Proxy) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	req, err := http.ReadRequest(br)
+	if err != nil {
+		return
+	}
+	d := p.in.Decide()
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	switch {
+	case d.Down, d.Reset:
+		abortConn(conn)
+		return
+	case d.Error:
+		writeCanned(conn, http.StatusInternalServerError, "chaos: injected error\n")
+		return
+	}
+	raw, err := p.fetch(req)
+	if err != nil {
+		writeCanned(conn, http.StatusBadGateway, "chaos: backend unreachable\n")
+		return
+	}
+	switch {
+	case d.Truncate:
+		// Send headers plus half the body, then tear the connection: the
+		// client sees a well-formed status line and an unexpected EOF.
+		head, body := splitHead(raw)
+		cut := head + len(body)/2
+		conn.Write(raw[:cut])
+		abortConn(conn)
+	case d.Dribble:
+		chunk, delay := dribbleParams(p.in.Fault())
+		for off := 0; off < len(raw); off += chunk {
+			end := off + chunk
+			if end > len(raw) {
+				end = len(raw)
+			}
+			if _, err := conn.Write(raw[off:end]); err != nil {
+				return
+			}
+			time.Sleep(delay)
+		}
+	default:
+		conn.Write(raw)
+	}
+}
+
+// fetch relays req to the backend over a fresh connection and returns the
+// full wire-format response (headers + body, Connection: close applied).
+func (p *Proxy) fetch(req *http.Request) ([]byte, error) {
+	back, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer back.Close()
+	req.Host = p.target
+	req.Header.Set("Connection", "close")
+	if err := req.Write(back); err != nil {
+		return nil, err
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(back), req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := httputil.DumpResponse(resp, true)
+	if err != nil {
+		return nil, err
+	}
+	return forceClose(raw), nil
+}
+
+// forceClose rewrites the response head to carry Connection: close so the
+// client does not try to reuse the proxy connection for a second request.
+func forceClose(raw []byte) []byte {
+	head := splitHeadIdx(raw)
+	if head < 0 {
+		return raw
+	}
+	lines := strings.Split(string(raw[:head]), "\r\n")
+	out := lines[:0]
+	for _, ln := range lines {
+		if strings.HasPrefix(strings.ToLower(ln), "connection:") || ln == "" {
+			continue
+		}
+		out = append(out, ln)
+	}
+	out = append(out, "Connection: close", "", "")
+	return append([]byte(strings.Join(out, "\r\n")), raw[head+4:]...)
+}
+
+// splitHeadIdx returns the index of the \r\n\r\n header terminator, or -1.
+func splitHeadIdx(raw []byte) int {
+	return strings.Index(string(raw), "\r\n\r\n")
+}
+
+// splitHead returns the length of the head (through the blank line) and
+// the body slice.
+func splitHead(raw []byte) (headLen int, body []byte) {
+	i := splitHeadIdx(raw)
+	if i < 0 {
+		return len(raw), nil
+	}
+	return i + 4, raw[i+4:]
+}
+
+// abortConn closes a connection as abruptly as the transport allows:
+// SO_LINGER 0 makes close send RST instead of FIN, which clients surface
+// as "connection reset by peer" rather than a clean EOF.
+func abortConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// writeCanned emits a minimal complete HTTP response.
+func writeCanned(w io.Writer, status int, body string) {
+	fmt.Fprintf(w, "HTTP/1.1 %d %s\r\nContent-Type: text/plain\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		status, http.StatusText(status), len(body), body)
+}
+
+// writeRawResponse writes a response head advertising contentLen bytes
+// followed by body (which may be shorter — the torn-response case).
+func writeRawResponse(w io.Writer, status int, hdr http.Header, contentLen int, body []byte) {
+	fmt.Fprintf(w, "HTTP/1.1 %d %s\r\n", status, http.StatusText(status))
+	keys := make([]string, 0, len(hdr))
+	for k := range hdr {
+		if strings.EqualFold(k, "Content-Length") || strings.EqualFold(k, "Connection") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range hdr[k] {
+			fmt.Fprintf(w, "%s: %s\r\n", k, v)
+		}
+	}
+	fmt.Fprintf(w, "Content-Length: %d\r\nConnection: close\r\n\r\n", contentLen)
+	w.Write(body)
+}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -76,6 +77,17 @@ func checkAdaptiveParams(eps, delta float64) error {
 // is the lower-variance cross-product of the accumulated per-side
 // distributions, which estimates the same quantity.
 func (q *Querier) SinglePairAdaptive(i, j int, eps, delta float64) (PairEstimate, error) {
+	return q.SinglePairAdaptiveCtx(context.Background(), i, j, eps, delta)
+}
+
+// SinglePairAdaptiveCtx is SinglePairAdaptive with cancellation: the
+// wave loop checks ctx at every wave boundary (the natural preemption
+// point — waves are the unit of work between confidence checks) and
+// returns ctx.Err() instead of a half-finished estimate. A deadline
+// therefore bounds query latency to one wave past expiry. The
+// fixed-budget path (eps = 0) has no wave boundaries; it only checks
+// ctx once up front.
+func (q *Querier) SinglePairAdaptiveCtx(ctx context.Context, i, j int, eps, delta float64) (PairEstimate, error) {
 	if err := q.checkNode(i); err != nil {
 		return PairEstimate{}, err
 	}
@@ -83,6 +95,9 @@ func (q *Querier) SinglePairAdaptive(i, j int, eps, delta float64) (PairEstimate
 		return PairEstimate{}, err
 	}
 	if err := checkAdaptiveParams(eps, delta); err != nil {
+		return PairEstimate{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return PairEstimate{}, err
 	}
 	if i == j {
@@ -93,12 +108,12 @@ func (q *Querier) SinglePairAdaptive(i, j int, eps, delta float64) (PairEstimate
 		budget := q.index.Opts.RPrime
 		return PairEstimate{Score: s, Walkers: budget, Budget: budget}, err
 	}
-	return q.singlePairAdaptive(i, j, eps, delta)
+	return q.singlePairAdaptive(ctx, i, j, eps, delta)
 }
 
 // singlePairAdaptive runs the wave loop; callers have validated inputs
 // and handled the degenerate cases.
-func (q *Querier) singlePairAdaptive(i, j int, eps, delta float64) (PairEstimate, error) {
+func (q *Querier) singlePairAdaptive(ctx context.Context, i, j int, eps, delta float64) (PairEstimate, error) {
 	opts := q.index.Opts
 	T := opts.T
 	budget := opts.RPrime
@@ -119,6 +134,9 @@ func (q *Querier) singlePairAdaptive(i, j int, eps, delta float64) (PairEstimate
 	hw := math.Inf(1)
 	stopped := false
 	for wi, cum := range sched {
+		if err := ctx.Err(); err != nil {
+			return PairEstimate{}, err
+		}
 		rw := cum - prev
 		if cap(qs.trA) < T*rw {
 			qs.trA = make([]int32, T*rw)
@@ -175,8 +193,14 @@ func (q *Querier) singlePairAdaptive(i, j int, eps, delta float64) (PairEstimate
 // SingleSourceAdaptive is SingleSource (walk mode) with adaptive
 // stopping; see SingleSourceAdaptiveInto.
 func (qr *Querier) SingleSourceAdaptive(q int, eps, delta float64) (*sparse.Vector, SourceEstimate, error) {
+	return qr.SingleSourceAdaptiveCtx(context.Background(), q, eps, delta)
+}
+
+// SingleSourceAdaptiveCtx is SingleSourceAdaptive with cancellation
+// checked at wave boundaries (see SinglePairAdaptiveCtx).
+func (qr *Querier) SingleSourceAdaptiveCtx(ctx context.Context, q int, eps, delta float64) (*sparse.Vector, SourceEstimate, error) {
 	out := &sparse.Vector{}
-	se, err := qr.SingleSourceAdaptiveInto(q, eps, delta, out)
+	se, err := qr.SingleSourceAdaptiveIntoCtx(ctx, q, eps, delta, out)
 	if err != nil {
 		return nil, se, err
 	}
@@ -199,10 +223,19 @@ func (qr *Querier) SingleSourceAdaptive(q int, eps, delta float64) (*sparse.Vect
 // by a few ulps. Adaptive answers are accuracy-bounded, not bit-pinned;
 // Epsilon = 0 keeps the bit-identical legacy path.
 func (qr *Querier) SingleSourceAdaptiveInto(q int, eps, delta float64, out *sparse.Vector) (SourceEstimate, error) {
+	return qr.SingleSourceAdaptiveIntoCtx(context.Background(), q, eps, delta, out)
+}
+
+// SingleSourceAdaptiveIntoCtx is SingleSourceAdaptiveInto with
+// cancellation checked at wave boundaries (see SinglePairAdaptiveCtx).
+func (qr *Querier) SingleSourceAdaptiveIntoCtx(ctx context.Context, q int, eps, delta float64, out *sparse.Vector) (SourceEstimate, error) {
 	if err := qr.checkNode(q); err != nil {
 		return SourceEstimate{}, err
 	}
 	if err := checkAdaptiveParams(eps, delta); err != nil {
+		return SourceEstimate{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return SourceEstimate{}, err
 	}
 	opts := qr.index.Opts
@@ -223,6 +256,9 @@ func (qr *Querier) SingleSourceAdaptiveInto(q int, eps, delta float64, out *spar
 	hw := math.Inf(1)
 	stopped := false
 	for wi, cum := range sched {
+		if err := ctx.Err(); err != nil {
+			return SourceEstimate{}, err
+		}
 		rw := cum - prev
 		d, m2 := qs.sc.SingleSourceWalkWave(qr.vw, q, opts.T, rw, qr.ct, qr.index.Diag, seed, uint64(prev))
 		if d > dMax {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -96,7 +97,7 @@ func (q *Querier) SinglePair(i, j int) (float64, error) {
 		return 1, nil
 	}
 	if opts := q.index.Opts; opts.Epsilon > 0 {
-		pe, err := q.singlePairAdaptive(i, j, opts.Epsilon, opts.Delta)
+		pe, err := q.singlePairAdaptive(context.Background(), i, j, opts.Epsilon, opts.Delta)
 		return pe.Score, err
 	}
 	return q.singlePairFixed(i, j)

@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-shard circuit breaker, layered UNDER the health prober: the prober
+// answers "is the process alive" on its own probe cadence, while the
+// breaker answers "is this shard currently poisoning requests" from the
+// live traffic itself — a shard can be up (accepting connections,
+// answering /healthz) yet failing queries, and the breaker is what stops
+// the router from feeding it traffic in that state.
+//
+// States: closed (traffic flows; consecutive failures are counted) →
+// open after threshold consecutive failures (traffic skips the shard
+// until the cooldown expires) → half-open (exactly ONE request is let
+// through as a probe) → closed again on success, or back to open on
+// failure. A successful health probe also closes the breaker — recovery
+// is detected by whichever of the prober or the half-open probe gets
+// there first.
+
+// Breaker states, exported via the cloudwalker_breaker_state gauge and
+// the router's /healthz shard rows.
+const (
+	breakerClosed   = 0
+	breakerHalfOpen = 1
+	breakerOpen     = 2
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures to trip; <= 0 disables
+	cooldown  time.Duration // open → half-open delay
+	state     int
+	fails     int       // consecutive failures while closed
+	until     time.Time // while open: when a half-open probe may go out
+	probing   bool      // while half-open: the single probe slot is taken
+}
+
+func newBreaker(threshold int, cooldown time.Duration) breaker {
+	return breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent to this shard now, and
+// claims the single half-open probe slot when the cooldown has expired —
+// the caller that gets true MUST report the outcome via onSuccess or
+// onFailure, or the slot leaks until the prober closes the breaker.
+func (b *breaker) allow(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// ready is the side-effect-free view of allow, for ordering replicas
+// without claiming the probe slot.
+func (b *breaker) ready(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		return !now.Before(b.until)
+	default:
+		return !b.probing
+	}
+}
+
+// onSuccess records an authoritative shard response: the breaker closes
+// from any state and the failure streak resets.
+func (b *breaker) onSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// onFailure records a failed attempt. While closed it extends the streak
+// and trips at threshold; while half-open it re-opens for another
+// cooldown; while open it refreshes nothing (the shard wasn't consulted).
+func (b *breaker) onFailure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.until = now.Add(b.cooldown)
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.probing = false
+		b.until = now.Add(b.cooldown)
+	}
+}
+
+// current returns the breaker state constant.
+func (b *breaker) current() int {
+	if b.threshold <= 0 {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,62 @@
+package fleet
+
+import "sync"
+
+// retryBudget caps failover amplification with the token-bucket scheme
+// gRPC uses for retry throttling: retries (any attempt after a request's
+// first) spend a token, and only *successful* traffic refills the bucket,
+// at ratio tokens per success. During a brownout the bucket drains and
+// stays empty — no successes, no refill — so a router under 100% shard
+// failure sends at most (requests + initial budget) attempts instead of
+// requests × replicas × passes. The first attempt of every request is
+// always free: a budget can stop the fleet from retrying itself to
+// death, but it must never stop fresh traffic.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// newRetryBudget returns a bucket starting full. max <= 0 disables
+// budgeting (spend always succeeds).
+func newRetryBudget(max, ratio float64) *retryBudget {
+	return &retryBudget{tokens: max, max: max, ratio: ratio}
+}
+
+// spend consumes one token for a retry or hedge attempt, reporting
+// whether the attempt is allowed.
+func (b *retryBudget) spend() bool {
+	if b.max <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// success refills the bucket by ratio, capped at max.
+func (b *retryBudget) success() {
+	if b.max <= 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// remaining reports the current token count (tests, /stats).
+func (b *retryBudget) remaining() float64 {
+	if b.max <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -71,14 +71,19 @@ type neighborWire struct {
 }
 
 // sourceBody is the wire shape of a shard's /source response (whole-space
-// or partition-restricted partial).
+// or partition-restricted partial), and of the router's merged answer —
+// which may additionally be Degraded: assembled without the Missing
+// partitions because they stayed unreachable and the client sent
+// allow_partial=1.
 type sourceBody struct {
-	Node    int            `json:"node"`
-	Mode    string         `json:"mode"`
-	K       int            `json:"k"`
-	Part    string         `json:"part,omitempty"`
-	Gen     uint64         `json:"gen"`
-	Results []neighborWire `json:"results"`
+	Node     int            `json:"node"`
+	Mode     string         `json:"mode"`
+	K        int            `json:"k"`
+	Part     string         `json:"part,omitempty"`
+	Gen      uint64         `json:"gen"`
+	Degraded bool           `json:"degraded,omitempty"`
+	Missing  []string       `json:"missing,omitempty"`
+	Results  []neighborWire `json:"results"`
 }
 
 // decodeSourceBody parses and validates a shard /source body.

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strconv"
@@ -77,4 +78,35 @@ func (rt *Router) probeShard(sh *shardState) {
 		}
 	}
 	sh.up.Store(true)
+	// A live /healthz closes the circuit breaker: recovery is detected by
+	// whichever of the prober or a half-open traffic probe gets there
+	// first. Probe FAILURES deliberately leave the breaker alone — it
+	// counts request outcomes, and a missed probe is not a request.
+	sh.br.onSuccess()
+	// If a rolling refresh skipped this shard while it was unreachable,
+	// catch it up now that it answers (async — the probe loop must not
+	// block on an index rebuild; refresh is idempotent, so racing a
+	// concurrent client-initiated roll is harmless).
+	if rt.takePendingRefresh(sh.addr) {
+		go rt.catchUpRefresh(sh)
+	}
+}
+
+// catchUpRefresh replays the refresh a recovered shard missed. On
+// failure the shard goes back on the pending list for the next probe
+// cycle that finds it alive.
+func (rt *Router) catchUpRefresh(sh *shardState) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.refreshTimeout)
+	defer cancel()
+	rep, err := rt.do(ctx, sh, http.MethodPost, "/refresh?wait=1", nil, rt.refreshTimeout)
+	if err != nil || rep.status != http.StatusOK {
+		rt.markPendingRefresh(sh.addr)
+		return
+	}
+	var rr struct {
+		Gen uint64 `json:"gen"`
+	}
+	if json.Unmarshal(rep.body, &rr) == nil {
+		sh.observeGen(rr.Gen)
+	}
 }

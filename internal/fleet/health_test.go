@@ -15,7 +15,7 @@ import (
 )
 
 func TestObserveGenNeverRegresses(t *testing.T) {
-	sh := newShardState("x:1")
+	sh := &shardState{addr: "x:1", base: "http://x:1"}
 	sh.observeGen(5)
 	sh.observeGen(3) // a stale observation must not roll the view back
 	if got := sh.gen.Load(); got != 5 {

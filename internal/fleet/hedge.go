@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedged requests (replicated mode, GETs only): when the primary replica
+// chain hasn't answered within a hedge delay — explicitly configured, or
+// derived from the observed p99 of successful attempts — the router
+// races a second replica chain (the ring order rotated by one) and takes
+// the first clean answer, cancelling the loser. Hedging trades a bounded
+// amount of duplicate work for tail latency: one slow shard no longer
+// sets the p99 of every key it owns. Hedge attempts spend retry-budget
+// tokens from the first attempt (a hedge IS extra load), so hedging
+// self-disables during a brownout instead of amplifying it.
+
+// latencyTracker keeps a fixed ring of recent successful attempt
+// latencies and derives an approximate p99 from it.
+type latencyTracker struct {
+	mu   sync.Mutex
+	ring [128]time.Duration
+	n    int // total recorded (ring index = n % len)
+}
+
+// minHedgeSamples gates auto-hedging until the tracker has seen enough
+// traffic to make "p99" mean something.
+const minHedgeSamples = 20
+
+// hedgeDelayFloor keeps an auto-derived delay from collapsing to ~0 on a
+// fast fleet, which would hedge nearly every request.
+const hedgeDelayFloor = time.Millisecond
+
+func (lt *latencyTracker) record(d time.Duration) {
+	lt.mu.Lock()
+	lt.ring[lt.n%len(lt.ring)] = d
+	lt.n++
+	lt.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile latency over the retained window, and
+// whether enough samples exist to trust it.
+func (lt *latencyTracker) p99() (time.Duration, bool) {
+	lt.mu.Lock()
+	n := lt.n
+	if n > len(lt.ring) {
+		n = len(lt.ring)
+	}
+	if n < minHedgeSamples {
+		lt.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, lt.ring[:n])
+	lt.mu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	d := buf[(99*n+99)/100-1] // nearest-rank p99: ceil(0.99 n) - 1
+	if d < hedgeDelayFloor {
+		d = hedgeDelayFloor
+	}
+	return d, true
+}
+
+// hedgeDelayNow resolves the delay to use for a hedged request right
+// now: the configured fixed delay, or the auto p99. ok=false means
+// hedging is off (or auto mode lacks samples) and the request runs
+// unhedged.
+func (rt *Router) hedgeDelayNow() (time.Duration, bool) {
+	switch {
+	case rt.hedgeDelay > 0:
+		return rt.hedgeDelay, true
+	case rt.hedgeDelay < 0:
+		return rt.latencies.p99()
+	default:
+		return 0, false
+	}
+}
+
+// askHedged races the primary replica chain against a delayed secondary
+// chain starting one ring position later. The first authoritative answer
+// wins and the loser's context is cancelled (Router.do treats
+// parent-cancelled attempts as neutral — no down-marking, no breaker
+// penalty). If the primary finishes before the delay, no hedge is sent.
+func (rt *Router) askHedged(ctx context.Context, order []*shardState, pathAndQuery string, validate func(*shardReply) error, delay time.Duration) (*shardReply, error) {
+	type outcome struct {
+		rep   *shardReply
+		err   error
+		hedge bool
+	}
+	pctx, cancelPrimary := context.WithCancel(ctx)
+	hctx, cancelHedge := context.WithCancel(ctx)
+	defer cancelPrimary()
+	defer cancelHedge()
+
+	results := make(chan outcome, 2)
+	go func() {
+		attempts := 0
+		rep, err := rt.askOrder(pctx, order, http.MethodGet, pathAndQuery, nil, validate, &attempts)
+		results <- outcome{rep, err, false}
+	}()
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	hedged := false
+	launchHedge := func() {
+		// The hedge is pure extra load: every one of its attempts —
+		// including the first — must clear the retry budget.
+		if !rt.budget.spend() {
+			rt.budgetExhausted.Inc()
+			return
+		}
+		hedged = true
+		rotated := append(append(make([]*shardState, 0, len(order)), order[1:]...), order[0])
+		go func() {
+			attempts := 1 // pre-spent above; further attempts charge inside askOrder
+			rep, err := rt.askOrder(hctx, rotated, http.MethodGet, pathAndQuery, nil, validate, &attempts)
+			results <- outcome{rep, err, true}
+		}()
+	}
+
+	var firstErr error
+	pending := 1
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				launchHedge()
+				if hedged {
+					pending++
+				}
+			}
+		case oc := <-results:
+			pending--
+			if oc.err == nil {
+				if hedged {
+					if oc.hedge {
+						rt.hedgesWon.Inc()
+						cancelPrimary()
+					} else {
+						rt.hedgesLost.Inc()
+						cancelHedge()
+					}
+				}
+				return oc.rep, nil
+			}
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,511 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Unit coverage of the resilience layer: retry budget, circuit breaker,
+// hedging, deadlines, bounded rolling refresh, and degraded partials.
+// Process-level chaos coverage (injected latency/errors via the chaos
+// proxy) lives in the e2etest package.
+
+func TestRetryBudgetTokenBucket(t *testing.T) {
+	b := newRetryBudget(3, 0.5)
+	for i := 0; i < 3; i++ {
+		if !b.spend() {
+			t.Fatalf("spend %d denied with tokens remaining", i)
+		}
+	}
+	if b.spend() {
+		t.Fatal("spend allowed on an empty bucket")
+	}
+	b.success() // +0.5 — still below one whole token
+	if b.spend() {
+		t.Fatal("spend allowed with a fractional token")
+	}
+	b.success() // +0.5 — one token
+	if !b.spend() {
+		t.Fatal("spend denied after refill")
+	}
+	for i := 0; i < 100; i++ {
+		b.success()
+	}
+	if got := b.remaining(); got != 3 {
+		t.Fatalf("refill exceeded cap: %v tokens, max 3", got)
+	}
+	// Disabled budget: spend never refuses.
+	d := newRetryBudget(0, 0.1)
+	for i := 0; i < 50; i++ {
+		if !d.spend() {
+			t.Fatal("disabled budget refused a spend")
+		}
+	}
+}
+
+// TestRetryBudgetCapsBrownoutAmplification is the load-amplification
+// proof: with EVERY shard failing (full-fleet brownout), total attempts
+// reaching shards must stay ≤ requests + initial budget — each request's
+// first attempt plus at most `budget` retries fleet-wide — instead of
+// requests × shards × passes.
+func TestRetryBudgetCapsBrownoutAmplification(t *testing.T) {
+	var attempts atomic.Int64
+	mk := func() *httptest.Server {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			attempts.Add(1)
+			http.Error(w, "brownout", http.StatusInternalServerError)
+		}))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	a, b, c := mk(), mk(), mk()
+	const budget = 10
+	rt, err := New(Config{
+		Shards: []string{a.URL, b.URL, c.URL}, Mode: Replicated,
+		AttemptTimeout: time.Second, RetryBackoff: time.Microsecond,
+		MaxPasses: 3, HealthInterval: -1,
+		RetryBudget: budget, BreakerThreshold: -1, // isolate the budget from the breaker
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	fts := httptest.NewServer(rt.Handler())
+	t.Cleanup(fts.Close)
+
+	const requests = 50
+	for i := 0; i < requests; i++ {
+		resp, err := fts.Client().Get(fts.URL + fmt.Sprintf("/pair?i=%d&j=%d", i, i+60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("a fully browned-out fleet answered 200")
+		}
+	}
+	// Unbudgeted, 50 requests × 3 shards × 3 passes = 450 attempts; the
+	// budget caps it at requests (first attempts, always free) + budget
+	// (retries, no successes to refill).
+	if got := attempts.Load(); got > requests+budget {
+		t.Fatalf("brownout amplification: %d shard attempts for %d requests (budget %d) — retries are not budgeted",
+			got, requests, budget)
+	}
+	if rt.StatsSnapshot().BudgetExhausted == 0 {
+		t.Fatal("budget never reported exhaustion during a full brownout")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second)
+	if b.current() != breakerClosed || !b.allow(now) || !b.ready(now) {
+		t.Fatal("new breaker not closed/allowing")
+	}
+	b.onFailure(now)
+	b.onFailure(now)
+	if b.current() != breakerClosed {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.onSuccess() // a success resets the consecutive-failure streak
+	b.onFailure(now)
+	b.onFailure(now)
+	if b.current() != breakerClosed {
+		t.Fatal("failure streak survived a success")
+	}
+	b.onFailure(now) // third consecutive: trips
+	if b.current() != breakerOpen {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if b.allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+	probeAt := now.Add(1100 * time.Millisecond)
+	if !b.ready(probeAt) {
+		t.Fatal("breaker not ready after cooldown")
+	}
+	if !b.allow(probeAt) {
+		t.Fatal("cooled-down breaker denied the half-open probe")
+	}
+	if b.current() != breakerHalfOpen {
+		t.Fatal("breaker not half-open after probe admission")
+	}
+	if b.allow(probeAt) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.onFailure(probeAt) // probe failed: back to open for another cooldown
+	if b.current() != breakerOpen || b.allow(probeAt.Add(500*time.Millisecond)) {
+		t.Fatal("failed half-open probe did not re-open the breaker")
+	}
+	probeAt = probeAt.Add(1100 * time.Millisecond)
+	if !b.allow(probeAt) {
+		t.Fatal("re-opened breaker denied the next probe")
+	}
+	b.onSuccess()
+	if b.current() != breakerClosed || !b.allow(probeAt) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	// Disabled breaker never trips.
+	d := newBreaker(0, time.Second)
+	for i := 0; i < 100; i++ {
+		d.onFailure(now)
+	}
+	if d.current() != breakerClosed || !d.allow(now) {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+// TestBreakerOpensOnTrafficAndProberCloses: consecutive request failures
+// trip a shard's breaker (visible in /healthz); a successful health probe
+// closes it again.
+func TestBreakerOpensOnTrafficAndProberCloses(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	sh := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(sh.Close)
+	rt, err := New(Config{
+		Shards: []string{sh.URL}, AttemptTimeout: time.Second,
+		RetryBackoff: time.Microsecond, MaxPasses: 1, HealthInterval: -1,
+		BreakerThreshold: 3, BreakerCooldown: time.Hour, // only the prober can rescue it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	fts := httptest.NewServer(rt.Handler())
+	t.Cleanup(fts.Close)
+
+	for i := 0; i < 4; i++ {
+		resp, err := fts.Client().Get(fts.URL + "/pair?i=1&j=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	state := rt.shardHealths()[0]
+	if state.Breaker != "open" {
+		t.Fatalf("breaker = %q after consecutive 500s, want open", state.Breaker)
+	}
+	// Shard recovers; the prober notices and closes the breaker.
+	failing.Store(false)
+	rt.probeShard(rt.shards[normalizeAddr(sh.URL)])
+	if got := rt.shardHealths()[0].Breaker; got != "closed" {
+		t.Fatalf("breaker = %q after a successful probe, want closed", got)
+	}
+	resp, err := fts.Client().Get(fts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func TestLatencyTrackerP99(t *testing.T) {
+	var lt latencyTracker
+	if _, ok := lt.p99(); ok {
+		t.Fatal("p99 reported with zero samples")
+	}
+	for i := 0; i < minHedgeSamples-1; i++ {
+		lt.record(time.Millisecond)
+	}
+	if _, ok := lt.p99(); ok {
+		t.Fatal("p99 reported below the sample floor")
+	}
+	lt.record(100 * time.Millisecond)
+	d, ok := lt.p99()
+	if !ok {
+		t.Fatal("p99 unavailable at the sample floor")
+	}
+	if d < 50*time.Millisecond {
+		t.Fatalf("p99 = %v ignored the tail sample", d)
+	}
+	// The floor keeps auto-hedging sane on a microsecond-fast fleet.
+	var fast latencyTracker
+	for i := 0; i < 50; i++ {
+		fast.record(10 * time.Microsecond)
+	}
+	if d, _ := fast.p99(); d < hedgeDelayFloor {
+		t.Fatalf("p99 = %v below the hedge floor", d)
+	}
+}
+
+// TestHedgedRequestWinsAgainstSlowReplica: with the primary replica
+// stalling, the hedge fires after the configured delay, the secondary's
+// answer is served, and the slow request is abandoned without marking
+// its shard down.
+func TestHedgedRequestWinsAgainstSlowReplica(t *testing.T) {
+	const pairJSON = `{"i":1,"j":2,"score":0.5,"cached":false,"gen":0}`
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(400 * time.Millisecond)
+		w.Write([]byte(pairJSON))
+	}))
+	t.Cleanup(slow.Close)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(pairJSON))
+	}))
+	t.Cleanup(fast.Close)
+	rt, err := New(Config{
+		Shards: []string{slow.URL, fast.URL}, AttemptTimeout: 5 * time.Second,
+		RetryBackoff: time.Millisecond, MaxPasses: 1, HealthInterval: -1,
+		HedgeDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	order := []*shardState{rt.shards[normalizeAddr(slow.URL)], rt.shards[normalizeAddr(fast.URL)]}
+	start := time.Now()
+	rep, err := rt.askHedged(context.Background(), order, "/pair?i=1&j=2", func(rep *shardReply) error {
+		_, derr := decodePairBody(rep.body)
+		return derr
+	}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("hedged ask failed: %v", err)
+	}
+	if rep.shard != order[1] {
+		t.Fatalf("answer came from %s, want the hedged fast replica", rep.shard.addr)
+	}
+	if el := time.Since(start); el > 300*time.Millisecond {
+		t.Fatalf("hedged request took %v — waited out the slow primary", el)
+	}
+	st := rt.StatsSnapshot()
+	if st.HedgesWon != 1 {
+		t.Fatalf("hedges_won = %d, want 1", st.HedgesWon)
+	}
+	// The abandoned primary must not be penalized: its attempt died from
+	// OUR cancellation, not a shard fault.
+	if !order[0].up.Load() {
+		t.Fatal("cancelled hedge loser marked the slow shard down")
+	}
+	if order[0].br.current() != breakerClosed {
+		t.Fatal("cancelled hedge loser tripped the slow shard's breaker")
+	}
+}
+
+func TestHedgingDisabledByDefault(t *testing.T) {
+	sh := newShard(t, "a")
+	rt, _ := newFleet(t, Replicated, sh.URL)
+	if _, ok := rt.hedgeDelayNow(); ok {
+		t.Fatal("hedging active without opt-in")
+	}
+}
+
+// TestSourcePartialOnePartitionDown: in a partitioned deployment where
+// each scripted shard exclusively holds one partition, losing one shard
+// makes that partition unreachable. With allow_partial=1 the router
+// serves the merged top-k of the survivors, flagged degraded; without
+// the opt-in it errors.
+func TestSourcePartialOnePartitionDown(t *testing.T) {
+	shards := []*fakeShard{newFakeShard(t), newFakeShard(t), newFakeShard(t)}
+	rt, err := New(Config{
+		Shards:         []string{shards[0].ts.URL, shards[1].ts.URL, shards[2].ts.URL},
+		Mode:           Partitioned,
+		AttemptTimeout: 5 * time.Second,
+		RetryBackoff:   time.Millisecond,
+		// One failover pass and no breakers: the scripted shards answer
+		// 500 for every foreign partition, so extra passes and breaker
+		// trips would only add noise around the behavior under test —
+		// the drop/merge/flag path itself.
+		MaxPasses:        1,
+		BreakerThreshold: -1,
+		HealthInterval:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	fts := httptest.NewServer(rt.Handler())
+	t.Cleanup(fts.Close)
+
+	// The scatter prefers shard states[(p+off)%n] in RING order, not
+	// constructor order — pin each scripted shard to the partition the
+	// ring hands it, then kill the shard that exclusively owns part 1.
+	_, states := rt.membership()
+	byAddr := make(map[string]*fakeShard, len(shards))
+	for _, f := range shards {
+		byAddr[normalizeAddr(f.ts.URL)] = f
+	}
+	for i, sh := range states {
+		byAddr[sh.addr].onlyPart.Store(int32(i))
+	}
+	byAddr[states[1].addr].ts.Close() // partition 1 is now unreachable everywhere
+
+	// Opt-in: a degraded answer from partitions 0 and 2.
+	resp, err := fts.Client().Get(fts.URL + "/source?node=0&k=10&allow_partial=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("allow_partial scatter: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(PartialHeader); got != "1" {
+		t.Fatalf("%s = %q, want \"1\"", PartialHeader, got)
+	}
+	var sb sourceBody
+	getJSON(t, fts, "/source?node=0&k=10&allow_partial=1", http.StatusOK, &sb)
+	if !sb.Degraded {
+		t.Fatal("partial answer not flagged degraded")
+	}
+	if len(sb.Missing) != 1 || sb.Missing[0] != "1/3" {
+		t.Fatalf("missing = %v, want [1/3]", sb.Missing)
+	}
+	if len(sb.Results) != 2 {
+		t.Fatalf("merged %d partials, want 2 survivors", len(sb.Results))
+	}
+	for _, nb := range sb.Results {
+		if nb.Node != 0 && nb.Node != 2 {
+			t.Fatalf("result from partition %d — the dead partition leaked in", nb.Node)
+		}
+	}
+	if rt.StatsSnapshot().PartialResponses == 0 {
+		t.Fatal("partial response not counted")
+	}
+
+	// Without the opt-in, the same loss is an error, not a silent subset.
+	resp2, err := fts.Client().Get(fts.URL + "/source?node=0&k=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("partition loss served 200 without allow_partial")
+	}
+}
+
+// TestRefreshSkipsDeadShardAndProberCatchesUp: a dead shard no longer
+// stalls the rolling refresh — it is skipped, reported, and refreshed by
+// the prober's recovery path once it answers again.
+func TestRefreshSkipsDeadShardAndProberCatchesUp(t *testing.T) {
+	alive1, alive2 := newFakeShard(t), newFakeShard(t)
+	dead := newFakeShard(t)
+	rt, fts := newFleet(t, Replicated, alive1.ts.URL, alive2.ts.URL, dead.ts.URL)
+	deadAddr := normalizeAddr(dead.ts.URL)
+	dead.ts.Close()
+
+	var rr refreshFleetResponse
+	postJSON(t, fts, "/refresh", "", http.StatusOK, &rr)
+	if rr.Rolled != 2 {
+		t.Fatalf("rolled %d shards, want 2 survivors", rr.Rolled)
+	}
+	if len(rr.Skipped) != 1 || rr.Skipped[0] != deadAddr {
+		t.Fatalf("skipped = %v, want [%s]", rr.Skipped, deadAddr)
+	}
+	if alive1.refreshes.Load() == 0 || alive2.refreshes.Load() == 0 {
+		t.Fatal("surviving shards were not refreshed")
+	}
+
+	// "Restart" the dead shard at a NEW address and simulate the prober
+	// finding it: the pending mark must trigger a catch-up refresh.
+	revived := newFakeShard(t)
+	revivedAddr := normalizeAddr(revived.ts.URL)
+	rt.mu.Lock()
+	rt.ring = rt.ring.WithoutMember(deadAddr).WithMember(revivedAddr)
+	delete(rt.shards, deadAddr)
+	rt.shards[revivedAddr] = rt.newShardState(revivedAddr)
+	rt.mu.Unlock()
+	rt.takePendingRefresh(deadAddr) // mirrors /leave: departed members owe no refresh
+	rt.markPendingRefresh(revivedAddr)
+
+	rt.probeShard(rt.shards[revivedAddr])
+	deadline := time.Now().Add(5 * time.Second)
+	for revived.refreshes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prober recovery never re-triggered the skipped refresh")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rt.pendingMu.Lock()
+	pending := len(rt.pendingRefresh)
+	rt.pendingMu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d shards still pending refresh after catch-up", pending)
+	}
+}
+
+// TestRefreshAllShardsDead: a roll that reaches nobody is an error, not
+// an empty success.
+func TestRefreshAllShardsDead(t *testing.T) {
+	a, b := newFakeShard(t), newFakeShard(t)
+	_, fts := newFleet(t, Replicated, a.ts.URL, b.ts.URL)
+	a.ts.Close()
+	b.ts.Close()
+	postJSON(t, fts, "/refresh", "", http.StatusBadGateway, nil)
+}
+
+// TestRouterDeadlines: malformed deadlines reject 400; already-expired
+// deadlines answer 504 without consulting any shard; the deadline is
+// forwarded to shards as an absolute header.
+func TestRouterDeadlines(t *testing.T) {
+	var sawDeadline atomic.Pointer[string]
+	sh := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get("X-Cloudwalker-Deadline"); h != "" {
+			sawDeadline.Store(&h)
+		}
+		w.Write([]byte(`{"i":1,"j":2,"score":0.5,"cached":false,"gen":0}`))
+	}))
+	t.Cleanup(sh.Close)
+	rt, fts := newFleet(t, Replicated, sh.URL)
+
+	var e errorBody
+	getJSON(t, fts, "/pair?i=1&j=2&timeout=banana", http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "timeout") {
+		t.Fatalf("malformed timeout error = %q", e.Error)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, fts.URL+"/pair?i=1&j=2", nil)
+	req.Header.Set("X-Cloudwalker-Deadline", "1") // 1970: long expired
+	resp, err := fts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status %d, want 504", resp.StatusCode)
+	}
+	if rt.StatsSnapshot().DeadlineExceeded == 0 {
+		t.Fatal("expired deadline not counted")
+	}
+
+	// A live deadline reaches the shard as an absolute header.
+	var pb pairBody
+	getJSON(t, fts, "/pair?i=1&j=2&timeout=30s", http.StatusOK, &pb)
+	if sawDeadline.Load() == nil {
+		t.Fatal("deadline was not forwarded to the shard")
+	}
+}
+
+// TestRouterForwardsQueryParams: backend= (and any other parameter)
+// survives the router on /pair and /source — regression for the router
+// previously rebuilding query strings from scratch.
+func TestRouterForwardsQueryParams(t *testing.T) {
+	sh := newShard(t, "a")
+	_, fts := newFleet(t, Replicated, sh.URL)
+	resp, err := fts.Client().Get(fts.URL + "/pair?i=1&j=2&backend=mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cloudwalker-Backend"); got != "mc" {
+		t.Fatalf("backend header = %q through the router, want mc", got)
+	}
+	// backend=lin without a lin engine: the shard's authoritative 400
+	// relays verbatim.
+	var e errorBody
+	getJSON(t, fts, "/pair?i=1&j=2&backend=lin", http.StatusBadRequest, &e)
+	if e.Error == "" {
+		t.Fatal("lin-without-engine 400 lost its body in relay")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -81,6 +82,28 @@ type Config struct {
 	// 500ms; negative disables probing — shard liveness is then learned
 	// only from request failures).
 	HealthInterval time.Duration
+	// RetryBudget is the size of the retry token bucket (default 10;
+	// negative disables budgeting). Every attempt after a request's
+	// first spends a token; only successful traffic refills.
+	RetryBudget float64
+	// RetryRatio is the refill per successful request (default 0.1 —
+	// at most ~10% of traffic can be retries in steady state).
+	RetryRatio float64
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// shard's circuit breaker (default 5; negative disables breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// letting a half-open probe through (default 1s).
+	BreakerCooldown time.Duration
+	// HedgeDelay enables hedged replicated GETs: after this delay the
+	// router races a second replica chain and takes the first clean
+	// answer. 0 disables hedging (the default); negative derives the
+	// delay from the observed p99 of successful attempts.
+	HedgeDelay time.Duration
+	// MaxPartialLoss is how many scatter partitions may be dropped from
+	// a /source?allow_partial=1 answer before the router gives up and
+	// errors (default 1; negative disables partial answers).
+	MaxPartialLoss int
 	// Client overrides the HTTP client (tests). Default: a pooled
 	// transport client.
 	Client *http.Client
@@ -99,6 +122,7 @@ type shardState struct {
 	base string // "http://host:port"
 	up   atomic.Bool
 	gen  atomic.Uint64 // highest generation seen in a response or probe
+	br   breaker       // traffic-driven circuit breaker (see breaker.go)
 }
 
 // observeGen records a generation seen in a response or probe, keeping
@@ -132,10 +156,22 @@ type Router struct {
 	refreshTimeout time.Duration
 	retryBackoff   time.Duration
 	maxPasses      int
+	hedgeDelay     time.Duration
+	maxPartialLoss int
+	brThreshold    int
+	brCooldown     time.Duration
+
+	budget    *retryBudget
+	latencies latencyTracker
 
 	mu     sync.RWMutex
 	ring   *Ring
 	shards map[string]*shardState
+
+	// pendingRefresh remembers shards skipped by a bounded rolling
+	// refresh; the health prober re-triggers their refresh on recovery.
+	pendingMu      sync.Mutex
+	pendingRefresh map[string]bool
 
 	mux      *http.ServeMux
 	start    time.Time
@@ -144,14 +180,19 @@ type Router struct {
 
 	// Fleet counters live in the metrics registry; /stats reads the SAME
 	// Counter values /metrics scrapes (see internal/metrics).
-	reg         *metrics.Registry
-	requests    *metrics.Counter
-	failovers   *metrics.Counter
-	scatters    *metrics.Counter
-	genRetries  *metrics.Counter
-	badBodies   *metrics.Counter
-	shardErrors *metrics.Counter
-	rollsDone   *metrics.Counter
+	reg              *metrics.Registry
+	requests         *metrics.Counter
+	failovers        *metrics.Counter
+	scatters         *metrics.Counter
+	genRetries       *metrics.Counter
+	badBodies        *metrics.Counter
+	shardErrors      *metrics.Counter
+	rollsDone        *metrics.Counter
+	budgetExhausted  *metrics.Counter
+	hedgesWon        *metrics.Counter
+	hedgesLost       *metrics.Counter
+	partialResponses *metrics.Counter
+	deadlineExceeded *metrics.Counter
 }
 
 // New validates cfg, builds the ring, and starts the health prober.
@@ -178,8 +219,13 @@ func New(cfg Config) (*Router, error) {
 		refreshTimeout: cfg.RefreshTimeout,
 		retryBackoff:   cfg.RetryBackoff,
 		maxPasses:      cfg.MaxPasses,
+		hedgeDelay:     cfg.HedgeDelay,
+		maxPartialLoss: cfg.MaxPartialLoss,
+		brThreshold:    cfg.BreakerThreshold,
+		brCooldown:     cfg.BreakerCooldown,
 		ring:           NewRing(addrs, 0),
 		shards:         make(map[string]*shardState, len(addrs)),
+		pendingRefresh: make(map[string]bool),
 		start:          time.Now(),
 		stopc:          make(chan struct{}),
 	}
@@ -195,6 +241,30 @@ func New(cfg Config) (*Router, error) {
 	if rt.maxPasses <= 0 {
 		rt.maxPasses = 3
 	}
+	if rt.maxPartialLoss == 0 {
+		rt.maxPartialLoss = 1
+	} else if rt.maxPartialLoss < 0 {
+		rt.maxPartialLoss = 0 // partial answers disabled
+	}
+	switch {
+	case rt.brThreshold == 0:
+		rt.brThreshold = 5
+	case rt.brThreshold < 0:
+		rt.brThreshold = 0 // breakers disabled
+	}
+	if rt.brCooldown <= 0 {
+		rt.brCooldown = time.Second
+	}
+	budgetMax, budgetRatio := cfg.RetryBudget, cfg.RetryRatio
+	if budgetMax == 0 {
+		budgetMax = 10
+	} else if budgetMax < 0 {
+		budgetMax = 0 // budgeting disabled
+	}
+	if budgetRatio <= 0 {
+		budgetRatio = 0.1
+	}
+	rt.budget = newRetryBudget(budgetMax, budgetRatio)
 	if rt.client == nil {
 		rt.client = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        64,
@@ -203,7 +273,7 @@ func New(cfg Config) (*Router, error) {
 		}}
 	}
 	for _, a := range addrs {
-		rt.shards[a] = newShardState(a)
+		rt.shards[a] = rt.newShardState(a)
 	}
 	rt.initMetrics()
 	rt.mux = http.NewServeMux()
@@ -249,6 +319,18 @@ func (rt *Router) initMetrics() {
 		"Failed shard attempts (transport errors, 5xx, shed 429s).")
 	rt.rollsDone = r.NewCounter("cloudwalker_fleet_rolling_refreshes_total",
 		"Completed fleet-wide rolling refreshes.")
+	rt.budgetExhausted = r.NewCounter("cloudwalker_retry_budget_exhausted_total",
+		"Retries or hedges suppressed because the retry token bucket was empty.")
+	rt.hedgesWon = r.NewCounter("cloudwalker_hedges_total",
+		"Hedged replica requests launched, by whether the hedge beat the primary.",
+		metrics.Label{Key: "won", Value: "true"})
+	rt.hedgesLost = r.NewCounter("cloudwalker_hedges_total",
+		"Hedged replica requests launched, by whether the hedge beat the primary.",
+		metrics.Label{Key: "won", Value: "false"})
+	rt.partialResponses = r.NewCounter("cloudwalker_partial_responses_total",
+		"Degraded /source answers served from surviving partitions.")
+	rt.deadlineExceeded = r.NewCounter("cloudwalker_deadline_exceeded_total",
+		"Requests that failed because their deadline expired.")
 	r.NewGaugeFunc("cloudwalker_fleet_uptime_seconds",
 		"Seconds since the router started.",
 		func() float64 { return time.Since(rt.start).Seconds() })
@@ -272,6 +354,16 @@ func (rt *Router) initMetrics() {
 			}
 			return out
 		})
+	r.NewGaugeCollector("cloudwalker_breaker_state",
+		"Per-shard circuit-breaker state (0 closed, 1 half-open, 2 open).",
+		func() []metrics.Sample {
+			_, states := rt.membership()
+			out := make([]metrics.Sample, len(states))
+			for i, sh := range states {
+				out[i] = metrics.Sample{Labels: []metrics.Label{{Key: "shard", Value: sh.addr}}, Value: float64(sh.br.current())}
+			}
+			return out
+		})
 	r.NewGaugeCollector("cloudwalker_fleet_shard_generation",
 		"Highest graph generation observed per shard.",
 		func() []metrics.Sample {
@@ -289,7 +381,11 @@ func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
 
 // timed wraps a routed query handler with a per-endpoint latency
 // histogram (fleet-side latency: includes every shard attempt, backoff,
-// and failover the router performed on the client's behalf).
+// and failover the router performed on the client's behalf) and with
+// request-deadline handling: a timeout= parameter or DeadlineHeader is
+// parsed here, attached to the request context (so every shard attempt
+// inherits it and do() forwards it), and answered 504 immediately when
+// already expired.
 func (rt *Router) timed(path string, h http.HandlerFunc) http.HandlerFunc {
 	duration := rt.reg.NewHistogram("cloudwalker_fleet_request_duration_seconds",
 		"Latency of routed query requests, including failover attempts.", nil,
@@ -297,12 +393,28 @@ func (rt *Router) timed(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		defer func() { duration.Observe(time.Since(start).Seconds()) }()
+		dl, ok, err := server.ParseDeadline(r, start)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if ok {
+			if !dl.After(start) {
+				rt.deadlineExceeded.Inc()
+				writeError(w, http.StatusGatewayTimeout, "request deadline already expired")
+				return
+			}
+			ctx, cancel := context.WithDeadline(r.Context(), dl)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		h(w, r)
 	}
 }
 
-func newShardState(addr string) *shardState {
-	sh := &shardState{addr: addr, base: "http://" + addr}
+func (rt *Router) newShardState(addr string) *shardState {
+	sh := &shardState{addr: addr, base: "http://" + addr,
+		br: newBreaker(rt.brThreshold, rt.brCooldown)}
 	sh.up.Store(true) // optimistic until the first probe or failure
 	return sh
 }
@@ -337,23 +449,25 @@ func (rt *Router) membership() (*Ring, []*shardState) {
 }
 
 // replicaOrder returns the shards to try for key: the ring's failover
-// order, healthy shards first (the prober's view may lag — down shards
-// stay in the list as a last resort).
+// order, healthy shards (up, breaker admitting traffic) first — the
+// prober's view may lag, so down or broken shards stay in the list as a
+// last resort rather than being dropped.
 func (rt *Router) replicaOrder(key string) []*shardState {
 	rt.mu.RLock()
 	succ := rt.ring.Successors(key)
 	order := make([]*shardState, 0, len(succ))
-	var down []*shardState
+	var back []*shardState
+	now := time.Now()
 	for _, a := range succ {
 		sh := rt.shards[a]
-		if sh.up.Load() {
+		if sh.up.Load() && sh.br.ready(now) {
 			order = append(order, sh)
 		} else {
-			down = append(down, sh)
+			back = append(back, sh)
 		}
 	}
 	rt.mu.RUnlock()
-	return append(order, down...)
+	return append(order, back...)
 }
 
 // shardReply is one shard's buffered response.
@@ -363,13 +477,20 @@ type shardReply struct {
 	gen       uint64
 	hasGen    bool
 	shardName string
+	backend   string
 	body      []byte
 }
 
 // do performs one attempt against one shard with the per-attempt timeout,
 // buffering the body. Transport errors mark the shard down (the prober
-// marks it back up).
+// marks it back up) and count against its circuit breaker — unless the
+// PARENT context was cancelled, in which case the failure says nothing
+// about the shard (the client gave up, or a hedge race was decided) and
+// the attempt is neutral. When the effective context carries a deadline,
+// it is forwarded in DeadlineHeader so the shard stops working the moment
+// the client's budget runs out.
 func (rt *Router) do(ctx context.Context, sh *shardState, method, pathAndQuery string, body []byte, timeout time.Duration) (*shardReply, error) {
+	parent := ctx
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	var rd io.Reader
@@ -383,27 +504,47 @@ func (rt *Router) do(ctx context.Context, sh *shardState, method, pathAndQuery s
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(server.DeadlineHeader, server.FormatDeadline(dl))
+	}
+	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		if parent.Err() != nil {
+			return nil, fmt.Errorf("fleet: shard %s: %w", sh.addr, parent.Err())
+		}
 		sh.up.Store(false)
+		sh.br.onFailure(time.Now())
 		return nil, fmt.Errorf("fleet: shard %s: %w", sh.addr, err)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxShardBody+1))
 	if err != nil {
+		if parent.Err() != nil {
+			return nil, fmt.Errorf("fleet: shard %s: reading body: %w", sh.addr, parent.Err())
+		}
 		sh.up.Store(false)
+		sh.br.onFailure(time.Now())
 		return nil, fmt.Errorf("fleet: shard %s: reading body: %w", sh.addr, err)
 	}
 	if len(b) > maxShardBody {
+		sh.br.onFailure(time.Now())
 		return nil, fmt.Errorf("fleet: shard %s: response exceeds %d bytes", sh.addr, maxShardBody)
 	}
-	rep := &shardReply{shard: sh, status: resp.StatusCode, body: b, shardName: resp.Header.Get(server.ShardHeader)}
+	rep := &shardReply{shard: sh, status: resp.StatusCode, body: b, shardName: resp.Header.Get(server.ShardHeader),
+		backend: resp.Header.Get(server.BackendHeader)}
 	if g := resp.Header.Get(server.GenHeader); g != "" {
 		if v, perr := strconv.ParseUint(g, 10, 64); perr == nil {
 			rep.gen, rep.hasGen = v, true
 		}
 	}
-	if resp.StatusCode < 500 {
+	switch {
+	case resp.StatusCode >= 500:
+		sh.br.onFailure(time.Now())
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Shedding is healthy behavior under load: neither a breaker
+		// failure (the shard answered) nor a success (it didn't serve).
+	default:
 		// Record the generation BEFORE flipping the shard up: a reader
 		// that sees up=true must not read a generation older than the
 		// response that proved the shard alive.
@@ -411,6 +552,8 @@ func (rt *Router) do(ctx context.Context, sh *shardState, method, pathAndQuery s
 			sh.observeGen(rep.gen)
 		}
 		sh.up.Store(true)
+		sh.br.onSuccess()
+		rt.latencies.record(time.Since(start))
 	}
 	return rep, nil
 }
@@ -420,13 +563,34 @@ func (rt *Router) do(ctx context.Context, sh *shardState, method, pathAndQuery s
 // 429 (client errors are the same on every replica; 429 means that shard
 // is shedding load, so the next replica absorbs the spill). Transport
 // errors, 5xx, 429, and bodies that fail validate move on to the next
-// replica; between full passes the router backs off linearly.
+// replica; between full passes the router backs off linearly. Retries
+// beyond a request's first attempt draw from the shared retry budget,
+// and GETs are hedged against a second replica when hedging is enabled.
 func (rt *Router) askReplicas(ctx context.Context, key, method, pathAndQuery string, body []byte, validate func(*shardReply) error) (*shardReply, error) {
 	order := rt.replicaOrder(key)
 	if len(order) == 0 {
 		return nil, fmt.Errorf("fleet: no shards configured")
 	}
+	if method == http.MethodGet && len(order) > 1 {
+		if delay, ok := rt.hedgeDelayNow(); ok {
+			return rt.askHedged(ctx, order, pathAndQuery, validate, delay)
+		}
+	}
+	attempts := 0
+	return rt.askOrder(ctx, order, method, pathAndQuery, body, validate, &attempts)
+}
+
+// errBudgetExhausted marks a failover cut short by an empty retry token
+// bucket (the brownout-amplification guard, see budget.go).
+var errBudgetExhausted = fmt.Errorf("fleet: retry budget exhausted")
+
+// askOrder is the failover attempt loop over an explicit shard order.
+// attempts counts attempts already charged for this request (hedges
+// pre-spend their first token); every attempt after the request's first
+// must clear the retry budget or the loop stops early.
+func (rt *Router) askOrder(ctx context.Context, order []*shardState, method, pathAndQuery string, body []byte, validate func(*shardReply) error, attempts *int) (*shardReply, error) {
 	var lastErr error
+	now := time.Now()
 	for pass := 0; pass < rt.maxPasses; pass++ {
 		if pass > 0 {
 			select {
@@ -434,12 +598,30 @@ func (rt *Router) askReplicas(ctx context.Context, key, method, pathAndQuery str
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
+			now = time.Now()
 		}
-		for i, sh := range order {
+		for _, sh := range order {
+			if !sh.br.allow(now) {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("fleet: shard %s: circuit breaker open", sh.addr)
+				}
+				continue
+			}
+			if *attempts > 0 && !rt.budget.spend() {
+				rt.budgetExhausted.Inc()
+				if lastErr != nil {
+					return nil, fmt.Errorf("%w (last error: %v)", errBudgetExhausted, lastErr)
+				}
+				return nil, errBudgetExhausted
+			}
+			*attempts++
 			rep, err := rt.do(ctx, sh, method, pathAndQuery, body, rt.attemptTimeout)
 			if err != nil {
 				rt.shardErrors.Inc()
 				lastErr = err
+				if ctx.Err() != nil {
+					return nil, lastErr
+				}
 				continue
 			}
 			if rep.status >= 500 || rep.status == http.StatusTooManyRequests {
@@ -450,13 +632,15 @@ func (rt *Router) askReplicas(ctx context.Context, key, method, pathAndQuery str
 			if rep.status == http.StatusOK && validate != nil {
 				if err := validate(rep); err != nil {
 					rt.badBodies.Inc()
+					sh.br.onFailure(time.Now())
 					lastErr = err
 					continue
 				}
 			}
-			if i > 0 || pass > 0 {
+			if *attempts > 1 {
 				rt.failovers.Inc()
 			}
+			rt.budget.success()
 			return rep, nil
 		}
 	}
@@ -493,15 +677,24 @@ func passthrough(w http.ResponseWriter, rep *shardReply) {
 	} else {
 		w.Header().Set(server.ShardHeader, rep.shard.addr)
 	}
+	if rep.backend != "" {
+		w.Header().Set(server.BackendHeader, rep.backend)
+	}
 	w.WriteHeader(rep.status)
 	w.Write(rep.body)
 }
 
-// relayError maps an exhausted failover to a client response: a gateway
-// error naming the last failure.
-func relayError(w http.ResponseWriter, err error) {
+// relayError maps an exhausted failover to a client response: 504 when
+// the request's own deadline ran out, a gateway error naming the last
+// failure otherwise.
+func (rt *Router) relayError(w http.ResponseWriter, err error) {
 	if err == nil {
 		err = fmt.Errorf("fleet: no shard produced a response")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		rt.deadlineExceeded.Inc()
+		writeError(w, http.StatusGatewayTimeout, "%v", err)
+		return
 	}
 	writeError(w, http.StatusBadGateway, "%v", err)
 }
@@ -539,11 +732,14 @@ func (rt *Router) handlePair(w http.ResponseWriter, r *http.Request) {
 	if cj < ci {
 		ci, cj = cj, ci
 	}
+	// Forward the query string verbatim (i/j were parsed only for the
+	// ring key): backend=, epsilon=, timeout= and future parameters reach
+	// the shard untouched.
 	rep, err := rt.askReplicas(r.Context(), PairKey(ci, cj), http.MethodGet,
-		"/pair?i="+strconv.Itoa(i)+"&j="+strconv.Itoa(j), nil,
+		"/pair?"+r.URL.RawQuery, nil,
 		func(rep *shardReply) error { _, derr := decodePairBody(rep.body); return derr })
 	if err != nil {
-		relayError(w, err)
+		rt.relayError(w, err)
 		return
 	}
 	passthrough(w, rep)
@@ -563,7 +759,7 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 	rep, err := rt.askReplicas(r.Context(), NodeKey(node), http.MethodGet,
 		"/topk?"+r.URL.RawQuery, nil, nil)
 	if err != nil {
-		relayError(w, err)
+		rt.relayError(w, err)
 		return
 	}
 	passthrough(w, rep)
@@ -592,19 +788,25 @@ func (rt *Router) handleSource(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	allowPartial := r.URL.Query().Get("allow_partial") == "1" && rt.maxPartialLoss > 0
 	ring, states := rt.membership()
 	if rt.mode == Replicated || ring.Len() == 1 {
+		// Forward the query string minus allow_partial (meaningless to a
+		// single whole-answer shard): backend=, epsilon=, timeout= and
+		// future parameters reach the shard untouched.
+		q := r.URL.Query()
+		q.Del("allow_partial")
 		rep, err := rt.askReplicas(r.Context(), NodeKey(node), http.MethodGet,
-			fmt.Sprintf("/source?node=%d&k=%d&mode=%s", node, k, mode), nil,
+			"/source?"+q.Encode(), nil,
 			func(rep *shardReply) error { _, derr := decodeSourceBody(rep.body); return derr })
 		if err != nil {
-			relayError(w, err)
+			rt.relayError(w, err)
 			return
 		}
 		passthrough(w, rep)
 		return
 	}
-	rt.scatterSource(w, r, ring, states, node, k, mode)
+	rt.scatterSource(w, r, ring, states, node, k, mode, allowPartial)
 }
 
 func (rt *Router) handlePairs(w http.ResponseWriter, r *http.Request) {
@@ -639,7 +841,7 @@ func (rt *Router) handlePairs(w http.ResponseWriter, r *http.Request) {
 	rep, err := rt.askReplicas(r.Context(), PairKey(ci, cj), http.MethodPost, "/pairs", body,
 		func(rep *shardReply) error { _, derr := decodePairsBody(rep.body, len(req.Pairs)); return derr })
 	if err != nil {
-		relayError(w, err)
+		rt.relayError(w, err)
 		return
 	}
 	passthrough(w, rep)
@@ -723,19 +925,31 @@ func (rt *Router) handleEdges(w http.ResponseWriter, r *http.Request) {
 }
 
 // refreshFleetResponse is the router's POST /refresh reply: the rolling
-// compaction's outcome per shard, in roll order.
+// compaction's outcome per shard, in roll order. Skipped lists shards
+// the roll gave up on after bounded attempts — they keep serving their
+// old generation (scatter's gen coordination keeps answers pure) and the
+// health prober re-triggers their refresh when they recover.
 type refreshFleetResponse struct {
-	Rolled int               `json:"rolled"`
-	Gen    uint64            `json:"gen"`
-	Shards map[string]uint64 `json:"shards"`
+	Rolled  int               `json:"rolled"`
+	Gen     uint64            `json:"gen"`
+	Shards  map[string]uint64 `json:"shards"`
+	Skipped []string          `json:"skipped,omitempty"`
 }
+
+// refreshAttempts bounds how many times the roll tries one shard before
+// skipping it: a dead shard must not stall the whole fleet's refresh.
+const refreshAttempts = 2
 
 // handleRefresh rolls a compaction/hot-swap across the fleet ONE SHARD AT
 // A TIME (each POST /refresh?wait=1 blocks until that shard swapped).
 // During the roll, shards disagree on generation; scatter-gather's
 // generation coordination keeps client answers pure, and when the roll
 // completes every shard serves the new generation. Sequential rolling
-// also means N-1 shards always carry traffic at full capacity.
+// also means N-1 shards always carry traffic at full capacity. A shard
+// that fails refreshAttempts times is SKIPPED rather than aborting the
+// roll: it is reported in the response, remembered, and refreshed by the
+// prober's recovery path when it comes back (a refresh is idempotent, so
+// the catch-up refresh converges it with the fleet).
 func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on /refresh", r.Method)
@@ -745,39 +959,81 @@ func (rt *Router) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	_, states := rt.membership()
 	resp := refreshFleetResponse{Shards: make(map[string]uint64, len(states))}
 	for _, sh := range states {
-		rep, err := rt.do(r.Context(), sh, http.MethodPost, "/refresh?wait=1", nil, rt.refreshTimeout)
-		if err == nil && rep.status != http.StatusOK {
-			err = fmt.Errorf("status %d: %s", rep.status, truncateBody(rep.body))
+		var rep *shardReply
+		var err error
+		for try := 0; try < refreshAttempts; try++ {
+			if try > 0 {
+				select {
+				case <-time.After(rt.retryBackoff):
+				case <-r.Context().Done():
+					writeError(w, http.StatusGatewayTimeout, "rolling refresh cancelled at shard %s: %v", sh.addr, r.Context().Err())
+					return
+				}
+			}
+			rep, err = rt.do(r.Context(), sh, http.MethodPost, "/refresh?wait=1", nil, rt.refreshTimeout)
+			if err == nil && rep.status != http.StatusOK {
+				err = fmt.Errorf("status %d: %s", rep.status, truncateBody(rep.body))
+			}
+			if err == nil {
+				break
+			}
+			rt.shardErrors.Inc()
 		}
 		if err != nil {
-			rt.shardErrors.Inc()
-			writeError(w, http.StatusBadGateway,
-				"rolling refresh stopped at shard %s after %d/%d shards (re-POST to resume; refresh is idempotent): %v",
-				sh.addr, resp.Rolled, len(states), err)
-			return
+			resp.Skipped = append(resp.Skipped, sh.addr)
+			rt.markPendingRefresh(sh.addr)
+			continue
 		}
 		var rr struct {
 			Gen uint64 `json:"gen"`
 		}
 		if err := json.Unmarshal(rep.body, &rr); err != nil {
 			rt.badBodies.Inc()
-			writeError(w, http.StatusBadGateway, "bad /refresh body from shard %s: %v", sh.addr, err)
-			return
+			resp.Skipped = append(resp.Skipped, sh.addr)
+			rt.markPendingRefresh(sh.addr)
+			continue
 		}
 		resp.Rolled++
 		resp.Gen = rr.Gen
 		resp.Shards[sh.addr] = rr.Gen
 		sh.observeGen(rr.Gen)
 	}
+	if resp.Rolled == 0 {
+		writeError(w, http.StatusBadGateway,
+			"rolling refresh reached no shard (%d skipped: %s); re-POST to retry",
+			len(resp.Skipped), strings.Join(resp.Skipped, ", "))
+		return
+	}
 	rt.rollsDone.Inc()
 	writeJSON(w, resp)
 }
 
+// markPendingRefresh remembers a shard whose refresh was skipped so the
+// prober can catch it up on recovery.
+func (rt *Router) markPendingRefresh(addr string) {
+	rt.pendingMu.Lock()
+	rt.pendingRefresh[addr] = true
+	rt.pendingMu.Unlock()
+}
+
+// takePendingRefresh pops a shard's pending-refresh mark, reporting
+// whether one was set.
+func (rt *Router) takePendingRefresh(addr string) bool {
+	rt.pendingMu.Lock()
+	defer rt.pendingMu.Unlock()
+	if !rt.pendingRefresh[addr] {
+		return false
+	}
+	delete(rt.pendingRefresh, addr)
+	return true
+}
+
 // shardHealth is one shard's row in the router's /healthz and /stats.
 type shardHealth struct {
-	Addr string `json:"addr"`
-	Up   bool   `json:"up"`
-	Gen  uint64 `json:"gen"`
+	Addr    string `json:"addr"`
+	Up      bool   `json:"up"`
+	Gen     uint64 `json:"gen"`
+	Breaker string `json:"breaker"`
 }
 
 // routerHealthz is the router's /healthz payload.
@@ -791,7 +1047,8 @@ func (rt *Router) shardHealths() []shardHealth {
 	_, states := rt.membership()
 	out := make([]shardHealth, len(states))
 	for i, sh := range states {
-		out[i] = shardHealth{Addr: sh.addr, Up: sh.up.Load(), Gen: sh.gen.Load()}
+		out[i] = shardHealth{Addr: sh.addr, Up: sh.up.Load(), Gen: sh.gen.Load(),
+			Breaker: breakerStateName(sh.br.current())}
 	}
 	return out
 }
@@ -829,6 +1086,12 @@ type Stats struct {
 	BadShardResponses uint64        `json:"bad_shard_responses"`
 	ShardErrors       uint64        `json:"shard_errors"`
 	RollingRefreshes  uint64        `json:"rolling_refreshes"`
+	BudgetExhausted   uint64        `json:"retry_budget_exhausted"`
+	RetryTokens       float64       `json:"retry_budget_tokens"`
+	HedgesWon         uint64        `json:"hedges_won"`
+	HedgesLost        uint64        `json:"hedges_lost"`
+	PartialResponses  uint64        `json:"partial_responses"`
+	DeadlineExceeded  uint64        `json:"deadline_exceeded"`
 	Shards            []shardHealth `json:"shards"`
 }
 
@@ -844,6 +1107,12 @@ func (rt *Router) StatsSnapshot() Stats {
 		BadShardResponses: rt.badBodies.Value(),
 		ShardErrors:       rt.shardErrors.Value(),
 		RollingRefreshes:  rt.rollsDone.Value(),
+		BudgetExhausted:   rt.budgetExhausted.Value(),
+		RetryTokens:       rt.budget.remaining(),
+		HedgesWon:         rt.hedgesWon.Value(),
+		HedgesLost:        rt.hedgesLost.Value(),
+		PartialResponses:  rt.partialResponses.Value(),
+		DeadlineExceeded:  rt.deadlineExceeded.Value(),
 		Shards:            rt.shardHealths(),
 	}
 }
@@ -872,7 +1141,7 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.ring = rt.ring.WithMember(addr)
-	rt.shards[addr] = newShardState(addr)
+	rt.shards[addr] = rt.newShardState(addr)
 	rt.mu.Unlock()
 	writeJSON(w, routerHealthz{Status: "ok", Mode: rt.mode.String(), Shards: rt.shardHealths()})
 }
@@ -897,6 +1166,9 @@ func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
 	rt.ring = rt.ring.WithoutMember(addr)
 	delete(rt.shards, addr)
 	rt.mu.Unlock()
+	// A departed shard owes the fleet nothing: drop any pending catch-up
+	// refresh so the prober never chases a removed member.
+	rt.takePendingRefresh(addr)
 	writeJSON(w, routerHealthz{Status: "ok", Mode: rt.mode.String(), Shards: rt.shardHealths()})
 }
 

@@ -277,16 +277,25 @@ func TestRouterBadRequests(t *testing.T) {
 // produce on demand: it serves /source partials whose generation and
 // payload come from an atomic, and arbitrary bytes on /pair.
 type fakeShard struct {
-	ts   *httptest.Server
-	gen  atomic.Uint64
-	bump atomic.Bool            // when set, every /source response advances the gen
-	pair atomic.Pointer[string] // nil → 404; else raw /pair body
+	ts        *httptest.Server
+	gen       atomic.Uint64
+	bump      atomic.Bool            // when set, every /source response advances the gen
+	pair      atomic.Pointer[string] // nil → 404; else raw /pair body
+	refreshes atomic.Int32           // POST /refresh calls served
+	onlyPart  atomic.Int32           // >= 0: serve only that /source partition, 500 others
 }
 
 func newFakeShard(t *testing.T) *fakeShard {
 	t.Helper()
 	f := &fakeShard{}
+	f.onlyPart.Store(-1)
 	mux := http.NewServeMux()
+	mux.HandleFunc("/refresh", func(w http.ResponseWriter, r *http.Request) {
+		f.refreshes.Add(1)
+		g := f.gen.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"gen":%d}`, g)
+	})
 	mux.HandleFunc("/source", func(w http.ResponseWriter, r *http.Request) {
 		g := f.gen.Load()
 		if f.bump.Load() {
@@ -295,6 +304,12 @@ func newFakeShard(t *testing.T) *fakeShard {
 		part := 0
 		if p := r.URL.Query().Get("part"); p != "" {
 			part, _ = strconv.Atoi(strings.SplitN(p, "/", 2)[0])
+		}
+		if only := f.onlyPart.Load(); only >= 0 && int32(part) != only {
+			// Scripted partition exclusivity: this shard can serve one
+			// partition only (models per-shard partition data).
+			http.Error(w, "partition not held here", http.StatusInternalServerError)
+			return
 		}
 		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
 		if k <= 0 {

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
-	"net/url"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -31,6 +31,19 @@ import (
 // target — any shard can compute any part, so the newest shards cover
 // for the laggards. Bounded retries, then 503 so the client retries
 // rather than receiving a torn answer.
+//
+// Degraded partial answers: with allow_partial=1 the client accepts an
+// answer missing up to MaxPartialLoss partitions when those partitions
+// stay unreachable after budgeted retries. The surviving partials still
+// generation-coordinate (a partial answer may be incomplete, never
+// torn), the response says "degraded":true and lists the missing
+// partitions, and PartialHeader flags it for middleboxes. Authoritative
+// client errors (4xx) still relay verbatim — a partial answer only
+// papers over infrastructure loss, never over a bad request.
+
+// PartialHeader marks a degraded /source response assembled from
+// surviving partitions; its value is the number of partitions missing.
+const PartialHeader = "X-Cloudwalker-Partial"
 
 // httpError carries an authoritative shard response (a non-429 4xx)
 // through the scatter machinery so the router can relay it verbatim.
@@ -50,28 +63,52 @@ type partResult struct {
 	err     error
 }
 
-func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ring, states []*shardState, node, k int, mode string) {
+func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ring, states []*shardState, node, k int, mode string, allowPartial bool) {
 	rt.scatters.Inc()
 	n := len(states)
 
+	// partPath forwards the client's query string with the partition
+	// pinned (and allow_partial stripped — partiality is the router's
+	// business, not the shard's), so backend=, epsilon=, timeout= and
+	// future parameters reach the shards untouched.
+	partPath := func(p int) string {
+		q := r.URL.Query()
+		q.Del("allow_partial")
+		q.Set("node", strconv.Itoa(node))
+		q.Set("k", strconv.Itoa(k))
+		q.Set("mode", mode)
+		q.Set("part", fmt.Sprintf("%d/%d", p, n))
+		return "/source?" + q.Encode()
+	}
+
 	// fetchPart fetches partition p, preferring shard p (spreads the
 	// scatter one partition per shard) and failing over around the fleet.
-	// wantGen, when non-nil, rejects bodies at any other generation.
+	// wantGen, when non-nil, rejects bodies at any other generation. The
+	// partition's first attempt is free; every further attempt draws from
+	// the shared retry budget, and open breakers are skipped.
 	fetchPart := func(ctx context.Context, p int, wantGen *uint64) partResult {
-		path := fmt.Sprintf("/source?node=%d&k=%d&mode=%s&part=%d/%d",
-			node, k, url.QueryEscape(mode), p, n)
+		path := partPath(p)
+		now := time.Now()
 		order := make([]*shardState, 0, n)
-		var down []*shardState
+		var back []*shardState
 		for off := 0; off < n; off++ {
 			sh := states[(p+off)%n]
-			if sh.up.Load() {
+			if sh.up.Load() && sh.br.ready(now) {
 				order = append(order, sh)
 			} else {
-				down = append(down, sh)
+				back = append(back, sh)
 			}
 		}
-		order = append(order, down...)
+		order = append(order, back...)
 		var res partResult
+		// Budget discipline: an attempt that follows an INFRASTRUCTURE
+		// failure (transport error, 5xx, 429, bad body) is a retry and
+		// spends a token. Attempts that follow a generation mismatch are
+		// free — the shard answered healthily with a snapshot we can't
+		// use, coordination retries are already bounded by genPasses, and
+		// charging them would let a routine rolling refresh starve the
+		// budget that exists to cap brownout amplification.
+		retrying := false
 		for pass := 0; pass < rt.maxPasses; pass++ {
 			if pass > 0 {
 				select {
@@ -80,16 +117,37 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 					res.err = ctx.Err()
 					return res
 				}
+				now = time.Now()
 			}
 			for _, sh := range order {
+				if !sh.br.allow(now) {
+					if res.err == nil {
+						res.err = fmt.Errorf("fleet: shard %s: circuit breaker open", sh.addr)
+					}
+					continue
+				}
+				if retrying && !rt.budget.spend() {
+					rt.budgetExhausted.Inc()
+					if res.err == nil {
+						res.err = errBudgetExhausted
+					} else {
+						res.err = fmt.Errorf("%w (last error: %v)", errBudgetExhausted, res.err)
+					}
+					return res
+				}
 				rep, err := rt.do(ctx, sh, http.MethodGet, path, nil, rt.attemptTimeout)
 				if err != nil {
 					rt.shardErrors.Inc()
+					retrying = true
 					res.err = err
+					if ctx.Err() != nil {
+						return res
+					}
 					continue
 				}
 				if rep.status >= 500 || rep.status == http.StatusTooManyRequests {
 					rt.shardErrors.Inc()
+					retrying = true
 					res.err = fmt.Errorf("fleet: shard %s: status %d", sh.addr, rep.status)
 					continue
 				}
@@ -100,6 +158,8 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 				sb, derr := decodeSourceBody(rep.body)
 				if derr != nil {
 					rt.badBodies.Inc()
+					sh.br.onFailure(time.Now())
+					retrying = true
 					res.err = derr
 					continue
 				}
@@ -109,11 +169,13 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 				if wantGen != nil && sb.Gen != *wantGen {
 					// This shard hasn't swapped to the target snapshot yet
 					// (or has already moved past it) — another replica may
-					// be there.
+					// be there. A free retry: see the budget note above.
 					rt.genRetries.Inc()
+					retrying = false
 					res.err = fmt.Errorf("fleet: shard %s at gen %d, want %d", sh.addr, sb.Gen, *wantGen)
 					continue
 				}
+				rt.budget.success()
 				res.sb, res.err = sb, nil
 				return res
 			}
@@ -140,6 +202,22 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 		return m
 	}
 
+	// dropped tracks partitions abandoned to keep a degraded answer
+	// moving. dropPart reports whether losing one more partition still
+	// fits the partial-loss budget (never the whole answer, never an
+	// authoritative 4xx, never without opt-in).
+	var dropped []int
+	dropPart := func(p int, err error) bool {
+		if !allowPartial || len(dropped) >= rt.maxPartialLoss || len(dropped)+1 >= n {
+			return false
+		}
+		if _, authoritative := err.(*httpError); authoritative {
+			return false
+		}
+		dropped = append(dropped, p)
+		return true
+	}
+
 	partials := make([]*sourceBody, n)
 	all := make([]int, n)
 	for p := range all {
@@ -147,26 +225,29 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 	}
 	for p, res := range runParts(all, nil) {
 		if res.err != nil {
+			if dropPart(p, res.err) {
+				continue
+			}
 			rt.relayScatterError(w, res.err)
 			return
 		}
 		partials[p] = res.sb
 	}
 
-	// Generation coordination: converge every partial onto the maximum
-	// generation seen so far. maxSeen from failed attempts also raises the
-	// target, so a shard swapping forward mid-loop pulls the whole scatter
-	// forward with it.
+	// Generation coordination: converge every surviving partial onto the
+	// maximum generation seen so far. maxSeen from failed attempts also
+	// raises the target, so a shard swapping forward mid-loop pulls the
+	// whole scatter forward with it.
 	for iter := 0; ; iter++ {
 		target := uint64(0)
 		for _, sb := range partials {
-			if sb.Gen > target {
+			if sb != nil && sb.Gen > target {
 				target = sb.Gen
 			}
 		}
 		var outliers []int
 		for p, sb := range partials {
-			if sb.Gen != target {
+			if sb != nil && sb.Gen != target {
 				outliers = append(outliers, p)
 			}
 		}
@@ -186,6 +267,10 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 			}
 			if res.err != nil {
 				if res.maxSeen <= target && !raised {
+					if dropPart(p, res.err) {
+						partials[p] = nil
+						continue
+					}
 					rt.relayScatterError(w, res.err)
 					return
 				}
@@ -204,21 +289,43 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 		}
 	}
 
+	var first *sourceBody
+	for _, sb := range partials {
+		if sb != nil {
+			first = sb
+			break
+		}
+	}
+	if first == nil {
+		rt.relayError(w, fmt.Errorf("fleet: no partition produced a response"))
+		return
+	}
+	kEff := first.K
 	merged := make([]neighborWire, 0, k)
 	for _, sb := range partials {
-		merged = append(merged, sb.Results...)
+		if sb != nil {
+			merged = append(merged, sb.Results...)
+		}
 	}
 	sortNeighborWires(merged)
-	kEff := partials[0].K
 	if len(merged) > kEff {
 		merged = merged[:kEff]
 	}
 	resp := sourceBody{
 		Node:    node,
-		Mode:    partials[0].Mode,
+		Mode:    first.Mode,
 		K:       kEff,
-		Gen:     partials[0].Gen,
+		Gen:     first.Gen,
 		Results: merged,
+	}
+	if len(dropped) > 0 {
+		resp.Degraded = true
+		sort.Ints(dropped) // map-iteration order is not deterministic
+		for _, p := range dropped {
+			resp.Missing = append(resp.Missing, fmt.Sprintf("%d/%d", p, n))
+		}
+		w.Header().Set(PartialHeader, strconv.Itoa(len(dropped)))
+		rt.partialResponses.Inc()
 	}
 	w.Header().Set(server.GenHeader, strconv.FormatUint(resp.Gen, 10))
 	writeJSON(w, resp)
@@ -226,7 +333,8 @@ func (rt *Router) scatterSource(w http.ResponseWriter, r *http.Request, ring *Ri
 
 // relayScatterError maps a partition-fetch failure to the client: shard
 // 4xxs pass through verbatim (the same client error on every replica),
-// everything else is a gateway failure.
+// everything else is a gateway failure (or 504 when the request's own
+// deadline expired).
 func (rt *Router) relayScatterError(w http.ResponseWriter, err error) {
 	if he, ok := err.(*httpError); ok {
 		w.Header().Set("Content-Type", "application/json")
@@ -234,5 +342,5 @@ func (rt *Router) relayScatterError(w http.ResponseWriter, err error) {
 		w.Write(he.body)
 		return
 	}
-	relayError(w, err)
+	rt.relayError(w, err)
 }

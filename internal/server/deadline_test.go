@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudwalker/internal/core"
+	"cloudwalker/internal/linserve"
+)
+
+func TestParseDeadline(t *testing.T) {
+	now := time.UnixMilli(1_700_000_000_000)
+	mk := func(timeout, header string) *http.Request {
+		r := httptest.NewRequest(http.MethodGet, "/pair", nil)
+		if timeout != "" {
+			q := r.URL.Query()
+			q.Set("timeout", timeout)
+			r.URL.RawQuery = q.Encode()
+		}
+		if header != "" {
+			r.Header.Set(DeadlineHeader, header)
+		}
+		return r
+	}
+	headerAt := func(d time.Duration) string { return FormatDeadline(now.Add(d)) }
+
+	cases := []struct {
+		name            string
+		timeout, header string
+		want            time.Duration // relative to now; only when ok
+		ok, wantErr     bool
+	}{
+		{name: "absent", ok: false},
+		{name: "timeout", timeout: "250ms", want: 250 * time.Millisecond, ok: true},
+		{name: "timeout capped", timeout: "48h", want: maxTimeout, ok: true},
+		{name: "header", header: headerAt(time.Second), want: time.Second, ok: true},
+		{name: "earliest wins header", timeout: "10s", header: headerAt(time.Second), want: time.Second, ok: true},
+		{name: "earliest wins timeout", timeout: "1s", header: headerAt(time.Minute), want: time.Second, ok: true},
+		{name: "malformed timeout", timeout: "banana", wantErr: true},
+		{name: "zero timeout", timeout: "0s", wantErr: true},
+		{name: "negative timeout", timeout: "-5s", wantErr: true},
+		{name: "malformed header", header: "not-millis", wantErr: true},
+		{name: "negative header", header: "-12", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dl, ok, err := ParseDeadline(mk(tc.timeout, tc.header), now)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseDeadline(%q, %q) accepted", tc.timeout, tc.header)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && !dl.Equal(now.Add(tc.want)) {
+				t.Fatalf("deadline = %v, want now+%v", dl, tc.want)
+			}
+		})
+	}
+}
+
+func FuzzParseDeadline(f *testing.F) {
+	f.Add("250ms", "")
+	f.Add("", "1700000000000")
+	f.Add("2h", "12345")
+	f.Add("-5s", "-1")
+	f.Add("banana", "banana")
+	f.Add("1h1ns", "9223372036854775807")
+	f.Add("0", "0")
+	now := time.UnixMilli(1_700_000_000_000)
+	f.Fuzz(func(t *testing.T, timeout, header string) {
+		r := httptest.NewRequest(http.MethodGet, "/pair", nil)
+		if timeout != "" {
+			q := r.URL.Query()
+			q.Set("timeout", timeout)
+			r.URL.RawQuery = q.Encode()
+		}
+		if header != "" {
+			r.Header.Set(DeadlineHeader, header)
+		}
+		dl, ok, err := ParseDeadline(r, now) // must never panic
+		if err != nil {
+			if ok {
+				t.Fatal("error with ok=true")
+			}
+			return
+		}
+		if ok != (timeout != "" || header != "") {
+			t.Fatalf("ok = %v with timeout=%q header=%q", ok, timeout, header)
+		}
+		if !ok && !dl.IsZero() {
+			t.Fatalf("non-zero deadline %v without ok", dl)
+		}
+		// A parsed relative timeout bounds the result (the header can only
+		// pull the effective deadline EARLIER, never extend it).
+		if d, perr := time.ParseDuration(timeout); timeout != "" && perr == nil && d > 0 {
+			if dl.After(now.Add(maxTimeout)) {
+				t.Fatalf("deadline %v beyond the %v cap", dl, maxTimeout)
+			}
+		}
+	})
+}
+
+// TestDeadlineEndpoint drives the deadline middleware through the HTTP
+// surface: malformed values reject 400, an already-expired deadline
+// answers 504 without computing, and a deadline expiring mid-computation
+// surfaces as 504 with the counter incremented.
+func TestDeadlineEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheSize: -1})
+
+	var e errorBody
+	getJSON(t, ts, "/pair?i=1&j=2&timeout=banana", http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "timeout") {
+		t.Fatalf("malformed timeout error = %q", e.Error)
+	}
+
+	// Expired on arrival: 504 before any computation.
+	before := srv.computes.Value()
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/pair?i=1&j=2", nil)
+	req.Header.Set(DeadlineHeader, FormatDeadline(time.Now().Add(-time.Second)))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status %d, want 504", resp.StatusCode)
+	}
+	if srv.computes.Value() != before {
+		t.Fatal("expired request still computed")
+	}
+	if srv.deadlineExceeded.Value() == 0 {
+		t.Fatal("deadline_exceeded counter not incremented")
+	}
+
+	// A generous budget answers normally.
+	var pr pairResponse
+	getJSON(t, ts, "/pair?i=1&j=2&timeout=30s", http.StatusOK, &pr)
+
+	// Mid-computation expiry: hold the computation past the deadline; the
+	// kernel's context check turns it into a 504.
+	srv.testComputeHook = func(string) { time.Sleep(80 * time.Millisecond) }
+	defer func() { srv.testComputeHook = nil }()
+	count := srv.deadlineExceeded.Value()
+	getJSON(t, ts, "/pair?i=3&j=4&epsilon=0.02&delta=0.1&timeout=30ms", http.StatusGatewayTimeout, &e)
+	if srv.deadlineExceeded.Value() != count+1 {
+		t.Fatal("mid-computation expiry not counted")
+	}
+}
+
+// TestCachedRetriesAfterLeaderContextError: a caller that coalesced onto
+// a flight whose LEADER died of its own context must not inherit that
+// failure — its own context is live, so it retries once as the new
+// leader.
+func TestCachedRetriesAfterLeaderContextError(t *testing.T) {
+	srv, _ := newTestServer(t, Config{CacheSize: -1})
+	const key = "g0/test-retry"
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, err := srv.cached(context.Background(), key, "pair", func() (any, error) {
+			close(started)
+			<-release
+			return nil, context.Canceled // the leader's request died
+		})
+		if err == nil {
+			t.Error("leader's own call swallowed its context error")
+		}
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	var val any
+	var err error
+	go func() {
+		defer close(waiterDone)
+		val, _, err = srv.cached(context.Background(), key, "pair", func() (any, error) {
+			return 42, nil
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.flight.pendingWaiters(key) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-leaderDone
+	<-waiterDone
+	if err != nil {
+		t.Fatalf("coalesced caller inherited the leader's context error: %v", err)
+	}
+	if val != 42 {
+		t.Fatalf("retry returned %v, want 42", val)
+	}
+}
+
+// TestLinRebuildAfterRefresh (dynamic serving): a hot-swap drops the lin
+// engine, the background rebuild re-provisions it without blocking the
+// swap, and /healthz reports the window as lin_rebuilding.
+func TestLinRebuildAfterRefresh(t *testing.T) {
+	rebuilds := 0
+	cfg := Config{
+		RebuildLin: func(q *core.Querier) (*linserve.Engine, error) {
+			rebuilds++
+			opts := linserve.DefaultOptions()
+			opts.T = 4
+			opts.Sweeps = 6
+			return linserve.Build(q.Graph(), opts)
+		},
+	}
+	_, srv, ts := newDynamicServer(t, cfg)
+
+	postJSON(t, ts, "/edges", `{"insert":[[0,19],[7,12]]}`, http.StatusOK, nil)
+	var rr refreshResponse
+	postJSON(t, ts, "/refresh?wait=1", "", http.StatusOK, &rr)
+	if !rr.Swapped {
+		t.Fatal("refresh did not swap")
+	}
+
+	// The swap returned while the rebuild runs in the background; wait for
+	// the engine to flip in.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := srv.snaps.Load()
+		if snap.Lin != nil {
+			if snap.Gen != rr.Gen {
+				t.Fatalf("engine flipped into gen %d, want %d", snap.Gen, rr.Gen)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lin engine never rebuilt after the hot-swap")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if rebuilds != 1 {
+		t.Fatalf("rebuild ran %d times, want 1", rebuilds)
+	}
+	var hz healthzResponse
+	getJSON(t, ts, "/healthz", http.StatusOK, &hz)
+	if hz.LinRebuilding {
+		t.Fatal("healthz still reports lin_rebuilding after the flip")
+	}
+	found := false
+	for _, b := range hz.Backends {
+		found = found || b == BackendLin
+	}
+	if !found {
+		t.Fatalf("healthz backends %v missing lin after rebuild", hz.Backends)
+	}
+	// The rebuilt engine answers explicit lin requests at the new gen.
+	var pr pairResponse
+	getJSON(t, ts, "/pair?i=0&j=19&backend=lin", http.StatusOK, &pr)
+	if pr.Backend != BackendLin || pr.Gen != rr.Gen {
+		t.Fatalf("lin answer backend=%q gen=%d, want lin at gen %d", pr.Backend, pr.Gen, rr.Gen)
+	}
+}
+
+// TestStoreSetLinGenGuard: a rebuild overtaken by another hot-swap (or
+// racing a second rebuild) must be discarded, never bound to the wrong
+// snapshot.
+func TestStoreSetLinGenGuard(t *testing.T) {
+	q := querier(t)
+	st := NewStore(&Snapshot{Gen: 7, Q: q})
+	eng := new(linserve.Engine)
+	if st.SetLin(6, eng) {
+		t.Fatal("SetLin attached an engine to the wrong generation")
+	}
+	if !st.SetLin(7, eng) {
+		t.Fatal("SetLin refused the matching generation")
+	}
+	if st.Load().Lin != eng {
+		t.Fatal("engine not visible after flip")
+	}
+	if st.SetLin(7, new(linserve.Engine)) {
+		t.Fatal("SetLin replaced an engine already in place")
+	}
+	st.Swap(&Snapshot{Gen: 8, Q: q})
+	if st.SetLin(7, eng) {
+		t.Fatal("SetLin attached a stale rebuild after a swap")
+	}
+}

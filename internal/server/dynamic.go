@@ -209,5 +209,28 @@ func (s *Server) refreshLocked() (bool, error) {
 	// explicit backend=lin answers 400 until re-provisioned).
 	s.snaps.Swap(&Snapshot{Gen: gen, Q: q})
 	s.swaps.Inc()
+	if s.rebuildLin != nil {
+		// Re-provision the linearized engine off the serving path: the
+		// swap above is already live (lin requests 400 / auto degrades
+		// to mc meanwhile), the diagonal solve runs here in the
+		// background, and SetLin flips the engine in atomically — or
+		// drops it if yet another swap won the race. linRebuilding is a
+		// plain status flag, not a lock: at most one rebuild runs per
+		// swap because the caller holds the refresh semaphore when this
+		// goroutine launches, and a newer swap's rebuild simply makes
+		// the older one's SetLin a no-op.
+		s.linRebuilding.Store(true)
+		go func() {
+			defer s.linRebuilding.Store(false)
+			eng, err := s.rebuildLin(q)
+			if err != nil {
+				// No request to report to: the failure surfaces as
+				// lin_rebuilding returning to false with "lin" still
+				// missing from /healthz backends.
+				return
+			}
+			s.snaps.SetLin(gen, eng)
+		}()
+	}
 	return true, nil
 }

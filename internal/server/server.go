@@ -44,7 +44,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -138,6 +140,15 @@ type Config struct {
 	// many updates are pending since the last compaction. 0 = manual
 	// (POST /refresh only); ignored without Dynamic.
 	RefreshAfter int
+	// RebuildLin, when set on a dynamic server, rebuilds the linearized
+	// engine for a freshly swapped snapshot. It runs on a background
+	// goroutine AFTER the hot-swap (queries never wait on a diagonal
+	// solve; they serve mc meanwhile) and the finished engine is flipped
+	// into the serving snapshot atomically — and only if that snapshot is
+	// still current, so a rebuild overtaken by another swap is discarded
+	// rather than bound to the wrong graph. /healthz reports the rebuild
+	// in flight as lin_rebuilding.
+	RebuildLin func(*core.Querier) (*linserve.Engine, error)
 }
 
 // Defaults for Config zero values.
@@ -178,10 +189,12 @@ type Server struct {
 	mux   *http.ServeMux
 
 	// Dynamic-graph plumbing (nil/zero for a static server).
-	dyn          *graph.Dynamic
-	reindex      func(*graph.Graph) (*core.Querier, error)
-	refreshAfter int
-	refreshMu    chan struct{} // 1-slot semaphore serializing refreshes
+	dyn           *graph.Dynamic
+	reindex       func(*graph.Graph) (*core.Querier, error)
+	refreshAfter  int
+	refreshMu     chan struct{} // 1-slot semaphore serializing refreshes
+	rebuildLin    func(*core.Querier) (*linserve.Engine, error)
+	linRebuilding atomic.Bool // a post-swap lin rebuild is in flight
 
 	flight    flightGroup
 	gate      chan struct{} // nil when admission control is disabled
@@ -214,7 +227,11 @@ type Server struct {
 	// backendQueries counts underlying computations per answering engine
 	// (cache hits re-serve without recomputing, so they do not count).
 	backendQueries map[string]*metrics.Counter
-	latency        map[string]*latencyRecorder
+	// deadlineExceeded counts query requests answered 504 because their
+	// propagated deadline (timeout= / X-Cloudwalker-Deadline) expired —
+	// on arrival or mid-computation.
+	deadlineExceeded *metrics.Counter
+	latency          map[string]*latencyRecorder
 
 	// testComputeHook, when set, runs at the start of every underlying
 	// computation (inside the singleflight, outside the cache). Tests use
@@ -253,6 +270,7 @@ func New(q *core.Querier, cfg Config) (*Server, error) {
 		reindex:      cfg.Reindex,
 		refreshAfter: cfg.RefreshAfter,
 		refreshMu:    make(chan struct{}, 1),
+		rebuildLin:   cfg.RebuildLin,
 		maxBatch:     cfg.MaxBatch,
 		shardName:    cfg.ShardName,
 		snapDir:      cfg.SnapshotDir,
@@ -357,6 +375,8 @@ func (s *Server) initMetrics() {
 		"Walkers the adaptive sampling paths avoided running (budget minus launched, summed over both endpoints of pair queries).")
 	s.adaptiveStopped = r.NewCounter("cloudwalker_adaptive_stopped_total",
 		"Adaptive query computations that stopped before the full walker budget.")
+	s.deadlineExceeded = r.NewCounter("cloudwalker_deadline_exceeded_total",
+		"Query requests answered 504 because their propagated deadline expired.")
 	s.backendQueries = make(map[string]*metrics.Counter, 2)
 	for _, b := range []string{BackendMC, BackendLin} {
 		s.backendQueries[b] = r.NewCounter("cloudwalker_backend_queries_total",
@@ -431,6 +451,24 @@ func (s *Server) gated(path, method string, h http.HandlerFunc) http.Handler {
 			w.Header().Set("Allow", method)
 			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed on %s", r.Method, path)
 			return
+		}
+		// Deadline propagation: timeout= / DeadlineHeader become the
+		// request context's deadline, which the walk kernels check at
+		// wave boundaries. An already-expired deadline answers 504
+		// before consuming an admission slot — under overload, shedding
+		// doomed work is the whole point of propagating deadlines.
+		if dl, ok, err := ParseDeadline(r, time.Now()); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		} else if ok {
+			if !dl.After(time.Now()) {
+				s.deadlineExceeded.Inc()
+				writeError(w, http.StatusGatewayTimeout, "deadline already expired on arrival")
+				return
+			}
+			ctx, cancel := context.WithDeadline(r.Context(), dl)
+			defer cancel()
+			r = r.WithContext(ctx)
 		}
 		if s.gate != nil {
 			select {
@@ -558,14 +596,19 @@ func parseK(r *http.Request, def int) (int, error) {
 
 // cached runs fn under the cache and the singleflight group. Every
 // distinct in-flight key computes once; every completed key is served
-// from the cache until evicted.
-func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, fromCache bool, err error) {
+// from the cache until evicted. ctx is THIS request's context: when a
+// coalesced flight fails with the LEADER's context error (its deadline,
+// not ours), a caller whose own context is still live retries once as
+// the new leader instead of inheriting a failure it didn't earn.
+// Context errors never land in the cache (fn only stores on success and
+// a cancelled computation returns an error).
+func (s *Server) cached(ctx context.Context, key, kind string, fn func() (any, error)) (val any, fromCache bool, err error) {
 	if s.cache != nil {
 		if v, ok := s.cache.Get(key); ok {
 			return v, true, nil
 		}
 	}
-	v, shared, err := s.flight.Do(key, func() (any, error) {
+	compute := func() (any, error) {
 		if s.testComputeHook != nil {
 			s.testComputeHook(kind)
 		}
@@ -575,11 +618,32 @@ func (s *Server) cached(key, kind string, fn func() (any, error)) (val any, from
 			s.cache.Put(key, out)
 		}
 		return out, err
-	})
+	}
+	v, shared, err := s.flight.Do(key, compute)
 	if shared {
 		s.coalesced.Inc()
+		if err != nil &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) &&
+			ctx.Err() == nil {
+			v, _, err = s.flight.Do(key, compute)
+		}
 	}
 	return v, false, err
+}
+
+// writeComputeError maps a computation failure to a response: the
+// request's own deadline expiring mid-computation (or the client going
+// away) is a 504 gateway timeout, anything else a 500.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineExceeded.Inc()
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "request cancelled")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 // pairResponse is the /pair reply. Score is the MCSP estimate for the
@@ -652,13 +716,13 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	mcKey := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
 	linKey := pairKey(snap.Gen, ci, cj) + backendSuffix(BackendLin)
 	backend = s.routeAuto(backend, mcKey, linKey)
-	key, compute := mcKey, s.pairCompute(snap, ci, cj, eps, delta)
+	key, compute := mcKey, s.pairCompute(r.Context(), snap, ci, cj, eps, delta)
 	if backend == BackendLin {
 		key, compute, eps = linKey, s.linPairCompute(snap, ci, cj), 0
 	}
-	val, hit, err := s.cached(key, "pair", compute)
+	val, hit, err := s.cached(r.Context(), key, "pair", compute)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeComputeError(w, err)
 		return
 	}
 	setGen(w, snap.Gen)
@@ -682,9 +746,9 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 // computations store the bare score under the legacy key, via an explicit
 // eps = 0 call so a client's epsilon=0 opt-out forces the fixed path even
 // when the index was built with an adaptive default.
-func (s *Server) pairCompute(snap *Snapshot, ci, cj int, eps, delta float64) func() (any, error) {
+func (s *Server) pairCompute(ctx context.Context, snap *Snapshot, ci, cj int, eps, delta float64) func() (any, error) {
 	return func() (any, error) {
-		pe, err := snap.Q.SinglePairAdaptive(ci, cj, eps, delta)
+		pe, err := snap.Q.SinglePairAdaptiveCtx(ctx, ci, cj, eps, delta)
 		if err != nil {
 			return nil, err
 		}
@@ -823,7 +887,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		// queries and vice versa. Non-mc backends also go pairwise: auto
 		// routes each pair on its own popularity, and lin shares the point
 		// query key space the same way.
-		s.handlePairsPointwise(w, snap, req.Pairs, eps, delta, backend)
+		s.handlePairsPointwise(r.Context(), w, snap, req.Pairs, eps, delta, backend)
 		return
 	}
 	scores := make([]float64, len(req.Pairs))
@@ -925,7 +989,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 		for k, wait := range waits {
 			v, err := wait()
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, "coalesced pair: %v", err)
+				s.writeComputeError(w, err)
 				return
 			}
 			vals[k] = v.(float64)
@@ -948,7 +1012,7 @@ func (s *Server) handlePairs(w http.ResponseWriter, r *http.Request) {
 // cached point-query path (see the adaptive and non-mc branches of
 // handlePairs). backend is the batch-level choice; auto resolves per
 // pair, so the response's Backends split may mix engines.
-func (s *Server) handlePairsPointwise(w http.ResponseWriter, snap *Snapshot, pairs [][2]int, eps, delta float64, backend string) {
+func (s *Server) handlePairsPointwise(ctx context.Context, w http.ResponseWriter, snap *Snapshot, pairs [][2]int, eps, delta float64, backend string) {
 	scores := make([]float64, len(pairs))
 	hits := 0
 	split := make(map[string]int, 2)
@@ -957,13 +1021,13 @@ func (s *Server) handlePairsPointwise(w http.ResponseWriter, snap *Snapshot, pai
 		mcKey := pairKey(snap.Gen, ci, cj) + adaptiveSuffix(eps, delta)
 		linKey := pairKey(snap.Gen, ci, cj) + backendSuffix(BackendLin)
 		pairBackend := s.routeAuto(backend, mcKey, linKey)
-		key, compute, pairEps := mcKey, s.pairCompute(snap, ci, cj, eps, delta), eps
+		key, compute, pairEps := mcKey, s.pairCompute(ctx, snap, ci, cj, eps, delta), eps
 		if pairBackend == BackendLin {
 			key, compute, pairEps = linKey, s.linPairCompute(snap, ci, cj), 0
 		}
-		val, hit, err := s.cached(key, "pair", compute)
+		val, hit, err := s.cached(ctx, key, "pair", compute)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			s.writeComputeError(w, err)
 			return
 		}
 		if pairEps > 0 {
@@ -1175,9 +1239,9 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		return toNeighborJSON(core.TopKNeighbors(v, node, k))
 	}
 	if backend == BackendLin {
-		val, hit, err := s.cached(linKey, "source", s.linSourceCompute(snap, node, topk))
+		val, hit, err := s.cached(r.Context(), linKey, "source", s.linSourceCompute(snap, node, topk))
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			s.writeComputeError(w, err)
 			return
 		}
 		setGen(w, snap.Gen)
@@ -1189,8 +1253,8 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if eps > 0 {
-		val, hit, err := s.cached(key, "source", func() (any, error) {
-			v, est, err := snap.Q.SingleSourceAdaptive(node, eps, delta)
+		val, hit, err := s.cached(r.Context(), key, "source", func() (any, error) {
+			v, est, err := snap.Q.SingleSourceAdaptiveCtx(r.Context(), node, eps, delta)
 			if err != nil {
 				return nil, err
 			}
@@ -1202,7 +1266,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 			return sourceAdaptiveEntry{results: topk(v), est: est}, nil
 		})
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			s.writeComputeError(w, err)
 			return
 		}
 		entry := val.(sourceAdaptiveEntry)
@@ -1215,14 +1279,14 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	val, hit, err := s.cached(key, "source", func() (any, error) {
+	val, hit, err := s.cached(r.Context(), key, "source", func() (any, error) {
 		var v *sparse.Vector
 		var err error
 		if ssMode == core.WalkSS {
 			// Explicit eps = 0 call: a client's epsilon=0 opt-out forces
 			// the fixed budget even when the index carries an adaptive
 			// default, so the legacy key only ever holds fixed answers.
-			v, _, err = snap.Q.SingleSourceAdaptive(node, 0, delta)
+			v, _, err = snap.Q.SingleSourceAdaptiveCtx(r.Context(), node, 0, delta)
 		} else {
 			v, err = snap.Q.SingleSource(node, ssMode)
 		}
@@ -1233,7 +1297,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		return topk(v), nil
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeComputeError(w, err)
 		return
 	}
 	setGen(w, snap.Gen)
@@ -1303,6 +1367,11 @@ type healthzResponse struct {
 	Backend  string   `json:"backend"`
 	Backends []string `json:"backends"`
 	Pending  int      `json:"pending,omitempty"`
+	// LinRebuilding reports an in-flight background rebuild of the
+	// linearized engine after a hot-swap (Config.RebuildLin): "lin" is
+	// temporarily absent from Backends and will flip back in when the
+	// rebuild lands.
+	LinRebuilding bool `json:"lin_rebuilding,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1322,6 +1391,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.dyn != nil {
 		resp.Pending = s.dyn.Pending()
+		resp.LinRebuilding = s.linRebuilding.Load()
 	}
 	setGen(w, snap.Gen)
 	setBackend(w, s.defaultBackend)

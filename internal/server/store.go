@@ -57,3 +57,25 @@ func (s *Store) Load() *Snapshot { return s.cur.Load() }
 // Swap atomically installs next as the current snapshot and returns the
 // previous one (which stays valid for requests still holding it).
 func (s *Store) Swap(next *Snapshot) *Snapshot { return s.cur.Swap(next) }
+
+// SetLin attaches a linearized engine to the snapshot currently being
+// served, but only if that snapshot is still generation gen and has no
+// engine yet. Background lin rebuilds use it to flip their result in
+// after an asynchronous diagonal solve: a rebuild overtaken by another
+// hot-swap fails the generation check and is discarded, so an engine
+// can never be bound to a graph it wasn't solved for. The flip installs
+// a COPY of the snapshot (requests hold loaded pointers; mutating a
+// published snapshot would race). Reports whether the engine went live.
+func (s *Store) SetLin(gen uint64, lin *linserve.Engine) bool {
+	for {
+		cur := s.cur.Load()
+		if cur.Gen != gen || cur.Lin != nil {
+			return false
+		}
+		next := *cur
+		next.Lin = lin
+		if s.cur.CompareAndSwap(cur, &next) {
+			return true
+		}
+	}
+}
